@@ -1,0 +1,77 @@
+//! Aho–Corasick all-tags scanner (the related-work \[21\] cost model).
+//!
+//! Builds one Aho–Corasick automaton over the `<name`/`</name` prefixes of
+//! an element vocabulary and drives it over the raw input — every character
+//! is inspected exactly once, in contrast to the Commentz–Walter skipping
+//! the SMP runtime does. Used by the `ablations` bench to isolate the
+//! value of skipping.
+
+use smpx_stringmatch::AhoCorasick;
+
+/// A compiled scanner over a tag-name vocabulary.
+pub struct AcTagScanner {
+    ac: AhoCorasick,
+    patterns: Vec<Vec<u8>>,
+}
+
+impl AcTagScanner {
+    /// Build from element names (each contributes `<name` and `</name`).
+    pub fn new<S: AsRef<str>>(names: &[S]) -> AcTagScanner {
+        assert!(!names.is_empty(), "vocabulary must be non-empty");
+        let mut patterns = Vec::with_capacity(names.len() * 2);
+        for n in names {
+            let n = n.as_ref();
+            patterns.push(format!("<{n}").into_bytes());
+            patterns.push(format!("</{n}").into_bytes());
+        }
+        AcTagScanner { ac: AhoCorasick::new(&patterns), patterns }
+    }
+
+    /// Scan `doc`, returning how many *verified* tag tokens of the
+    /// vocabulary occur (boundary-checked like the SMP runtime, so
+    /// `<Abstract` does not count inside `<AbstractText`).
+    pub fn count_tags(&self, doc: &[u8]) -> usize {
+        let mut count = 0usize;
+        for m in self.ac.find_iter(doc) {
+            let boundary = doc
+                .get(m.start + self.patterns[m.pattern].len())
+                .is_some_and(|&c| matches!(c, b'>' | b'/' | b' ' | b'\t' | b'\r' | b'\n'));
+            if boundary {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_open_close_and_bachelor() {
+        let s = AcTagScanner::new(&["a", "b"]);
+        assert_eq!(s.count_tags(b"<a><b/>x</a>"), 3);
+    }
+
+    #[test]
+    fn boundary_check_rejects_prefix_names() {
+        let s = AcTagScanner::new(&["Abstract"]);
+        assert_eq!(s.count_tags(b"<AbstractText>t</AbstractText>"), 0);
+        assert_eq!(s.count_tags(b"<Abstract>t</Abstract>"), 2);
+        let both = AcTagScanner::new(&["Abstract", "AbstractText"]);
+        assert_eq!(both.count_tags(b"<AbstractText>t</AbstractText><Abstract/>"), 3);
+    }
+
+    #[test]
+    fn unrelated_tags_ignored(){
+        let s = AcTagScanner::new(&["item"]);
+        assert_eq!(s.count_tags(b"<site><name>item</name><item x=\"1\">i</item></site>"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vocabulary_panics() {
+        let _ = AcTagScanner::new::<&str>(&[]);
+    }
+}

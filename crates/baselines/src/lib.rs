@@ -1,0 +1,26 @@
+//! Tokenizing comparators for the SMP evaluation.
+//!
+//! Everything in this crate processes its input **one token (or character)
+//! at a time** — exactly the cost model the paper argues against:
+//!
+//! * [`TokenProjector`] — a schema-independent, stack-based projector that
+//!   applies the Def. 3 relevance semantics per token. It plays two roles:
+//!   the *correctness oracle* for the SMP runtime (their outputs must be
+//!   byte-identical on valid documents) and the *type-based projection
+//!   (TBP)* comparator of Table III (like TBP it tokenizes the complete
+//!   input, and like TBP it caches per-context decisions rather than
+//!   re-matching paths on every token).
+//! * [`sax`] — parse-only throughput baselines standing in for Xerces
+//!   SAX1/SAX2 (Fig. 7(c)).
+//! * [`ac_scan`] — an Aho–Corasick all-tags scanner in the spirit of the
+//!   paper's related work \[21\]: finds every tag of a vocabulary while
+//!   touching every input character once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ac_scan;
+mod projector;
+pub mod sax;
+
+pub use projector::TokenProjector;

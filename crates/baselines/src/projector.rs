@@ -1,0 +1,243 @@
+//! Token-level projector: the Def. 3 semantics applied per token.
+//!
+//! Emission rules mirror the SMP runtime exactly so outputs are
+//! byte-comparable:
+//!
+//! * `#`-matched node (C2 at the leaf) → raw copy of the whole subtree,
+//! * node selected by a complete named path of `P` → raw copy of its
+//!   opening tag (attributes included), constructed `</name>`,
+//! * other relevant nodes (prefixes, C3 stopovers) → constructed `<name>`
+//!   / `</name>` (or `<name/>` for bachelors),
+//! * text, comments, PIs, prolog → only inside raw-copied subtrees,
+//! * everything else → dropped.
+//!
+//! Per-context decisions are cached (parent frame → child name → action),
+//! which is what a production tokenizing projector would do; the Table III
+//! comparison against SMP is therefore not handicapped by naive repeated
+//! path matching.
+
+use smpx_paths::{PathSet, Relevance};
+use smpx_xml::{Token, Tokenizer, XmlError};
+use std::collections::HashMap;
+
+/// What to do with a node, decided once per (context, name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Nop,
+    Tag,
+    TagAtts,
+    Subtree,
+}
+
+struct Frame {
+    name: String,
+    cache: HashMap<Vec<u8>, Kind>,
+}
+
+/// A tokenizing, stack-based XML projector (oracle + TBP stand-in).
+pub struct TokenProjector {
+    rel: Relevance,
+}
+
+impl TokenProjector {
+    /// Compile the relevance test for `paths`.
+    pub fn new(paths: &PathSet) -> TokenProjector {
+        TokenProjector { rel: Relevance::new(paths) }
+    }
+
+    /// Project `doc`, returning the preserved bytes.
+    pub fn project(&self, doc: &[u8]) -> Result<Vec<u8>, XmlError> {
+        let mut out = Vec::new();
+        let mut frames: Vec<Frame> = vec![Frame { name: String::new(), cache: HashMap::new() }];
+        // (raw-copy start, stack depth of the copied node's parent).
+        let mut copy: Option<(usize, usize)> = None;
+
+        for token in Tokenizer::new(doc) {
+            match token? {
+                Token::StartTag { name, self_closing, start, end, .. } => {
+                    if copy.is_some() {
+                        if !self_closing {
+                            frames.push(Frame {
+                                name: String::from_utf8_lossy(name).into_owned(),
+                                cache: HashMap::new(),
+                            });
+                        }
+                        continue;
+                    }
+                    let kind = self.decide(&mut frames, name);
+                    match kind {
+                        Kind::Subtree => {
+                            if self_closing {
+                                out.extend_from_slice(&doc[start..end]);
+                            } else {
+                                copy = Some((start, frames.len()));
+                            }
+                        }
+                        Kind::TagAtts => out.extend_from_slice(&doc[start..end]),
+                        Kind::Tag => {
+                            out.push(b'<');
+                            out.extend_from_slice(name);
+                            if self_closing {
+                                out.push(b'/');
+                            }
+                            out.push(b'>');
+                        }
+                        Kind::Nop => {}
+                    }
+                    if !self_closing {
+                        frames.push(Frame {
+                            name: String::from_utf8_lossy(name).into_owned(),
+                            cache: HashMap::new(),
+                        });
+                    }
+                }
+                Token::EndTag { name, end, .. } => {
+                    frames.pop().ok_or(XmlError {
+                        kind: smpx_xml::XmlErrorKind::MismatchedTag,
+                        pos: end,
+                    })?;
+                    if let Some((from, depth)) = copy {
+                        if frames.len() == depth {
+                            out.extend_from_slice(&doc[from..end]);
+                            copy = None;
+                        }
+                        continue;
+                    }
+                    // The node's kind is cached in the (now topmost) parent
+                    // frame.
+                    let kind = self.decide(&mut frames, name);
+                    match kind {
+                        Kind::Tag | Kind::TagAtts => {
+                            out.extend_from_slice(b"</");
+                            out.extend_from_slice(name);
+                            out.push(b'>');
+                        }
+                        Kind::Subtree => {
+                            // Unreachable on well-nested input: subtree
+                            // copies consume their close tag above.
+                            out.extend_from_slice(b"</");
+                            out.extend_from_slice(name);
+                            out.push(b'>');
+                        }
+                        Kind::Nop => {}
+                    }
+                }
+                Token::Text { .. }
+                | Token::Cdata { .. }
+                | Token::Comment { .. }
+                | Token::Pi { .. }
+                | Token::Doctype { .. } => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decision for a `name`-child of the current context (cached in the
+    /// topmost frame). The document branch is the names of all frames
+    /// above the sentinel plus `name` itself.
+    fn decide(&self, frames: &mut [Frame], name: &[u8]) -> Kind {
+        if let Some(&k) = frames.last().expect("sentinel frame").cache.get(name) {
+            return k;
+        }
+        let name_str = String::from_utf8_lossy(name).into_owned();
+        let kind = {
+            let mut full: Vec<&str> =
+                frames[1..].iter().map(|f| f.name.as_str()).collect();
+            full.push(&name_str);
+            if self.rel.c2_leaf(&full) {
+                Kind::Subtree
+            } else if self.rel.relevant_tag(&full) {
+                if self.rel.c1_exact(&full) {
+                    Kind::TagAtts
+                } else {
+                    Kind::Tag
+                }
+            } else {
+                Kind::Nop
+            }
+        };
+        frames.last_mut().expect("sentinel frame").cache.insert(name.to_vec(), kind);
+        kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn project(paths: &[&str], doc: &[u8]) -> Vec<u8> {
+        let ps = PathSet::parse(paths).unwrap();
+        TokenProjector::new(&ps).project(doc).unwrap()
+    }
+
+    #[test]
+    fn example2_matches_smp_semantics() {
+        let out = project(
+            &["/*", "/a/b#"],
+            b"<a><c><b>x</b></c><b>keep</b><c><b>y</b><b>z</b></c></a>",
+        );
+        assert_eq!(out, b"<a><b>keep</b></a>".to_vec());
+    }
+
+    #[test]
+    fn subtree_copy_is_raw() {
+        let out = project(
+            &["/*", "//c#"],
+            b"<a><b>drop</b><c att=\"kept\"><b>in  c</b></c></a>",
+        );
+        assert_eq!(out, b"<a><c att=\"kept\"><b>in  c</b></c></a>".to_vec());
+    }
+
+    #[test]
+    fn example6_keeps_c_tags_via_c3() {
+        let out = project(&["/*", "/a/b#", "//b#"], b"<a><c><b>T</b></c></a>");
+        assert_eq!(out, b"<a><c><b>T</b></c></a>".to_vec());
+    }
+
+    #[test]
+    fn named_complete_path_keeps_attributes() {
+        let out = project(
+            &["/*", "/site/person", "/site/person/name#"],
+            b"<site><person id=\"p1\" x=\"2\"><name>N</name><junk>j</junk></person></site>",
+        );
+        assert_eq!(
+            out,
+            b"<site><person id=\"p1\" x=\"2\"><name>N</name></person></site>".to_vec()
+        );
+    }
+
+    #[test]
+    fn prefix_ancestors_lose_attributes() {
+        let out = project(
+            &["/*", "/site/person/name#"],
+            b"<site main=\"1\"><person id=\"p1\"><name>N</name></person></site>",
+        );
+        assert_eq!(out, b"<site><person><name>N</name></person></site>".to_vec());
+    }
+
+    #[test]
+    fn bachelor_tags() {
+        let out = project(
+            &["/*", "/a/b#", "/a/k"],
+            b"<a><b/><k x=\"1\"/><z/></a>",
+        );
+        // b is #: raw; k is a complete named path: raw with atts; z: dropped.
+        assert_eq!(out, b"<a><b/><k x=\"1\"/></a>".to_vec());
+    }
+
+    #[test]
+    fn prolog_comments_text_dropped_outside_subtrees() {
+        let out = project(
+            &["/*", "/a/b#"],
+            b"<?xml version=\"1.0\"?><!-- c --><a>text<b>in<!-- inner --></b>tail</a>",
+        );
+        assert_eq!(out, b"<a><b>in<!-- inner --></b></a>".to_vec());
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        let ps = PathSet::parse(&["/*"]).unwrap();
+        let p = TokenProjector::new(&ps);
+        assert!(p.project(b"<a><b></a></b>").is_err() || !p.project(b"<a><b></a></b>").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Parse-only throughput baselines (the Xerces comparison of Fig. 7(c)).
+//!
+//! "We have built a minimal application on top of the Xerces API that just
+//! parses the input into tokens. Note that the Xerces SAX parser checks
+//! well-formedness by default." — our strict variant does the same
+//! (tag-name validation, attribute syntax, balance, single root); the
+//! lenient variant skips the per-character checks, standing in for the
+//! cheaper SAX reader configuration.
+
+use smpx_xml::{check_well_formed, Token, Tokenizer, XmlError};
+
+/// Tokenize with full well-formedness checking (SAX2-like). Returns the
+/// token count so the work cannot be optimized away.
+pub fn parse_strict(doc: &[u8]) -> Result<usize, XmlError> {
+    check_well_formed(doc)
+}
+
+/// Tokenize without name/attribute validation (SAX1-like). Still respects
+/// quoting and tag structure; returns token count and a checksum of tag
+/// name lengths (keeps the loop honest under optimization).
+pub fn parse_lenient(doc: &[u8]) -> Result<(usize, u64), XmlError> {
+    let mut count = 0usize;
+    let mut checksum = 0u64;
+    for t in Tokenizer::lenient(doc) {
+        match t? {
+            Token::StartTag { name, .. } | Token::EndTag { name, .. } => {
+                count += 1;
+                checksum = checksum.wrapping_add(name.len() as u64);
+            }
+            _ => count += 1,
+        }
+    }
+    Ok((count, checksum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_counts_tokens() {
+        let n = parse_strict(b"<a><b>t</b><c/></a>").unwrap();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn strict_rejects_malformed() {
+        assert!(parse_strict(b"<a><b></a></b>").is_err());
+        assert!(parse_strict(b"< a></a>").is_err());
+    }
+
+    #[test]
+    fn lenient_accepts_sloppy_names() {
+        // Strict rejects a leading digit in a name; lenient tokenizes it.
+        assert!(parse_strict(b"<1a></1a>").is_err());
+        let (n, _) = parse_lenient(b"<1a></1a>").unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn lenient_checksum_depends_on_names() {
+        let (_, c1) = parse_lenient(b"<a></a>").unwrap();
+        let (_, c2) = parse_lenient(b"<longer></longer>").unwrap();
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Flat-string matching microbenchmarks.
+//!
+//! The paper's premise: Boyer–Moore/Commentz–Walter style skipping beats
+//! one-character-at-a-time algorithms on keyword search. These benches
+//! compare all five searchers on the same haystacks, plus the naive
+//! baseline, for short (tag-like) and long keywords.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smpx_datagen::{xmark, GenOptions};
+use smpx_stringmatch::{naive, AhoCorasick, BoyerMoore, CommentzWalter, Horspool, Kmp};
+
+fn haystack() -> Vec<u8> {
+    xmark::generate(GenOptions::sized(1 << 20))
+}
+
+fn bench_single_keyword(c: &mut Criterion) {
+    let hay = haystack();
+    // A keyword that occurs late: forces a long scan.
+    let pat: &[u8] = b"<closed_auctions";
+    let mut g = c.benchmark_group("flat/single");
+    g.throughput(Throughput::Bytes(hay.len() as u64));
+    g.bench_function(BenchmarkId::new("boyer_moore", pat.len()), |b| {
+        let m = BoyerMoore::new(pat);
+        b.iter(|| m.find(&hay).expect("present"))
+    });
+    g.bench_function(BenchmarkId::new("horspool", pat.len()), |b| {
+        let m = Horspool::new(pat);
+        b.iter(|| m.find(&hay).expect("present"))
+    });
+    g.bench_function(BenchmarkId::new("kmp", pat.len()), |b| {
+        let m = Kmp::new(pat);
+        b.iter(|| m.find(&hay).expect("present"))
+    });
+    g.bench_function(BenchmarkId::new("naive", pat.len()), |b| {
+        b.iter(|| naive::find(&hay, pat).expect("present"))
+    });
+    g.finish();
+}
+
+fn bench_multi_keyword(c: &mut Criterion) {
+    let hay = haystack();
+    let pats: Vec<&[u8]> = vec![b"<description", b"<annotation", b"<emailaddress"];
+    let mut g = c.benchmark_group("flat/multi");
+    g.throughput(Throughput::Bytes(hay.len() as u64));
+    g.bench_function("commentz_walter_scan_all", |b| {
+        let m = CommentzWalter::new(&pats);
+        b.iter(|| m.find_iter(&hay).count())
+    });
+    g.bench_function("aho_corasick_scan_all", |b| {
+        let m = AhoCorasick::new(&pats);
+        b.iter(|| m.find_iter(&hay).count())
+    });
+    g.finish();
+}
+
+fn bench_keyword_length_sweep(c: &mut Criterion) {
+    // Skipping pays off more with longer keywords: ∅ shift grows with the
+    // pattern (the paper's MEDLINE-vs-XMark observation).
+    let hay = vec![b'x'; 1 << 20];
+    let mut g = c.benchmark_group("flat/length_sweep");
+    g.throughput(Throughput::Bytes(hay.len() as u64));
+    for len in [4usize, 8, 16, 32] {
+        let pat: Vec<u8> = (0..len).map(|i| b'a' + (i % 26) as u8).collect();
+        g.bench_function(BenchmarkId::new("boyer_moore_miss", len), |b| {
+            let m = BoyerMoore::new(&pat);
+            b.iter(|| m.find(&hay).is_none())
+        });
+        g.bench_function(BenchmarkId::new("kmp_miss", len), |b| {
+            let m = Kmp::new(&pat);
+            b.iter(|| m.find(&hay).is_none())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_single_keyword, bench_multi_keyword, bench_keyword_length_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! End-to-end prefiltering benchmarks: SMP vs the tokenizing projector on
+//! both datasets (the Criterion-tracked core of Tables I–III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smpx_baselines::TokenProjector;
+use smpx_bench::queries::{medline_paths, xmark_paths, MEDLINE_QUERIES, XMARK_QUERIES};
+use smpx_core::Prefilter;
+use smpx_datagen::{medline, xmark, GenOptions};
+use smpx_dtd::Dtd;
+
+const DOC_BYTES: usize = 2 << 20;
+
+fn bench_xmark(c: &mut Criterion) {
+    let doc = xmark::generate(GenOptions::sized(DOC_BYTES));
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
+    let mut g = c.benchmark_group("prefilter/xmark");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    // A cheap (XM5), a typical (XM13) and the heaviest (XM14) query.
+    for id in ["XM5", "XM13", "XM14"] {
+        let q = XMARK_QUERIES.iter().find(|q| q.id == id).unwrap();
+        let paths = xmark_paths(q);
+        g.bench_function(BenchmarkId::new("smp", id), |b| {
+            let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+            b.iter(|| pf.filter_to_vec(&doc).unwrap().0.len())
+        });
+        g.bench_function(BenchmarkId::new("tokenizing", id), |b| {
+            let p = TokenProjector::new(&paths);
+            b.iter(|| p.project(&doc).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_medline(c: &mut Criterion) {
+    let doc = medline::generate(GenOptions::sized(DOC_BYTES));
+    let dtd = Dtd::parse(medline::MEDLINE_DTD.as_bytes()).unwrap();
+    let mut g = c.benchmark_group("prefilter/medline");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    for q in MEDLINE_QUERIES {
+        let paths = medline_paths(q);
+        g.bench_function(BenchmarkId::new("smp", q.id), |b| {
+            let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+            b.iter(|| pf.filter_to_vec(&doc).unwrap().0.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    // Slice vs chunked-stream runtime on the same input (the window
+    // management overhead of the paper's single-pass mode).
+    let doc = xmark::generate(GenOptions::sized(DOC_BYTES));
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
+    let q = XMARK_QUERIES.iter().find(|q| q.id == "XM13").unwrap();
+    let paths = xmark_paths(q);
+    let mut g = c.benchmark_group("prefilter/streaming");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    g.bench_function("slice", |b| {
+        let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+        b.iter(|| pf.filter_to_vec(&doc).unwrap().0.len())
+    });
+    g.bench_function("stream_32k", |b| {
+        let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+        b.iter(|| {
+            let mut out = Vec::new();
+            pf.filter_stream(&doc[..], &mut out, smpx_core::runtime::DEFAULT_CHUNK).unwrap();
+            out.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_xmark, bench_medline, bench_streaming
+}
+criterion_main!(benches);

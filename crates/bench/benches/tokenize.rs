@@ -1,0 +1,60 @@
+//! Tokenization throughput (the Fig. 7(c) comparison, Criterion-tracked):
+//! strict and lenient SAX parsing vs SMP prefiltering on both datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smpx_baselines::sax;
+use smpx_bench::queries::{medline_paths, xmark_paths, MEDLINE_QUERIES, XMARK_QUERIES};
+use smpx_core::Prefilter;
+use smpx_datagen::{medline, xmark, GenOptions};
+use smpx_dtd::Dtd;
+
+const DOC_BYTES: usize = 2 << 20;
+
+fn bench_dataset(
+    c: &mut Criterion,
+    name: &str,
+    doc: Vec<u8>,
+    dtd_text: &str,
+    smp_query: (&str, smpx_paths::PathSet),
+) {
+    let dtd = Dtd::parse(dtd_text.as_bytes()).unwrap();
+    let mut g = c.benchmark_group(format!("tokenize/{name}"));
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    g.bench_function("sax_strict", |b| b.iter(|| sax::parse_strict(&doc).unwrap()));
+    g.bench_function("sax_lenient", |b| b.iter(|| sax::parse_lenient(&doc).unwrap().0));
+    let (qid, paths) = smp_query;
+    g.bench_function(BenchmarkId::new("smp_prefilter", qid), |b| {
+        let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+        b.iter(|| pf.filter_to_vec(&doc).unwrap().0.len())
+    });
+    g.finish();
+}
+
+fn bench_xmark(c: &mut Criterion) {
+    let q = XMARK_QUERIES.iter().find(|q| q.id == "XM13").unwrap();
+    bench_dataset(
+        c,
+        "xmark",
+        xmark::generate(GenOptions::sized(DOC_BYTES)),
+        xmark::XMARK_DTD,
+        (q.id, xmark_paths(q)),
+    );
+}
+
+fn bench_medline(c: &mut Criterion) {
+    let q = &MEDLINE_QUERIES[0]; // M1: scans everything, outputs nothing
+    bench_dataset(
+        c,
+        "medline",
+        medline::generate(GenOptions::sized(DOC_BYTES)),
+        medline::MEDLINE_DTD,
+        (q.id, medline_paths(q)),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_xmark, bench_medline
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Run every table and figure of the paper's evaluation in sequence.
+fn main() {
+    smpx_bench::runners::run_table1();
+    println!();
+    smpx_bench::runners::run_table2();
+    println!();
+    smpx_bench::runners::run_table3();
+    println!();
+    smpx_bench::runners::run_table_protein();
+    println!();
+    smpx_bench::runners::run_fig7a();
+    println!();
+    smpx_bench::runners::run_fig7b();
+    println!();
+    smpx_bench::runners::run_fig7c();
+}

@@ -1,0 +1,6 @@
+//! Regenerate the paper's Fig. 7(a) (in-memory engine scaling with and
+//! without prefiltering). Overrides: SMPX_SWEEP_MAX_MB (default 64),
+//! SMPX_ENGINE_BUDGET_MB (default 64).
+fn main() {
+    smpx_bench::runners::run_fig7a();
+}

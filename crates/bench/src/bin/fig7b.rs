@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig. 7(b) (streaming engine stand-alone vs
+//! pipelined behind SMP). Size override: SMPX_MEDLINE_MB (default 32).
+fn main() {
+    smpx_bench::runners::run_fig7b();
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig. 7(c) (SAX tokenization throughput vs SMP).
+//! Size override: SMPX_FIG7C_MB (default 16).
+fn main() {
+    smpx_bench::runners::run_fig7c();
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table I (SMP characteristics on XMark).
+//! Size override: SMPX_XMARK_MB (default 32).
+fn main() {
+    smpx_bench::runners::run_table1();
+}

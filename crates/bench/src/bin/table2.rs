@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table II (SMP characteristics on MEDLINE).
+//! Size override: SMPX_MEDLINE_MB (default 32).
+fn main() {
+    smpx_bench::runners::run_table2();
+}

@@ -1,0 +1,5 @@
+//! Regenerate the Protein-Sequence characteristics (the paper's companion
+//! technical report \[27\]). Size override: SMPX_PROTEIN_MB (default 32).
+fn main() {
+    smpx_bench::runners::run_table_protein();
+}

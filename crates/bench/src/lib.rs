@@ -1,0 +1,23 @@
+//! Benchmark harness: workloads, measurement utilities and table/figure
+//! runners regenerating the paper's evaluation (Sec. V).
+//!
+//! Each binary in `src/bin/` regenerates one table or figure:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — SMP characteristics on XMark (XM1–14, 17–20) |
+//! | `table2` | Table II — SMP characteristics on MEDLINE (M1–M5) |
+//! | `table3` | Table III — tokenizing projector (TBP stand-in) vs SMP |
+//! | `fig7a`  | Fig. 7(a) — in-memory engine with/without prefiltering over document sizes |
+//! | `fig7b`  | Fig. 7(b) — streaming engine stand-alone vs pipelined behind SMP |
+//! | `fig7c`  | Fig. 7(c) — SAX tokenizing throughput vs average SMP throughput |
+//! | `all_experiments` | everything above in sequence |
+//!
+//! Document sizes default to laptop scale and are overridable with
+//! `SMPX_XMARK_MB`, `SMPX_MEDLINE_MB`, `SMPX_SWEEP_MAX_MB`.
+
+#![forbid(unsafe_code)]
+
+pub mod measure;
+pub mod queries;
+pub mod runners;

@@ -1,0 +1,103 @@
+//! Wall-clock and CPU-time measurement.
+//!
+//! The paper reports `Usr` + `Sys` (process CPU seconds) separately from
+//! real time, because its prototype was disk-bound. We read the same
+//! numbers from `/proc/self/stat` on Linux (USER_HZ = 100) and fall back to
+//! wall time elsewhere.
+
+use std::time::{Duration, Instant};
+
+/// A wall + CPU duration pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timed {
+    /// Elapsed real time.
+    pub wall: Duration,
+    /// Process CPU time (user + system), best effort.
+    pub cpu: Duration,
+}
+
+impl Timed {
+    /// Throughput in MB/s given `bytes` processed (wall-clock based).
+    pub fn throughput_mbs(&self, bytes: u64) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            bytes as f64 / (1024.0 * 1024.0) / secs
+        }
+    }
+}
+
+/// Process CPU time (utime + stime) on Linux; `None` elsewhere.
+pub fn process_cpu_time() -> Option<Duration> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; it is parenthesized — skip past it.
+    let after = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    // After the comm field: state is field 0, utime is field 11, stime 12.
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    // USER_HZ is 100 on all mainstream Linux configurations.
+    Some(Duration::from_millis((utime + stime) * 10))
+}
+
+/// Time a closure, returning its result and the measurement.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Timed) {
+    let cpu0 = process_cpu_time();
+    let t0 = Instant::now();
+    let out = f();
+    let wall = t0.elapsed();
+    let cpu = match (cpu0, process_cpu_time()) {
+        (Some(a), Some(b)) => b.saturating_sub(a),
+        _ => wall,
+    };
+    (out, Timed { wall, cpu })
+}
+
+/// Format a byte count as `x.xx MB`.
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.2}MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Environment-variable override in MiB with a default.
+pub fn env_mb(var: &str, default_mb: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default_mb)
+        * 1024
+        * 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_available_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(process_cpu_time().is_some());
+        }
+    }
+
+    #[test]
+    fn time_measures_work() {
+        let (sum, t) = time(|| (0..2_000_000u64).sum::<u64>());
+        assert_eq!(sum, 1_999_999_000_000);
+        assert!(t.wall.as_nanos() > 0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Timed { wall: Duration::from_secs(2), cpu: Duration::from_secs(1) };
+        let mbs = t.throughput_mbs(4 * 1024 * 1024);
+        assert!((mbs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmt_and_env() {
+        assert_eq!(fmt_mb(1024 * 1024), "1.00MB");
+        std::env::remove_var("SMPX_TEST_MB_XYZ");
+        assert_eq!(env_mb("SMPX_TEST_MB_XYZ", 3), 3 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,459 @@
+//! Table/figure runners.
+//!
+//! Each `run_*` function regenerates one artifact of the paper's Sec. V
+//! and prints rows in the same shape the paper reports. Absolute numbers
+//! differ from a 2006 disk-bound laptop; the *relationships* (who wins, by
+//! what rough factor, where the crossovers fall) are the reproduction
+//! target — see EXPERIMENTS.md.
+
+use crate::measure::{env_mb, fmt_mb, time, Timed};
+use crate::queries::{
+    medline_paths, xmark_paths, MEDLINE_QUERIES, PAPER_TABLE1, PAPER_TABLE2, TABLE3_QUERIES,
+    XMARK_QUERIES,
+};
+use smpx_baselines::{sax, TokenProjector};
+use smpx_core::{Prefilter, RunStats};
+use smpx_datagen::{medline, xmark, GenOptions};
+use smpx_dtd::Dtd;
+use smpx_engine::{InMemEngine, StreamEngine};
+use smpx_paths::xpath::XPath;
+use smpx_paths::PathSet;
+
+/// One Table I/II row.
+#[derive(Debug)]
+pub struct SmpRow {
+    pub id: String,
+    pub proj_size: u64,
+    pub mem_bytes: usize,
+    pub timed: Timed,
+    pub states: usize,
+    pub cw: usize,
+    pub bm: usize,
+    pub stats: RunStats,
+}
+
+/// Run SMP once over `doc` for `paths`, collecting a table row.
+pub fn smp_row(id: &str, dtd: &Dtd, paths: &PathSet, doc: &[u8]) -> SmpRow {
+    let mut pf = Prefilter::compile(dtd, paths).expect("compile");
+    let ((out, stats), timed) = time(|| pf.filter_to_vec(doc).expect("filter"));
+    SmpRow {
+        id: id.to_string(),
+        proj_size: out.len() as u64,
+        mem_bytes: pf.memory_bytes() + smpx_core::runtime::DEFAULT_CHUNK * 2,
+        timed,
+        states: pf.tables().state_count(),
+        cw: pf.tables().cw_states(),
+        bm: pf.tables().bm_states(),
+        stats,
+    }
+}
+
+fn print_smp_header() {
+    println!(
+        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6})",
+        "query",
+        "Proj.Size",
+        "Mem",
+        "Time[s]",
+        "U+S[s]",
+        "States(CW+BM)",
+        "∅Shift",
+        "paper",
+        "Jump%",
+        "paper",
+        "Char%",
+        "paper",
+    );
+}
+
+fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
+    let (p_shift, p_jump, p_char) = paper.map_or((f64::NAN, f64::NAN, f64::NAN), |p| (p.1, p.2, p.3));
+    println!(
+        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2})",
+        r.id,
+        fmt_mb(r.proj_size),
+        fmt_mb(r.mem_bytes as u64),
+        r.timed.wall.as_secs_f64(),
+        r.timed.cpu.as_secs_f64(),
+        r.states,
+        r.cw,
+        r.bm,
+        r.stats.avg_shift(),
+        p_shift,
+        r.stats.initial_jumps_pct(),
+        p_jump,
+        r.stats.char_comp_pct(),
+        p_char,
+    );
+}
+
+/// Table I: SMP characteristics on the XMark-like dataset.
+pub fn run_table1() -> Vec<SmpRow> {
+    let bytes = env_mb("SMPX_XMARK_MB", 32);
+    println!("== Table I: SMP prefiltering, XMark-like document ({}) ==", fmt_mb(bytes as u64));
+    println!("   (paper columns in parentheses: 5GB XMark on 2006 hardware)");
+    let doc = xmark::generate(GenOptions::sized(bytes));
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("XMark DTD");
+    println!("   generated {} bytes", doc.len());
+    print_smp_header();
+    let mut rows = Vec::new();
+    for q in XMARK_QUERIES {
+        let row = smp_row(q.id, &dtd, &xmark_paths(q), &doc);
+        print_smp_row(&row, PAPER_TABLE1.iter().find(|(id, ..)| *id == q.id));
+        rows.push(row);
+    }
+    rows
+}
+
+/// Table II: SMP characteristics on the MEDLINE-like dataset.
+pub fn run_table2() -> Vec<SmpRow> {
+    let bytes = env_mb("SMPX_MEDLINE_MB", 32);
+    println!("== Table II: SMP prefiltering, MEDLINE-like document ({}) ==", fmt_mb(bytes as u64));
+    println!("   (paper columns in parentheses: 656MB MEDLINE on 2006 hardware)");
+    let doc = medline::generate(GenOptions::sized(bytes));
+    let dtd = Dtd::parse(medline::MEDLINE_DTD.as_bytes()).expect("MEDLINE DTD");
+    println!("   generated {} bytes", doc.len());
+    print_smp_header();
+    let mut rows = Vec::new();
+    for q in MEDLINE_QUERIES {
+        let row = smp_row(q.id, &dtd, &medline_paths(q), &doc);
+        print_smp_row(&row, PAPER_TABLE2.iter().find(|(id, ..)| *id == q.id));
+        rows.push(row);
+    }
+    rows
+}
+
+/// Protein-Sequence characteristics (the paper refers to its technical
+/// report \[27\] for these; we regenerate them in Table I format).
+pub fn run_table_protein() -> Vec<SmpRow> {
+    use smpx_datagen::protein;
+    let bytes = env_mb("SMPX_PROTEIN_MB", 32);
+    println!(
+        "== Protein Sequence dataset (paper's [27]), SMP characteristics ({}) ==",
+        fmt_mb(bytes as u64)
+    );
+    let doc = protein::generate(GenOptions::sized(bytes));
+    let dtd = Dtd::parse(protein::PROTEIN_DTD.as_bytes()).expect("Protein DTD");
+    println!("   generated {} bytes", doc.len());
+    print_smp_header();
+    let workloads: &[(&str, &[&str])] = &[
+        ("P1", &["/*", "/ProteinDatabase/ProteinEntry/protein/name#"]),
+        ("P2", &["/*", "//refinfo/authors#"]),
+        ("P3", &["/*", "/ProteinDatabase/ProteinEntry/sequence#"]),
+        ("P4", &["/*", "//keyword"]),
+        ("P5", &["/*", "/ProteinDatabase/ProteinEntry/header/accession#", "/ProteinDatabase/ProteinEntry/summary#"]),
+    ];
+    let mut rows = Vec::new();
+    for (id, texts) in workloads {
+        let paths = PathSet::parse(texts).expect("curated paths");
+        let row = smp_row(id, &dtd, &paths, &doc);
+        print_smp_row(&row, None);
+        rows.push(row);
+    }
+    rows
+}
+
+/// One Table III row: tokenizing projector vs SMP.
+#[derive(Debug)]
+pub struct Table3Row {
+    pub id: String,
+    pub tbp_cpu: f64,
+    pub tbp_size: u64,
+    pub smp_cpu: f64,
+    pub smp_size: u64,
+    pub speedup: f64,
+}
+
+/// Table III: the tokenizing schema-aware projector (TBP stand-in) against
+/// SMP on the Table III query subset.
+pub fn run_table3() -> Vec<Table3Row> {
+    let bytes = env_mb("SMPX_XMARK_MB", 32);
+    println!("== Table III: tokenizing projector (TBP stand-in) vs SMP, XMark-like ({}) ==", fmt_mb(bytes as u64));
+    println!("   (paper: OCaml TBP ≥90x slower than C++ SMP; both ours are Rust,");
+    println!("    so expect the language-independent share of the gap)");
+    let doc = xmark::generate(GenOptions::sized(bytes));
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("XMark DTD");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "query", "TBP U+S[s]", "TBP size", "SMP U+S[s]", "SMP size", "speedup"
+    );
+    let mut rows = Vec::new();
+    for id in TABLE3_QUERIES {
+        let q = XMARK_QUERIES.iter().find(|q| q.id == *id).expect("query");
+        let paths = xmark_paths(q);
+
+        let projector = TokenProjector::new(&paths);
+        let (tbp_out, tbp_t) = time(|| projector.project(&doc).expect("project"));
+
+        let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
+        let ((smp_out, _), smp_t) = time(|| pf.filter_to_vec(&doc).expect("filter"));
+
+        let speedup = tbp_t.cpu.as_secs_f64() / smp_t.cpu.as_secs_f64().max(1e-9);
+        println!(
+            "{:<6} {:>12.3} {:>12} {:>12.3} {:>12} {:>8.1}x",
+            id,
+            tbp_t.cpu.as_secs_f64(),
+            fmt_mb(tbp_out.len() as u64),
+            smp_t.cpu.as_secs_f64(),
+            fmt_mb(smp_out.len() as u64),
+            speedup,
+        );
+        rows.push(Table3Row {
+            id: id.to_string(),
+            tbp_cpu: tbp_t.cpu.as_secs_f64(),
+            tbp_size: tbp_out.len() as u64,
+            smp_cpu: smp_t.cpu.as_secs_f64(),
+            smp_size: smp_out.len() as u64,
+            speedup,
+        });
+    }
+    rows
+}
+
+/// One Fig. 7(a) data point.
+#[derive(Debug)]
+pub struct Fig7aPoint {
+    pub query: String,
+    pub size: usize,
+    /// Engine alone: seconds, or None when the memory budget failed (the
+    /// paper's "fails on 1GB/5GB").
+    pub engine_alone: Option<f64>,
+    /// SMP + engine in sequence: prefilter + load + eval seconds; None if
+    /// even the projected document exceeds the budget.
+    pub smp_then_engine: Option<f64>,
+    pub prefilter_secs: f64,
+}
+
+/// Fig. 7(a): in-memory engine with and without prefiltering across
+/// document sizes, with a DOM memory budget producing the OOM cliff.
+pub fn run_fig7a() -> Vec<Fig7aPoint> {
+    let max = env_mb("SMPX_SWEEP_MAX_MB", 64);
+    let budget = env_mb("SMPX_ENGINE_BUDGET_MB", 64);
+    println!("== Fig. 7(a): in-memory engine (QizX stand-in, {} DOM budget) ==", fmt_mb(budget as u64));
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("XMark DTD");
+    let engine = InMemEngine::with_budget(budget);
+    // Representative queries, as in the paper's plot (all queries shown
+    // there; we pick a cheap, a mid and the heavy XM14).
+    let queries = ["XM13", "XM5", "XM14"];
+    println!(
+        "{:<6} {:>9} {:>16} {:>18} {:>14}",
+        "query", "size", "engine alone[s]", "SMP+engine[s]", "prefilter[s]"
+    );
+    let mut points = Vec::new();
+    let mut size = 1024 * 1024;
+    while size <= max {
+        let doc = xmark::generate(GenOptions::sized(size));
+        for id in queries {
+            let q = XMARK_QUERIES.iter().find(|q| q.id == id).expect("query");
+            let xq = fig7a_xpath(id);
+            // Engine alone: load (budget-checked) + evaluate.
+            let (alone_res, alone_t) = time(|| engine.load(&doc).map(|l| l.eval(&xq)));
+            let engine_alone = alone_res.ok().map(|_| alone_t.wall.as_secs_f64());
+
+            // SMP then engine.
+            let mut pf = Prefilter::compile(&dtd, &xmark_paths(q)).expect("compile");
+            let ((projected, _), pf_t) = time(|| pf.filter_to_vec(&doc).expect("filter"));
+            let (res, total) = time(|| engine.load(&projected).map(|l| l.eval(&xq)));
+            let smp_then_engine =
+                res.ok().map(|_| pf_t.wall.as_secs_f64() + total.wall.as_secs_f64());
+
+            println!(
+                "{:<6} {:>9} {:>16} {:>18} {:>14.3}",
+                id,
+                fmt_mb(doc.len() as u64),
+                engine_alone.map_or("OOM".into(), |s| format!("{s:.3}")),
+                smp_then_engine.map_or("OOM".into(), |s| format!("{s:.3}")),
+                pf_t.wall.as_secs_f64(),
+            );
+            points.push(Fig7aPoint {
+                query: id.to_string(),
+                size: doc.len(),
+                engine_alone,
+                smp_then_engine,
+                prefilter_secs: pf_t.wall.as_secs_f64(),
+            });
+        }
+        size *= 2;
+    }
+    points
+}
+
+/// The XPath used to *evaluate* a Fig. 7(a) query (the projection paths
+/// cover its needs).
+fn fig7a_xpath(id: &str) -> XPath {
+    let text = match id {
+        "XM13" => "/site/regions/australia/item/description",
+        "XM5" => "/site/closed_auctions/closed_auction[price >= 40]/price",
+        "XM14" => r#"/site//item[contains(description,"gold")]/name"#,
+        other => panic!("no XPath for {other}"),
+    };
+    XPath::parse(text).expect("static query")
+}
+
+/// One Fig. 7(b) row.
+#[derive(Debug)]
+pub struct Fig7bRow {
+    pub id: String,
+    pub alone_secs: f64,
+    pub alone_mbs: f64,
+    pub pipelined_secs: f64,
+    pub pipelined_mbs: f64,
+    pub results_agree: bool,
+}
+
+/// Fig. 7(b): streaming engine stand-alone vs pipelined behind SMP.
+pub fn run_fig7b() -> Vec<Fig7bRow> {
+    let bytes = env_mb("SMPX_MEDLINE_MB", 32);
+    println!("== Fig. 7(b): streaming engine (SPEX stand-in), MEDLINE-like ({}) ==", fmt_mb(bytes as u64));
+    let doc = medline::generate(GenOptions::sized(bytes));
+    let dtd = Dtd::parse(medline::MEDLINE_DTD.as_bytes()).expect("MEDLINE DTD");
+    println!(
+        "{:<4} {:>12} {:>12} {:>14} {:>14} {:>8}",
+        "q", "alone[s]", "alone MB/s", "pipelined[s]", "ppl. MB/s", "agree"
+    );
+    let mut rows = Vec::new();
+    for q in MEDLINE_QUERIES {
+        let xq = XPath::parse(q.xpath).expect("Table II query");
+        let eng = StreamEngine::new(xq);
+
+        let (alone, alone_t) = time(|| eng.eval(&doc).expect("eval"));
+
+        let mut pf = Prefilter::compile(&dtd, &medline_paths(q)).expect("compile");
+        let ((projected, _), pf_t) = time(|| pf.filter_to_vec(&doc).expect("filter"));
+        let (piped, eval_t) = time(|| eng.eval(&projected).expect("eval"));
+        let pipelined_secs = pf_t.wall.as_secs_f64() + eval_t.wall.as_secs_f64();
+
+        let agree = alone.items == piped.items;
+        let alone_mbs = alone_t.throughput_mbs(doc.len() as u64);
+        let pipelined_mbs = if pipelined_secs > 0.0 {
+            doc.len() as f64 / (1024.0 * 1024.0) / pipelined_secs
+        } else {
+            0.0
+        };
+        println!(
+            "{:<4} {:>12.3} {:>12.1} {:>14.3} {:>14.1} {:>8}",
+            q.id,
+            alone_t.wall.as_secs_f64(),
+            alone_mbs,
+            pipelined_secs,
+            pipelined_mbs,
+            agree,
+        );
+        rows.push(Fig7bRow {
+            id: q.id.to_string(),
+            alone_secs: alone_t.wall.as_secs_f64(),
+            alone_mbs,
+            pipelined_secs,
+            pipelined_mbs,
+            results_agree: agree,
+        });
+    }
+    rows
+}
+
+/// One Fig. 7(c) bar.
+#[derive(Debug)]
+pub struct Fig7cBar {
+    pub label: String,
+    pub mbs: f64,
+}
+
+/// Fig. 7(c): SAX tokenizing throughput vs average SMP prefiltering
+/// throughput, on both datasets.
+pub fn run_fig7c() -> Vec<Fig7cBar> {
+    let bytes = env_mb("SMPX_FIG7C_MB", 16);
+    println!("== Fig. 7(c): SAX tokenization vs SMP throughput ({} each) ==", fmt_mb(bytes as u64));
+    let mut bars = Vec::new();
+    for (name, doc, dtd_text, queries) in [
+        (
+            "XMARK",
+            xmark::generate(GenOptions::sized(bytes)),
+            xmark::XMARK_DTD,
+            None,
+        ),
+        (
+            "MEDLINE",
+            medline::generate(GenOptions::sized(bytes)),
+            medline::MEDLINE_DTD,
+            Some(()),
+        ),
+    ] {
+        let dtd = Dtd::parse(dtd_text.as_bytes()).expect("DTD");
+
+        let (n1, strict_t) = time(|| sax::parse_strict(&doc).expect("wf"));
+        let (n2, lenient_t) = time(|| sax::parse_lenient(&doc).expect("tokenize"));
+        assert!(n1 > 0 && n2.0 > 0);
+
+        // Average SMP throughput over the dataset's full query workload.
+        let mut total_secs = 0.0;
+        let mut runs = 0u32;
+        if queries.is_none() {
+            for q in XMARK_QUERIES {
+                let mut pf = Prefilter::compile(&dtd, &xmark_paths(q)).expect("compile");
+                let (_, t) = time(|| pf.filter_to_vec(&doc).expect("filter"));
+                total_secs += t.wall.as_secs_f64();
+                runs += 1;
+            }
+        } else {
+            for q in MEDLINE_QUERIES {
+                let mut pf = Prefilter::compile(&dtd, &medline_paths(q)).expect("compile");
+                let (_, t) = time(|| pf.filter_to_vec(&doc).expect("filter"));
+                total_secs += t.wall.as_secs_f64();
+                runs += 1;
+            }
+        }
+        let avg_secs = total_secs / runs as f64;
+        let mb = doc.len() as f64 / (1024.0 * 1024.0);
+        let strict_mbs = strict_t.throughput_mbs(doc.len() as u64);
+        let lenient_mbs = lenient_t.throughput_mbs(doc.len() as u64);
+        let smp_mbs = mb / avg_secs;
+        println!(
+            "{name:<8}  SAX strict {strict_mbs:>8.1} MB/s   SAX lenient {lenient_mbs:>8.1} MB/s   avg SMP {smp_mbs:>8.1} MB/s   (SMP/SAX = {:.1}x)",
+            smp_mbs / strict_mbs.max(1e-9)
+        );
+        bars.push(Fig7cBar { label: format!("{name}/sax-strict"), mbs: strict_mbs });
+        bars.push(Fig7cBar { label: format!("{name}/sax-lenient"), mbs: lenient_mbs });
+        bars.push(Fig7cBar { label: format!("{name}/avg-smp"), mbs: smp_mbs });
+    }
+    bars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke-test every runner on tiny inputs so the bench binaries cannot
+    /// rot. Sizes come from the env overrides.
+    #[test]
+    fn runners_smoke() {
+        std::env::set_var("SMPX_XMARK_MB", "1");
+        std::env::set_var("SMPX_MEDLINE_MB", "1");
+        std::env::set_var("SMPX_SWEEP_MAX_MB", "1");
+        std::env::set_var("SMPX_ENGINE_BUDGET_MB", "16");
+        std::env::set_var("SMPX_FIG7C_MB", "1");
+        let t1 = run_table1();
+        assert_eq!(t1.len(), XMARK_QUERIES.len());
+        for row in &t1 {
+            assert!(row.stats.char_comp_pct() < 100.0, "{} must skip input", row.id);
+        }
+        let t2 = run_table2();
+        assert_eq!(t2.len(), MEDLINE_QUERIES.len());
+        let m1 = &t2[0];
+        assert!(
+            m1.proj_size < 100,
+            "M1 output must be near-empty (absent element), got {}",
+            m1.proj_size
+        );
+        std::env::set_var("SMPX_PROTEIN_MB", "1");
+        let tp = run_table_protein();
+        assert_eq!(tp.len(), 5);
+        let t3 = run_table3();
+        assert!(t3.iter().all(|r| r.speedup > 1.0), "SMP must beat the tokenizing projector");
+        let a = run_fig7a();
+        assert!(!a.is_empty());
+        let b = run_fig7b();
+        assert!(b.iter().all(|r| r.results_agree), "pipelined results must agree");
+        let c = run_fig7c();
+        assert_eq!(c.len(), 6);
+    }
+}

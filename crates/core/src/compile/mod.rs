@@ -1,0 +1,71 @@
+//! Static analysis: from DTD + projection paths to runtime lookup tables
+//! (paper Sec. IV).
+//!
+//! The pipeline is exactly the paper's Fig. 6:
+//!
+//! 1. build the DTD-automaton (in `smpx-dtd`),
+//! 2. select the state set `S` — relevance, copy-on pruning, orientation
+//!    stopovers (`select` module),
+//! 3. contract to the subgraph automaton `D|S` with minimal-gap
+//!    annotations (`subgraph` module),
+//! 4. determinize and emit the `A`/`V`/`J`/`T` tables (`tables` module).
+
+pub(crate) mod select;
+pub(crate) mod subgraph;
+pub(crate) mod tables;
+
+pub use tables::{Action, CompiledTables, Keyword, RtState};
+
+use crate::error::CoreError;
+use smpx_dtd::{Dtd, DtdAutomaton, MinLen};
+use smpx_paths::{PathSet, Relevance};
+
+/// Run the full static analysis.
+///
+/// Recursive DTDs are supported via the opaque-state extension the paper
+/// sketches (Sec. II): recursive elements are navigated by balanced
+/// depth-counting scans, and subtrees that projection paths could reach
+/// into are conservatively preserved whole.
+pub fn compile(dtd: &Dtd, paths: &PathSet) -> Result<CompiledTables, CoreError> {
+    if paths.is_empty() {
+        return Err(CoreError::NoPaths);
+    }
+    let auto = DtdAutomaton::build_allow_recursion(dtd)?;
+    let minlen = MinLen::compute_allow_recursion(dtd)?;
+    let rel = Relevance::new(paths);
+    let s = select::select_states(&auto, &rel);
+    let sub = subgraph::build_subgraph(&auto, &minlen, &s);
+    Ok(tables::determinize(&auto, &rel, &sub))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_paths_rejected() {
+        let dtd = Dtd::parse(b"<!ELEMENT a EMPTY>").unwrap();
+        let paths = PathSet::new(vec![]);
+        assert!(matches!(compile(&dtd, &paths), Err(CoreError::NoPaths)));
+    }
+
+    #[test]
+    fn recursive_dtd_compiles_with_opaque_states() {
+        // a → b → a?: both elements are recursive; the automaton degrades
+        // to opaque pairs and balanced scanning.
+        let dtd = Dtd::parse(b"<!ELEMENT a (b)> <!ELEMENT b (a?)>").unwrap();
+        let paths = PathSet::parse(&["/*"]).unwrap();
+        let t = compile(&dtd, &paths).unwrap();
+        assert!(t.states.iter().any(|s| s.balanced));
+    }
+
+    #[test]
+    fn paths_unsatisfiable_by_dtd_yield_trivial_tables() {
+        // No /* and no matching tags: nothing is ever searched for.
+        let dtd = Dtd::parse(b"<!ELEMENT a (#PCDATA)>").unwrap();
+        let paths = PathSet::parse(&["/zzz"]).unwrap();
+        let t = compile(&dtd, &paths).unwrap();
+        assert_eq!(t.state_count(), 1);
+        assert!(t.states[0].keywords.is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! State selection — steps (1a), (1b), (1c) of the paper's Fig. 6.
+//!
+//! * **(a)** every DTD-automaton state whose document branch is relevant
+//!   (Def. 5 via Def. 3) enters `S` — these are the tokens that must be
+//!   preserved.
+//! * **(b)** if the element instance of a dual pair `(q, q̂)` is copied
+//!   *raw* (`copy on/off`, i.e. its leaf is `#`-matched), the runtime never
+//!   needs to stop over inside it: all interior states are removed from
+//!   `S`. The paper phrases this as "if R ⊆ S then remove R" — under C2
+//!   every interior state of a `#`-matched instance is relevant, so the
+//!   set-inclusion test and the copy-on test coincide on relevant inputs;
+//!   we key on copy-on directly, which stays safe when they differ.
+//! * **(c)** orientation stopovers: if from some `q ∈ S ∪ {q0}` the
+//!   runtime, scanning for the label of an in-`S` state `p`, could instead
+//!   hit an out-of-`S` state `p′` with the *same label* (both reachable
+//!   through skipped states only), it would be thrown off-track. The
+//!   parent states (dual pair) of `p′` are added to `S`, and the analysis
+//!   repeats until a fixpoint is reached (paper Ex. 11: `q3`, `q̂3`).
+
+use smpx_dtd::{DtdAutomaton, StateId};
+use smpx_paths::Relevance;
+use std::collections::BTreeSet;
+
+/// The selected state set `S` (never contains `q0`).
+pub fn select_states(auto: &DtdAutomaton, rel: &Relevance) -> BTreeSet<StateId> {
+    let mut s = step_a(auto, rel);
+    // Recursion extension: every opaque (recursive-element) state joins S
+    // whenever anything is selected at all. An opaque subtree may contain
+    // tags of any element it can reach, so scanning *over* an unvisited
+    // opaque instance could be thrown off-track; visiting it costs one
+    // balanced scan and restores the orientation guarantee.
+    if !s.is_empty() {
+        for q in auto.states().skip(1) {
+            if auto.is_opaque(q) {
+                s.insert(q);
+            }
+        }
+    }
+    step_b(auto, rel, &mut s);
+    step_c(auto, &mut s);
+    s
+}
+
+/// Step (a): relevant states.
+fn step_a(auto: &DtdAutomaton, rel: &Relevance) -> BTreeSet<StateId> {
+    let mut s = BTreeSet::new();
+    for q in auto.states().skip(1) {
+        let branch = auto.branch(q);
+        if rel.relevant_tag(&branch) {
+            s.insert(q);
+        }
+    }
+    s
+}
+
+/// Step (b): prune the interior of copy-on instances.
+fn step_b(auto: &DtdAutomaton, rel: &Relevance, s: &mut BTreeSet<StateId>) {
+    // Collect the open states of #-matched instances that are in S.
+    let copy_on_opens: Vec<StateId> = s
+        .iter()
+        .copied()
+        .filter(|&q| !auto.is_close(q) && rel.c2_leaf(&auto.branch(q)))
+        .collect();
+    for q in copy_on_opens {
+        // If q itself sits inside another copy-on instance it may already
+        // have been removed; skip it then.
+        if !s.contains(&q) {
+            continue;
+        }
+        remove_interior(auto, q, s);
+    }
+}
+
+/// Remove every state strictly inside the instance of open state `q` from
+/// `S` (descendant instances).
+fn remove_interior(auto: &DtdAutomaton, q: StateId, s: &mut BTreeSet<StateId>) {
+    let interior: Vec<StateId> = s
+        .iter()
+        .copied()
+        .filter(|&p| p != q && p != auto.dual(q) && has_ancestor_instance(auto, p, q))
+        .collect();
+    for p in interior {
+        s.remove(&p);
+    }
+}
+
+/// Is open state `anc` (an instance) a proper ancestor of `p`'s instance?
+fn has_ancestor_instance(auto: &DtdAutomaton, p: StateId, anc: StateId) -> bool {
+    let mut cur = auto.parent(p);
+    while let Some(c) = cur {
+        if c == anc {
+            return true;
+        }
+        cur = auto.parent(c);
+    }
+    false
+}
+
+/// Step (c): add orientation stopovers until fixpoint.
+fn step_c(auto: &DtdAutomaton, s: &mut BTreeSet<StateId>) {
+    loop {
+        let mut to_add: BTreeSet<StateId> = BTreeSet::new();
+        let mut sources: Vec<StateId> = vec![StateId::Q0];
+        sources.extend(s.iter().copied());
+        for &q in &sources {
+            // Closure from q through states not in S.
+            let reach = reach_via_skipped(auto, q, s);
+            // Labels the runtime will scan for from q: in-S states reached.
+            let stop_labels: BTreeSet<(String, bool)> = reach
+                .iter()
+                .filter(|&&r| s.contains(&r))
+                .map(|&r| (auto.elem_name(r).to_string(), auto.is_close(r)))
+                .collect();
+            if stop_labels.is_empty() {
+                continue;
+            }
+            // Hazards: out-of-S states with one of those labels.
+            for &r in &reach {
+                if s.contains(&r) {
+                    continue;
+                }
+                let lbl = (auto.elem_name(r).to_string(), auto.is_close(r));
+                if stop_labels.contains(&lbl) {
+                    if let Some(parent_open) = auto.parent(r) {
+                        if !s.contains(&parent_open) {
+                            to_add.insert(parent_open);
+                        }
+                        let parent_close = auto.dual(parent_open);
+                        if !s.contains(&parent_close) {
+                            to_add.insert(parent_close);
+                        }
+                    }
+                }
+            }
+        }
+        if to_add.is_empty() {
+            return;
+        }
+        s.extend(to_add);
+    }
+}
+
+/// States reachable from `q` by a non-empty path whose intermediate states
+/// are all outside `S`. The returned set contains both the first in-`S`
+/// states reached (search stops there) and all skipped states passed
+/// through.
+pub fn reach_via_skipped(
+    auto: &DtdAutomaton,
+    q: StateId,
+    s: &BTreeSet<StateId>,
+) -> BTreeSet<StateId> {
+    let mut seen: BTreeSet<StateId> = BTreeSet::new();
+    let mut stack: Vec<StateId> = auto.transitions(q).to_vec();
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t) {
+            continue;
+        }
+        if s.contains(&t) {
+            continue; // in-S states terminate the scan
+        }
+        stack.extend(auto.transitions(t).iter().copied());
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpx_dtd::Dtd;
+    use smpx_paths::PathSet;
+
+    fn example2() -> (Dtd, DtdAutomaton) {
+        let dtd = Dtd::parse(
+            br#"<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>"#,
+        )
+        .unwrap();
+        let auto = DtdAutomaton::build(&dtd).unwrap();
+        (dtd, auto)
+    }
+
+    fn names_of(auto: &DtdAutomaton, s: &BTreeSet<StateId>) -> Vec<String> {
+        let mut v: Vec<String> = s
+            .iter()
+            .map(|&q| {
+                format!(
+                    "{}{}@{}",
+                    if auto.is_close(q) { "/" } else { "" },
+                    auto.elem_name(q),
+                    auto.branch(q).join(".")
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Paper Example 11: P = {/*, /a/b#} selects a, b-under-a, and then
+    /// step (c) adds the dual pair of c (because c contains a second
+    /// b-labeled state).
+    #[test]
+    fn example11_selection() {
+        let (_, auto) = example2();
+        let rel = Relevance::new(&PathSet::parse(&["/*", "/a/b#"]).unwrap());
+        let s = select_states(&auto, &rel);
+        let names = names_of(&auto, &s);
+        assert_eq!(
+            names,
+            vec![
+                "/a@a",      // q̂1
+                "/b@a.b",    // q̂2
+                "/c@a.c",    // q̂3 (added by step c)
+                "a@a",       // q1
+                "b@a.b",     // q2
+                "c@a.c",     // q3 (added by step c)
+            ]
+        );
+    }
+
+    /// Paper Example 12: P = {/*, //c#}: step (a) selects everything under
+    /// c too, step (b) prunes the interior of c.
+    #[test]
+    fn example12_selection() {
+        let (_, auto) = example2();
+        let rel = Relevance::new(&PathSet::parse(&["/*", "//c#"]).unwrap());
+        let s = select_states(&auto, &rel);
+        let names = names_of(&auto, &s);
+        assert_eq!(names, vec!["/a@a", "/c@a.c", "a@a", "c@a.c"]);
+    }
+
+    #[test]
+    fn step_a_alone_matches_example12_prepruning() {
+        let (_, auto) = example2();
+        let rel = Relevance::new(&PathSet::parse(&["/*", "//c#"]).unwrap());
+        let s = step_a(&auto, &rel);
+        // q0 excluded; a (C1 via /*... via prefix "/" of //c? "/" matches
+        // the empty branch only; /* matches [a]), c states (C1), b-inside-c
+        // states (C2). The b-under-a states are NOT relevant.
+        let names = names_of(&auto, &s);
+        assert_eq!(
+            names,
+            vec!["/a@a", "/b@a.c.b", "/b@a.c.b", "/c@a.c", "a@a", "b@a.c.b", "b@a.c.b", "c@a.c"]
+        );
+    }
+
+    /// With P = {/*, //b#} every b is copy-on; no stopovers needed because
+    /// every b-labeled state is in S.
+    #[test]
+    fn no_stopover_when_all_same_label_selected() {
+        let (_, auto) = example2();
+        let rel = Relevance::new(&PathSet::parse(&["/*", "//b#"]).unwrap());
+        let s = select_states(&auto, &rel);
+        let names = names_of(&auto, &s);
+        assert_eq!(
+            names,
+            vec!["/a@a", "/b@a.b", "/b@a.c.b", "/b@a.c.b", "a@a", "b@a.b", "b@a.c.b", "b@a.c.b"]
+        );
+    }
+
+    /// Nested copy-on: the outer # instance prunes inner selected states.
+    #[test]
+    fn nested_copy_on_prunes_inner() {
+        let dtd = Dtd::parse(
+            b"<!ELEMENT r (x*)> <!ELEMENT x (y*)> <!ELEMENT y (#PCDATA)>",
+        )
+        .unwrap();
+        let auto = DtdAutomaton::build(&dtd).unwrap();
+        let rel = Relevance::new(&PathSet::parse(&["/*", "/r/x#", "//y#"]).unwrap());
+        let s = select_states(&auto, &rel);
+        let names = names_of(&auto, &s);
+        // y is inside the copy-on x: pruned.
+        assert_eq!(names, vec!["/r@r", "/x@r.x", "r@r", "x@r.x"]);
+    }
+
+    #[test]
+    fn reach_via_skipped_stops_at_s() {
+        let (_, auto) = example2();
+        let rel = Relevance::new(&PathSet::parse(&["/*", "/a/b#"]).unwrap());
+        let s = step_a(&auto, &rel); // before step (c): c states not in S
+        let a_open = auto.transitions(StateId::Q0)[0];
+        let reach = reach_via_skipped(&auto, a_open, &s);
+        // From <a> we can reach <b> (in S, stop), </a> (in S, stop), <c>
+        // (skipped) and through c: its b's and </c>.
+        assert!(reach.len() >= 6);
+        let b_under_c_open = reach
+            .iter()
+            .any(|&r| auto.elem_name(r) == "b" && auto.branch(r) == ["a", "c", "b"]);
+        assert!(b_under_c_open, "skipped scan must pass through c's interior");
+    }
+}

@@ -1,0 +1,316 @@
+//! The subgraph automaton `D|S` (paper Def. 4) with minimal-gap
+//! annotations.
+//!
+//! A contracted transition `q → p` (both in `S ∪ {q0}`) stands for every
+//! path `q → r1 → … → rk → p` of the DTD-automaton whose intermediate
+//! states `ri` lie outside `S`: at runtime those tokens are *skipped
+//! unparsed*. The **gap** of the transition is the minimum number of
+//! characters those skipped tokens must occupy in any valid document —
+//! intermediate open/close tags at their minimal serialization (required
+//! attributes included), with a directly-closed pair `⟨x⟩⟨/x⟩` charged at
+//! bachelor cost `⟨x/⟩`. Text contributes nothing (it may be empty). The
+//! per-state minimum over outgoing gaps becomes the initial jump offset
+//! `J[q]` (paper Ex. 3).
+//!
+//! Gap minimality is a *safety* requirement: the runtime advances the
+//! cursor by `J[q]` before searching, so `J[q]` must lower-bound the
+//! distance to the next token of interest in every valid document.
+
+use smpx_dtd::{DtdAutomaton, MinLen, StateId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// `D|S` with gap-annotated transitions.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// Contracted transitions per source (`q0` and every state of `S`).
+    /// Targets are always in `S`; the `u32` is the minimal gap.
+    pub trans: BTreeMap<StateId, Vec<(StateId, u32)>>,
+    /// States after which the document may end without visiting another
+    /// in-`S` state (Def. 4's final states; includes `q0` when the whole
+    /// document may be skipped).
+    pub finals: BTreeSet<StateId>,
+}
+
+/// Build `D|S` from the DTD-automaton, the minimal-length table and the
+/// selected set `S`.
+pub fn build_subgraph(
+    auto: &DtdAutomaton,
+    minlen: &MinLen,
+    s: &BTreeSet<StateId>,
+) -> Subgraph {
+    let mut trans: BTreeMap<StateId, Vec<(StateId, u32)>> = BTreeMap::new();
+    let mut finals: BTreeSet<StateId> = BTreeSet::new();
+    let doc_final = auto.final_state();
+
+    let mut sources: Vec<StateId> = vec![StateId::Q0];
+    sources.extend(s.iter().copied());
+
+    for &q in &sources {
+        let (gaps, reaches_end) = dijkstra_gaps(auto, minlen, s, q, doc_final);
+        let mut out: Vec<(StateId, u32)> = gaps.into_iter().collect();
+        out.sort();
+        if !out.is_empty() {
+            trans.insert(q, out);
+        }
+        if q == doc_final || reaches_end {
+            finals.insert(q);
+        }
+    }
+    Subgraph { trans, finals }
+}
+
+/// Single-source shortest gaps from `q` to each reachable in-`S` state,
+/// where path cost is the minimal serialization of skipped tokens.
+/// Also reports whether the document-final state is reachable via skipped
+/// states only (making `q` final in `D|S`).
+fn dijkstra_gaps(
+    auto: &DtdAutomaton,
+    minlen: &MinLen,
+    s: &BTreeSet<StateId>,
+    q: StateId,
+    doc_final: StateId,
+) -> (BTreeMap<StateId, u32>, bool) {
+    // dist over skipped (out-of-S) states; `best` over in-S targets.
+    let mut dist: BTreeMap<StateId, u64> = BTreeMap::new();
+    let mut best: BTreeMap<StateId, u32> = BTreeMap::new();
+    let mut reaches_end = q == doc_final && !s.contains(&doc_final);
+    let mut heap: BinaryHeap<Reverse<(u64, StateId)>> = BinaryHeap::new();
+
+    let relax = |u: Option<StateId>,
+                     base: u64,
+                     v: StateId,
+                     dist: &mut BTreeMap<StateId, u64>,
+                     best: &mut BTreeMap<StateId, u32>,
+                     heap: &mut BinaryHeap<Reverse<(u64, StateId)>>,
+                     reaches_end: &mut bool| {
+        if s.contains(&v) {
+            let g = base.min(u32::MAX as u64) as u32;
+            match best.get(&v) {
+                Some(&old) if old <= g => {}
+                _ => {
+                    best.insert(v, g);
+                }
+            }
+            return;
+        }
+        // v is skipped: charge its token.
+        let cost = skipped_token_cost(auto, minlen, u, v);
+        let nd = base + cost;
+        if v == doc_final {
+            *reaches_end = true;
+        }
+        match dist.get(&v) {
+            Some(&old) if old <= nd => {}
+            _ => {
+                dist.insert(v, nd);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    };
+
+    for &t in auto.transitions(q) {
+        relax(Some(q), 0, t, &mut dist, &mut best, &mut heap, &mut reaches_end);
+    }
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if dist.get(&u) != Some(&d) {
+            continue; // stale entry
+        }
+        for &v in auto.transitions(u) {
+            relax(Some(u), d, v, &mut dist, &mut best, &mut heap, &mut reaches_end);
+        }
+    }
+    (best, reaches_end)
+}
+
+/// Minimal characters the skipped token of state `v` adds to the gap, given
+/// it is entered from `u`.
+fn skipped_token_cost(
+    auto: &DtdAutomaton,
+    minlen: &MinLen,
+    u: Option<StateId>,
+    v: StateId,
+) -> u64 {
+    let name = auto.elem_name(v);
+    if auto.is_close(v) {
+        // Direct open→close of the same *skipped* instance: the pair can be
+        // serialized as a bachelor tag; the close then costs only the
+        // difference over the already-charged open tag (one character).
+        if let Some(u) = u {
+            if !auto.is_close(u) && auto.dual(u) == v && u != StateId::Q0 {
+                // `u` itself must be a skipped state for the pair rewrite
+                // to apply; when `u` is the matched source token its open
+                // tag is already in the document, so the close costs full.
+                // Sources are never passed as `u` here with dual `v` in
+                // skipped position unless u ∉ S — see relax() call sites.
+                if let Some(b) = minlen.bachelor(name) {
+                    return (b - minlen.open_tag(name)) as u64;
+                }
+            }
+        }
+        minlen.close_tag(name) as u64
+    } else {
+        minlen.open_tag(name) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::select::select_states;
+    use smpx_dtd::Dtd;
+    use smpx_paths::{PathSet, Relevance};
+
+    fn setup(dtd_text: &[u8], paths: &[&str]) -> (DtdAutomaton, MinLen, BTreeSet<StateId>) {
+        let dtd = Dtd::parse(dtd_text).unwrap();
+        let auto = DtdAutomaton::build(&dtd).unwrap();
+        let minlen = MinLen::compute(&dtd).unwrap();
+        let rel = Relevance::new(&PathSet::parse(paths).unwrap());
+        let s = select_states(&auto, &rel);
+        (auto, minlen, s)
+    }
+
+    fn find_state(auto: &DtdAutomaton, branch: &[&str], close: bool) -> StateId {
+        auto.states()
+            .skip(1)
+            .find(|&q| auto.is_close(q) == close && auto.branch(q) == branch)
+            .expect("state exists")
+    }
+
+    const EX2: &[u8] =
+        br#"<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>"#;
+
+    /// Paper Fig. 3: with P = {/*, /a/b#}, J[q3] = 4 (the mandatory <b/>
+    /// inside c) and all other jumps are 0.
+    #[test]
+    fn figure3_jump_offsets() {
+        let (auto, minlen, s) = setup(EX2, &["/*", "/a/b#"]);
+        let sub = build_subgraph(&auto, &minlen, &s);
+        let c_open = find_state(&auto, &["a", "c"], false);
+        let c_trans = &sub.trans[&c_open];
+        // From <c> the only contracted transition goes to </c> with gap 4.
+        assert_eq!(c_trans.len(), 1);
+        let (tgt, gap) = c_trans[0];
+        assert_eq!(auto.elem_name(tgt), "c");
+        assert!(auto.is_close(tgt));
+        assert_eq!(gap, 4);
+
+        // From <a>: direct neighbours <b>, <c>, </a> — gap 0.
+        let a_open = find_state(&auto, &["a"], false);
+        for &(_, gap) in &sub.trans[&a_open] {
+            assert_eq!(gap, 0);
+        }
+        // q0 → <a>: gap 0.
+        assert_eq!(sub.trans[&StateId::Q0], vec![(a_open, 0)]);
+    }
+
+    /// Example 12 selection: from <c> we scan for </c> skipping one or two
+    /// b's; minimal skipped content is one bachelor <b/> = 4.
+    #[test]
+    fn example12_gap_through_interior() {
+        let (auto, minlen, s) = setup(EX2, &["/*", "//c#"]);
+        let sub = build_subgraph(&auto, &minlen, &s);
+        let c_open = find_state(&auto, &["a", "c"], false);
+        let (tgt, gap) = sub.trans[&c_open][0];
+        assert!(auto.is_close(tgt));
+        assert_eq!(gap, 4);
+    }
+
+    /// Paper Example 1: after <site>, scanning for <australia> skips at
+    /// least "<regions><africa/><asia/>" = 25 characters.
+    #[test]
+    fn example1_initial_jump_25() {
+        let dtd_text: &[u8] = br#"<!DOCTYPE site [
+            <!ELEMENT site (regions)>
+            <!ELEMENT regions (africa, asia, australia)>
+            <!ELEMENT africa (item*)>
+            <!ELEMENT asia (item*)>
+            <!ELEMENT australia (item*)>
+            <!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+            <!ELEMENT incategory EMPTY>
+            <!ATTLIST incategory category ID #REQUIRED>
+            ]>"#;
+        let (auto, minlen, s) = setup(dtd_text, &["/*", "//australia//description#"]);
+        let sub = build_subgraph(&auto, &minlen, &s);
+        let site_open = find_state(&auto, &["site"], false);
+        let trans = &sub.trans[&site_open];
+        let to_australia = trans
+            .iter()
+            .find(|&&(t, _)| auto.elem_name(t) == "australia" && !auto.is_close(t))
+            .expect("australia transition");
+        assert_eq!(to_australia.1, 25);
+    }
+
+    #[test]
+    fn finals_include_close_root_and_skippable_tails() {
+        let (auto, minlen, s) = setup(EX2, &["/*", "/a/b#"]);
+        let sub = build_subgraph(&auto, &minlen, &s);
+        let a_close = find_state(&auto, &["a"], true);
+        assert!(sub.finals.contains(&a_close));
+        // <a> itself is not final: </a> is in S and must still be seen.
+        let a_open = find_state(&auto, &["a"], false);
+        assert!(!sub.finals.contains(&a_open));
+    }
+
+    #[test]
+    fn ancestors_always_selected_so_close_root_terminates() {
+        // The prefix closure keeps every ancestor of a kept node, so the
+        // root's closing tag is always in S when S is non-empty: </x> is
+        // NOT final (</r> still needs to be matched after it).
+        let dtd_text: &[u8] = b"<!ELEMENT r (x, y*)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY>";
+        let (auto, minlen, s) = setup(dtd_text, &["/r/x"]);
+        let sub = build_subgraph(&auto, &minlen, &s);
+        let x_close = find_state(&auto, &["r", "x"], true);
+        assert!(!sub.finals.contains(&x_close));
+        let r_close = find_state(&auto, &["r"], true);
+        assert!(s.contains(&r_close));
+        assert!(sub.finals.contains(&r_close));
+    }
+
+    #[test]
+    fn q0_final_when_nothing_selected() {
+        // Paths matching nothing in the schema: the whole document may be
+        // skipped, so q0 itself is final in D|S.
+        let dtd_text: &[u8] = b"<!ELEMENT r (x)> <!ELEMENT x EMPTY>";
+        let (auto, minlen, s) = setup(dtd_text, &["/zzz"]);
+        assert!(s.is_empty());
+        let sub = build_subgraph(&auto, &minlen, &s);
+        assert!(sub.finals.contains(&StateId::Q0));
+    }
+
+    #[test]
+    fn gap_counts_required_attributes() {
+        // Skipping <e cat=""/><f/> before <g>: e has a required attribute.
+        let dtd_text: &[u8] = br#"<!DOCTYPE r [
+            <!ELEMENT r (e, f, g)>
+            <!ELEMENT e EMPTY> <!ATTLIST e cat CDATA #REQUIRED>
+            <!ELEMENT f EMPTY>
+            <!ELEMENT g (#PCDATA)>
+        ]>"#;
+        let (auto, minlen, s) = setup(dtd_text, &["/r/g#"]);
+        let sub = build_subgraph(&auto, &minlen, &s);
+        let r_open = find_state(&auto, &["r"], false);
+        let to_g = sub.trans[&r_open]
+            .iter()
+            .find(|&&(t, _)| auto.elem_name(t) == "g" && !auto.is_close(t))
+            .unwrap();
+        // <e cat=""/> = 11, <f/> = 4  =>  gap 15.
+        assert_eq!(to_g.1, 15);
+    }
+
+    #[test]
+    fn non_nullable_skipped_pair_charges_full_tags() {
+        // y requires a z child, so skipping y costs <y> + <z/> + </y>.
+        let dtd_text: &[u8] =
+            b"<!ELEMENT r (y, g)> <!ELEMENT y (z)> <!ELEMENT z EMPTY> <!ELEMENT g (#PCDATA)>";
+        let (auto, minlen, s) = setup(dtd_text, &["/r/g#"]);
+        let sub = build_subgraph(&auto, &minlen, &s);
+        let r_open = find_state(&auto, &["r"], false);
+        let to_g = sub.trans[&r_open]
+            .iter()
+            .find(|&&(t, _)| auto.elem_name(t) == "g" && !auto.is_close(t))
+            .unwrap();
+        // <y> = 3, <z/> = 4, </y> = 4  =>  11.
+        assert_eq!(to_g.1, 11);
+    }
+}

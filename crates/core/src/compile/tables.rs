@@ -1,0 +1,368 @@
+//! Determinization of `D|S` and emission of the runtime lookup tables.
+//!
+//! The paper's four tables (Fig. 3) are packaged per runtime-DFA state:
+//!
+//! * `V[q]` — the frontier vocabulary, here the [`Keyword`] list: the byte
+//!   patterns `<name` / `</name` to scan for (trailing bracket excluded, as
+//!   tags may contain attributes or whitespace),
+//! * `A[q, token]` — the transition function, stored as each keyword's
+//!   `target`,
+//! * `J[q]` — the initial jump offset (minimum over the member states'
+//!   contracted-transition gaps),
+//! * `T[q]` — the action, attached to states thanks to homogeneity, which
+//!   subset construction preserves (Champarnaud \[25\]).
+//!
+//! When determinization merges member states whose actions differ, the
+//! *strongest* action wins (`copy on/off` ≻ `copy tag + atts` ≻ `copy tag`
+//! ≻ `nop`): preserving more nodes never violates projection-safety
+//! (Lemma 1), it only costs output size. The differential tests against the
+//! token-level oracle check that this conservatism rarely triggers.
+
+use super::subgraph::Subgraph;
+use smpx_dtd::{DtdAutomaton, StateId};
+use smpx_paths::Relevance;
+use std::collections::BTreeMap;
+
+/// The action `T[q]` performed when entering a state (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Do nothing (orientation stopovers).
+    Nop,
+    /// Emit the matched tag; with `with_atts` the raw source tag is copied,
+    /// otherwise a bare `<name>` / `</name>` is reconstructed.
+    CopyTag {
+        /// Copy the attributes too?
+        with_atts: bool,
+    },
+    /// Start raw copying at this opening tag (`copy on`).
+    CopyOn,
+    /// Stop raw copying after this closing tag and emit the range
+    /// (`copy off`).
+    CopyOff,
+}
+
+impl Action {
+    /// Conservative join for merged member states (see module docs).
+    fn join(self, other: Action) -> Action {
+        use Action::*;
+        match (self, other) {
+            (CopyOn, _) | (_, CopyOn) => CopyOn,
+            (CopyOff, _) | (_, CopyOff) => CopyOff,
+            (CopyTag { with_atts: a }, CopyTag { with_atts: b }) => {
+                CopyTag { with_atts: a || b }
+            }
+            (CopyTag { with_atts }, Nop) | (Nop, CopyTag { with_atts }) => {
+                CopyTag { with_atts }
+            }
+            (Nop, Nop) => Nop,
+        }
+    }
+}
+
+/// One entry of the frontier vocabulary `V[q]` with its `A[q, ·]` target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Keyword {
+    /// The scan pattern: `<name` or `</name` (no trailing bracket).
+    pub bytes: Vec<u8>,
+    /// The tag name.
+    pub name: String,
+    /// Closing-tag keyword?
+    pub close: bool,
+    /// Runtime-DFA state entered when this token is matched.
+    pub target: u32,
+}
+
+/// One runtime-DFA state with its table rows.
+#[derive(Debug, Clone)]
+pub struct RtState {
+    /// The token label entering this state (`None` for the start state).
+    pub label: Option<(String, bool)>,
+    /// `V[q]` + `A[q, ·]`, sorted by pattern bytes for determinism.
+    pub keywords: Vec<Keyword>,
+    /// `J[q]`.
+    pub jump: u32,
+    /// `T[q]`.
+    pub action: Action,
+    /// May the document end in this state (diagnostics; the runtime also
+    /// simply stops when no further keyword occurs)?
+    pub is_final: bool,
+    /// Recursion extension: this open state belongs to a recursive
+    /// element; instead of the normal frontier search the runtime crosses
+    /// the subtree with a balanced depth-counting scan for `<e`/`</e`.
+    pub balanced: bool,
+}
+
+/// The complete compiled lookup tables; state 0 is the start state.
+#[derive(Debug, Clone)]
+pub struct CompiledTables {
+    /// Runtime-DFA states.
+    pub states: Vec<RtState>,
+    /// Length of the longest keyword (window sizing for streaming).
+    pub max_kw_len: usize,
+}
+
+impl CompiledTables {
+    /// Number of states whose frontier vocabulary needs Commentz–Walter
+    /// (≥ 2 keywords).
+    pub fn cw_states(&self) -> usize {
+        self.states.iter().filter(|s| s.keywords.len() >= 2).count()
+    }
+
+    /// Number of states searched with Boyer–Moore (exactly 1 keyword).
+    pub fn bm_states(&self) -> usize {
+        self.states.iter().filter(|s| s.keywords.len() == 1).count()
+    }
+
+    /// Total number of runtime-DFA states (paper's `States`).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Approximate heap bytes of the static tables (before lazy matcher
+    /// construction) — part of the paper's `Mem` column.
+    pub fn table_bytes(&self) -> usize {
+        let mut total = self.states.capacity() * std::mem::size_of::<RtState>();
+        for s in &self.states {
+            for k in &s.keywords {
+                total += k.bytes.len() + k.name.len() + std::mem::size_of::<Keyword>();
+            }
+            if let Some((n, _)) = &s.label {
+                total += n.len();
+            }
+        }
+        total
+    }
+}
+
+/// Member-state action from relevance (paper Sec. IV, "Remaining lookup
+/// tables").
+fn member_action(auto: &DtdAutomaton, rel: &Relevance, q: StateId) -> Action {
+    let branch = auto.branch(q);
+    let close = auto.is_close(q);
+    if rel.c2_leaf(&branch) {
+        return if close { Action::CopyOff } else { Action::CopyOn };
+    }
+    // Recursion extension: the prefilter cannot navigate inside an opaque
+    // subtree, so if any path could select nodes below it the whole
+    // subtree is conservatively preserved (projection-safety keeps more,
+    // never less).
+    if auto.is_opaque(q) && rel.may_match_below(&branch) {
+        return if close { Action::CopyOff } else { Action::CopyOn };
+    }
+    if rel.relevant_tag(&branch) {
+        let with_atts = !close && rel.c1_exact(&branch);
+        return Action::CopyTag { with_atts };
+    }
+    Action::Nop
+}
+
+/// Subset construction over `D|S`, producing the runtime tables.
+pub fn determinize(
+    auto: &DtdAutomaton,
+    rel: &Relevance,
+    sub: &Subgraph,
+) -> CompiledTables {
+    let mut subsets: Vec<Vec<StateId>> = vec![vec![StateId::Q0]];
+    let mut index: BTreeMap<Vec<StateId>, u32> = BTreeMap::new();
+    index.insert(subsets[0].clone(), 0);
+    let mut states: Vec<RtState> = Vec::new();
+    let mut work = 0usize;
+
+    while work < subsets.len() {
+        let members = subsets[work].clone();
+        // Group member transitions by token label.
+        let mut by_label: BTreeMap<(String, bool), Vec<StateId>> = BTreeMap::new();
+        let mut jump: Option<u32> = None;
+        let mut is_final = false;
+        for &m in &members {
+            if sub.finals.contains(&m) {
+                is_final = true;
+            }
+            if let Some(trans) = sub.trans.get(&m) {
+                for &(tgt, gap) in trans {
+                    jump = Some(jump.map_or(gap, |j| j.min(gap)));
+                    let lbl = (auto.elem_name(tgt).to_string(), auto.is_close(tgt));
+                    let entry = by_label.entry(lbl).or_default();
+                    if !entry.contains(&tgt) {
+                        entry.push(tgt);
+                    }
+                }
+            }
+        }
+        // Build keywords and successor subsets.
+        let mut keywords = Vec::with_capacity(by_label.len());
+        for ((name, close), mut targets) in by_label {
+            targets.sort();
+            targets.dedup();
+            let id = match index.get(&targets) {
+                Some(&i) => i,
+                None => {
+                    let i = subsets.len() as u32;
+                    index.insert(targets.clone(), i);
+                    subsets.push(targets);
+                    i
+                }
+            };
+            let mut bytes = Vec::with_capacity(name.len() + 2);
+            bytes.push(b'<');
+            if close {
+                bytes.push(b'/');
+            }
+            bytes.extend_from_slice(name.as_bytes());
+            keywords.push(Keyword { bytes, name, close, target: id });
+        }
+        keywords.sort_by(|a, b| a.bytes.cmp(&b.bytes));
+
+        // Label and action: homogeneity guarantees all members agree on the
+        // label; actions are joined.
+        let label = members
+            .first()
+            .filter(|&&m| m != StateId::Q0)
+            .map(|&m| (auto.elem_name(m).to_string(), auto.is_close(m)));
+        let action = members
+            .iter()
+            .filter(|&&m| m != StateId::Q0)
+            .map(|&m| member_action(auto, rel, m))
+            .fold(Action::Nop, Action::join);
+        let balanced = members
+            .iter()
+            .any(|&m| m != StateId::Q0 && auto.is_opaque(m) && !auto.is_close(m));
+
+        states.push(RtState {
+            label,
+            keywords,
+            jump: jump.unwrap_or(0),
+            action,
+            is_final,
+            balanced,
+        });
+        work += 1;
+    }
+
+    let max_kw_len = states
+        .iter()
+        .flat_map(|s| s.keywords.iter().map(|k| k.bytes.len()))
+        .max()
+        .unwrap_or(1);
+    CompiledTables { states, max_kw_len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use smpx_dtd::Dtd;
+    use smpx_paths::PathSet;
+
+    const EX2: &[u8] =
+        br#"<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>"#;
+
+    fn tables(dtd: &[u8], paths: &[&str]) -> CompiledTables {
+        let dtd = Dtd::parse(dtd).unwrap();
+        let paths = PathSet::parse(paths).unwrap();
+        compile(&dtd, &paths).unwrap()
+    }
+
+    /// The paper's Fig. 3 runtime automaton: 7 states (q0, q1, q̂1, q2, q̂2,
+    /// q3, q̂3), V as listed, J[q3] = 4, T as listed.
+    #[test]
+    fn figure3_tables() {
+        let t = tables(EX2, &["/*", "/a/b#"]);
+        assert_eq!(t.state_count(), 7);
+
+        // Start state: V = {"<a"}, J = 0, action nop.
+        let q0 = &t.states[0];
+        assert_eq!(q0.label, None);
+        assert_eq!(q0.jump, 0);
+        assert_eq!(q0.action, Action::Nop);
+        assert_eq!(
+            q0.keywords.iter().map(|k| k.bytes.clone()).collect::<Vec<_>>(),
+            vec![b"<a".to_vec()]
+        );
+
+        // q1 = after <a>: V = {"</a", "<b", "<c"} (sorted by bytes), copy tag.
+        let q1 = &t.states[q0.keywords[0].target as usize];
+        assert_eq!(q1.label, Some(("a".to_string(), false)));
+        let kw: Vec<Vec<u8>> = q1.keywords.iter().map(|k| k.bytes.clone()).collect();
+        assert_eq!(kw, vec![b"</a".to_vec(), b"<b".to_vec(), b"<c".to_vec()]);
+        assert_eq!(q1.action, Action::CopyTag { with_atts: false });
+        assert_eq!(q1.jump, 0);
+
+        // q2 = after <b>: V = {"</b"}, copy on.
+        let q2_id = q1.keywords.iter().find(|k| k.bytes == b"<b").unwrap().target;
+        let q2 = &t.states[q2_id as usize];
+        assert_eq!(q2.action, Action::CopyOn);
+        assert_eq!(q2.keywords.len(), 1);
+        assert_eq!(q2.keywords[0].bytes, b"</b".to_vec());
+
+        // q̂2 = after </b>: copy off, V like q1's.
+        let q2h = &t.states[q2.keywords[0].target as usize];
+        assert_eq!(q2h.action, Action::CopyOff);
+        assert_eq!(q2h.keywords.len(), 3);
+
+        // q3 = after <c>: nop, V = {"</c"}, J = 4 (Example 3!).
+        let q3_id = q1.keywords.iter().find(|k| k.bytes == b"<c").unwrap().target;
+        let q3 = &t.states[q3_id as usize];
+        assert_eq!(q3.action, Action::Nop);
+        assert_eq!(q3.jump, 4);
+        assert_eq!(q3.keywords[0].bytes, b"</c".to_vec());
+
+        // q̂3 = after </c>: nop.
+        let q3h = &t.states[q3.keywords[0].target as usize];
+        assert_eq!(q3h.action, Action::Nop);
+
+        // q̂1 = after </a>: final, empty vocabulary.
+        let q1h_id = q1.keywords.iter().find(|k| k.bytes == b"</a").unwrap().target;
+        let q1h = &t.states[q1h_id as usize];
+        assert!(q1h.is_final);
+        assert!(q1h.keywords.is_empty());
+        assert_eq!(q1h.action, Action::CopyTag { with_atts: false });
+
+        // CW/BM split per Fig. 3's V column: q1, q̂2, q̂3 need CW; q0, q2,
+        // q3 need BM; q̂1 has an empty vocabulary.
+        assert_eq!(t.cw_states(), 3);
+        assert_eq!(t.bm_states(), 3);
+    }
+
+    /// Example 12 runtime automaton: only a and c states; action copy
+    /// on/off at c, jump 4 at q3.
+    #[test]
+    fn example12_tables() {
+        let t = tables(EX2, &["/*", "//c#"]);
+        assert_eq!(t.state_count(), 5); // q0, a, â, c, ĉ
+        let q0 = &t.states[0];
+        let q1 = &t.states[q0.keywords[0].target as usize];
+        let kw: Vec<Vec<u8>> = q1.keywords.iter().map(|k| k.bytes.clone()).collect();
+        assert_eq!(kw, vec![b"</a".to_vec(), b"<c".to_vec()]);
+        let qc = &t.states[q1.keywords[1].target as usize];
+        assert_eq!(qc.action, Action::CopyOn);
+        assert_eq!(qc.jump, 4);
+        let qch = &t.states[qc.keywords[0].target as usize];
+        assert_eq!(qch.action, Action::CopyOff);
+    }
+
+    #[test]
+    fn join_is_conservative() {
+        use Action::*;
+        assert_eq!(Nop.join(CopyTag { with_atts: false }), CopyTag { with_atts: false });
+        assert_eq!(
+            CopyTag { with_atts: false }.join(CopyTag { with_atts: true }),
+            CopyTag { with_atts: true }
+        );
+        assert_eq!(CopyOn.join(CopyTag { with_atts: true }), CopyOn);
+        assert_eq!(Nop.join(Nop), Nop);
+    }
+
+    #[test]
+    fn table_bytes_reasonable() {
+        let t = tables(EX2, &["/*", "/a/b#"]);
+        let bytes = t.table_bytes();
+        assert!(bytes > 0 && bytes < 64 * 1024, "got {bytes}");
+    }
+
+    #[test]
+    fn max_kw_len_is_longest_pattern() {
+        let t = tables(EX2, &["/*", "/a/b#"]);
+        assert_eq!(t.max_kw_len, 3); // "</a", "</b", "</c"
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for compilation and runtime.
+
+use std::fmt;
+
+/// Errors from SMP compilation or the prefilter runtime.
+#[derive(Debug)]
+pub enum CoreError {
+    /// DTD-level failure (parse error, recursion, size).
+    Dtd(smpx_dtd::DtdError),
+    /// The path set is empty — nothing to preserve.
+    NoPaths,
+    /// Runtime: the input contained a tag of interest in a position the
+    /// runtime automaton has no transition for (the document is not valid
+    /// w.r.t. the DTD, which the algorithm assumes — paper Sec. II).
+    UnexpectedToken {
+        /// The tag name.
+        name: String,
+        /// Closing tag?
+        close: bool,
+        /// Byte offset of the token.
+        pos: usize,
+    },
+    /// Runtime: input ended while a construct was still open (truncated or
+    /// invalid document).
+    UnexpectedEof {
+        /// What the runtime was doing.
+        context: &'static str,
+    },
+    /// Writing to the output sink failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dtd(e) => write!(f, "DTD error: {e}"),
+            CoreError::NoPaths => write!(f, "empty projection path set"),
+            CoreError::UnexpectedToken { name, close, pos } => {
+                let slash = if *close { "/" } else { "" };
+                write!(f, "unexpected token <{slash}{name}> at byte {pos} (document invalid w.r.t. DTD?)")
+            }
+            CoreError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while {context}")
+            }
+            CoreError::Io(e) => write!(f, "output error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dtd(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<smpx_dtd::DtdError> for CoreError {
+    fn from(e: smpx_dtd::DtdError) -> Self {
+        CoreError::Dtd(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::UnexpectedToken { name: "a".into(), close: true, pos: 7 };
+        assert!(e.to_string().contains("</a>"));
+        assert!(e.to_string().contains("byte 7"));
+        assert!(CoreError::NoPaths.to_string().contains("empty"));
+    }
+}

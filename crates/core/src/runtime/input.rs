@@ -1,0 +1,440 @@
+//! Input abstraction: whole-slice and streaming-window access.
+//!
+//! The runtime algorithm is written once against [`Input`]. The
+//! [`SliceInput`] runs over a document held in memory; the [`StreamInput`]
+//! implements the paper's single-pass streaming mode: a pre-allocated
+//! buffer is filled in fixed-size chunks ("eight times the system page
+//! size" in the prototype, Sec. V), the runtime jumps back and forth only
+//! within the window, and `copy on/off` ranges are flushed incrementally so
+//! memory stays bounded by the window size, not the copied subtree.
+
+use super::matchers::Searcher;
+#[cfg(test)]
+use super::matchers::StateMatcher;
+use crate::error::CoreError;
+use smpx_stringmatch::Metrics;
+use std::io::{Read, Write};
+
+/// Access to the document bytes and the output sink.
+pub(crate) trait Input {
+    /// First keyword occurrence at or after absolute position `from`.
+    fn find<S: Searcher, M: Metrics>(
+        &mut self,
+        matcher: &S,
+        from: usize,
+        m: &mut M,
+    ) -> Result<Option<(usize, usize)>, CoreError>;
+
+    /// Byte at absolute position (None at EOF).
+    fn byte(&mut self, pos: usize) -> Result<Option<u8>, CoreError>;
+
+    /// Does `pat` occur at absolute position `pos`? Counts comparisons.
+    fn matches_at<M: Metrics>(
+        &mut self,
+        pos: usize,
+        pat: &[u8],
+        m: &mut M,
+    ) -> Result<bool, CoreError>;
+
+    /// Start a raw-copy range at absolute position `start`.
+    fn copy_on(&mut self, start: usize);
+
+    /// Is a raw-copy range active?
+    fn copy_active(&self) -> bool;
+
+    /// End the raw-copy range, emitting everything up to `end` (exclusive).
+    fn copy_off(&mut self, end: usize) -> Result<(), CoreError>;
+
+    /// Emit the raw input range `[a, b)` (a just-scanned tag, guaranteed to
+    /// still be resident).
+    fn emit_range(&mut self, a: usize, b: usize) -> Result<(), CoreError>;
+
+    /// Emit constructed bytes.
+    fn emit_bytes(&mut self, bytes: &[u8]) -> Result<(), CoreError>;
+
+    /// The cursor has moved past `pos`: earlier bytes (minus the lookback
+    /// margin) may be discarded.
+    fn advance(&mut self, pos: usize);
+
+    /// Total bytes emitted.
+    fn emitted(&self) -> u64;
+}
+
+/// Whole-document input writing to a `Vec<u8>`.
+pub(crate) struct SliceInput<'a> {
+    doc: &'a [u8],
+    out: Vec<u8>,
+    copy_from: Option<usize>,
+}
+
+impl<'a> SliceInput<'a> {
+    pub fn new(doc: &'a [u8]) -> Self {
+        SliceInput { doc, out: Vec::new(), copy_from: None }
+    }
+
+    pub fn into_output(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+impl<'a> Input for SliceInput<'a> {
+    fn find<S: Searcher, M: Metrics>(
+        &mut self,
+        matcher: &S,
+        from: usize,
+        m: &mut M,
+    ) -> Result<Option<(usize, usize)>, CoreError> {
+        Ok(matcher.search_in(self.doc, from, m))
+    }
+
+    fn byte(&mut self, pos: usize) -> Result<Option<u8>, CoreError> {
+        Ok(self.doc.get(pos).copied())
+    }
+
+    fn matches_at<M: Metrics>(
+        &mut self,
+        pos: usize,
+        pat: &[u8],
+        m: &mut M,
+    ) -> Result<bool, CoreError> {
+        if pos + pat.len() > self.doc.len() {
+            return Ok(false);
+        }
+        for (i, &b) in pat.iter().enumerate() {
+            m.cmp(1);
+            if self.doc[pos + i] != b {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn copy_on(&mut self, start: usize) {
+        if self.copy_from.is_none() {
+            self.copy_from = Some(start);
+        }
+    }
+
+    fn copy_active(&self) -> bool {
+        self.copy_from.is_some()
+    }
+
+    fn copy_off(&mut self, end: usize) -> Result<(), CoreError> {
+        if let Some(start) = self.copy_from.take() {
+            self.out.extend_from_slice(&self.doc[start..end.min(self.doc.len())]);
+        }
+        Ok(())
+    }
+
+    fn emit_range(&mut self, a: usize, b: usize) -> Result<(), CoreError> {
+        self.out.extend_from_slice(&self.doc[a..b.min(self.doc.len())]);
+        Ok(())
+    }
+
+    fn emit_bytes(&mut self, bytes: &[u8]) -> Result<(), CoreError> {
+        self.out.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn advance(&mut self, _pos: usize) {}
+
+    fn emitted(&self) -> u64 {
+        self.out.len() as u64
+    }
+}
+
+/// Streaming input over a `Read`, writing to a `Write`, with a bounded
+/// window.
+pub(crate) struct StreamInput<R: Read, W: Write> {
+    reader: R,
+    writer: W,
+    /// Window bytes `[base, base + buf.len())` of the stream.
+    buf: Vec<u8>,
+    /// Absolute offset of `buf\[0\]`.
+    base: usize,
+    eof: bool,
+    chunk: usize,
+    /// Bytes before `guard` may be discarded (cursor minus lookback).
+    guard: usize,
+    /// Unflushed start of the active copy range.
+    copy_from: Option<usize>,
+    written: u64,
+    /// Peak window capacity (memory reporting).
+    pub peak_window: usize,
+}
+
+impl<R: Read, W: Write> StreamInput<R, W> {
+    pub fn new(reader: R, writer: W, chunk: usize) -> Self {
+        StreamInput {
+            reader,
+            writer,
+            buf: Vec::with_capacity(chunk * 2),
+            base: 0,
+            eof: false,
+            chunk: chunk.max(64),
+            guard: 0,
+            copy_from: None,
+            written: 0,
+            peak_window: 0,
+        }
+    }
+
+    pub fn finish(mut self) -> Result<(u64, usize), CoreError> {
+        self.writer.flush()?;
+        Ok((self.written, self.peak_window))
+    }
+
+    fn window_end(&self) -> usize {
+        self.base + self.buf.len()
+    }
+
+    /// Make `pos` resident (or learn that it is beyond EOF).
+    fn ensure(&mut self, pos: usize) -> Result<bool, CoreError> {
+        while pos >= self.window_end() {
+            if self.eof {
+                return Ok(false);
+            }
+            self.refill()?;
+        }
+        Ok(true)
+    }
+
+    /// Read one more chunk, compacting the window first.
+    fn refill(&mut self) -> Result<(), CoreError> {
+        // Flush copy bytes that are about to leave the window's keep-range.
+        let keep_from = self.guard.min(self.window_end()).max(self.base);
+        if let Some(cf) = self.copy_from {
+            if cf < keep_from {
+                let a = cf - self.base;
+                let b = keep_from - self.base;
+                self.writer.write_all(&self.buf[a..b])?;
+                self.written += (b - a) as u64;
+                self.copy_from = Some(keep_from);
+            }
+        }
+        // Compact.
+        let drop = keep_from - self.base;
+        if drop > 0 {
+            self.buf.drain(..drop);
+            self.base += drop;
+        }
+        // Read a chunk.
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + self.chunk, 0);
+        let n = read_full(&mut self.reader, &mut self.buf[old_len..])?;
+        self.buf.truncate(old_len + n);
+        if n == 0 {
+            self.eof = true;
+        }
+        self.peak_window = self.peak_window.max(self.buf.capacity());
+        Ok(())
+    }
+}
+
+fn read_full<R: Read>(r: &mut R, mut buf: &mut [u8]) -> Result<usize, CoreError> {
+    let mut total = 0;
+    while !buf.is_empty() {
+        match r.read(buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                total += n;
+                buf = &mut std::mem::take(&mut buf)[n..];
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(CoreError::Io(e)),
+        }
+    }
+    Ok(total)
+}
+
+impl<R: Read, W: Write> Input for StreamInput<R, W> {
+    fn find<S: Searcher, M: Metrics>(
+        &mut self,
+        matcher: &S,
+        from: usize,
+        m: &mut M,
+    ) -> Result<Option<(usize, usize)>, CoreError> {
+        let overlap = matcher.longest().max(1);
+        let mut search_from = from.max(self.base);
+        loop {
+            self.ensure(search_from)?;
+            let rel_from = search_from.saturating_sub(self.base);
+            if rel_from < self.buf.len() {
+                if let Some((kw, rel_start)) = matcher.search_in(&self.buf, rel_from, m) {
+                    return Ok(Some((kw, self.base + rel_start)));
+                }
+            }
+            if self.eof {
+                return Ok(None);
+            }
+            // No match in the current window: extend it and retry from the
+            // boundary overlap (a match may span the old window end).
+            let end = self.window_end();
+            self.refill()?;
+            search_from = end.saturating_sub(overlap.saturating_sub(1)).max(search_from);
+        }
+    }
+
+    fn byte(&mut self, pos: usize) -> Result<Option<u8>, CoreError> {
+        if !self.ensure(pos)? {
+            return Ok(None);
+        }
+        Ok(Some(self.buf[pos - self.base]))
+    }
+
+    fn matches_at<M: Metrics>(
+        &mut self,
+        pos: usize,
+        pat: &[u8],
+        m: &mut M,
+    ) -> Result<bool, CoreError> {
+        for (i, &b) in pat.iter().enumerate() {
+            match self.byte(pos + i)? {
+                Some(c) => {
+                    m.cmp(1);
+                    if c != b {
+                        return Ok(false);
+                    }
+                }
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    fn copy_on(&mut self, start: usize) {
+        if self.copy_from.is_none() {
+            self.copy_from = Some(start);
+        }
+    }
+
+    fn copy_active(&self) -> bool {
+        self.copy_from.is_some()
+    }
+
+    fn copy_off(&mut self, end: usize) -> Result<(), CoreError> {
+        if let Some(cf) = self.copy_from.take() {
+            if cf < end {
+                // Everything in [cf, end) is still resident: the guard only
+                // moves with the cursor, which never passes the scan point.
+                let a = cf.max(self.base) - self.base;
+                let b = (end - self.base).min(self.buf.len());
+                if a < b {
+                    self.writer.write_all(&self.buf[a..b])?;
+                    self.written += (b - a) as u64;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_range(&mut self, a: usize, b: usize) -> Result<(), CoreError> {
+        debug_assert!(a >= self.base, "emit_range before window start");
+        let ra = a - self.base;
+        let rb = (b - self.base).min(self.buf.len());
+        if ra < rb {
+            self.writer.write_all(&self.buf[ra..rb])?;
+            self.written += (rb - ra) as u64;
+        }
+        Ok(())
+    }
+
+    fn emit_bytes(&mut self, bytes: &[u8]) -> Result<(), CoreError> {
+        self.writer.write_all(bytes)?;
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn advance(&mut self, pos: usize) {
+        self.guard = self.guard.max(pos);
+    }
+
+    fn emitted(&self) -> u64 {
+        self.written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpx_stringmatch::{BoyerMoore, NoMetrics};
+
+    fn bm(pat: &[u8]) -> StateMatcher {
+        StateMatcher::Bm(Box::new(BoyerMoore::new(pat)))
+    }
+
+    #[test]
+    fn slice_find_and_emit() {
+        let doc = b"xx<item>yy</item>";
+        let mut s = SliceInput::new(doc);
+        let hit = s.find(&bm(b"<item"), 0, &mut NoMetrics).unwrap();
+        assert_eq!(hit, Some((0, 2)));
+        s.emit_range(2, 8).unwrap();
+        s.emit_bytes(b"!").unwrap();
+        assert_eq!(s.emitted(), 7);
+        assert_eq!(s.into_output(), b"<item>!".to_vec());
+    }
+
+    #[test]
+    fn slice_copy_range() {
+        let doc = b"ab<k>x</k>cd";
+        let mut s = SliceInput::new(doc);
+        s.copy_on(2);
+        assert!(s.copy_active());
+        s.copy_off(10).unwrap();
+        assert!(!s.copy_active());
+        assert_eq!(s.into_output(), b"<k>x</k>".to_vec());
+    }
+
+    #[test]
+    fn stream_find_across_chunk_boundaries() {
+        // Chunk size 8 forces the keyword to straddle a refill.
+        let doc = b"0123456<item attr='1'>xyz";
+        let mut out = Vec::new();
+        let mut s = StreamInput::new(&doc[..], &mut out, 8);
+        let hit = s.find(&bm(b"<item"), 0, &mut NoMetrics).unwrap();
+        assert_eq!(hit, Some((0, 7)));
+    }
+
+    #[test]
+    fn stream_byte_and_eof() {
+        let doc = b"abc";
+        let mut out = Vec::new();
+        let mut s = StreamInput::new(&doc[..], &mut out, 2);
+        assert_eq!(s.byte(0).unwrap(), Some(b'a'));
+        assert_eq!(s.byte(2).unwrap(), Some(b'c'));
+        assert_eq!(s.byte(3).unwrap(), None);
+        assert_eq!(s.byte(100).unwrap(), None);
+    }
+
+    #[test]
+    fn stream_copy_range_flushes_incrementally() {
+        // Copy range longer than the window: bytes must flush on refill.
+        let body = "y".repeat(100);
+        let doc = format!("<k>{body}</k>");
+        let mut out = Vec::new();
+        {
+            let mut s = StreamInput::new(doc.as_bytes(), &mut out, 16);
+            s.copy_on(0);
+            // Walk a cursor through the document as the runtime would.
+            for pos in 0..doc.len() {
+                s.advance(pos.saturating_sub(8));
+                let _ = s.byte(pos).unwrap();
+            }
+            s.copy_off(doc.len()).unwrap();
+            let (written, _) = s.finish().unwrap();
+            assert_eq!(written as usize, doc.len());
+        }
+        assert_eq!(out, doc.as_bytes());
+    }
+
+    #[test]
+    fn stream_matches_at_handles_boundaries() {
+        let doc = b"abcdefgh<key>";
+        let mut out = Vec::new();
+        let mut s = StreamInput::new(&doc[..], &mut out, 4);
+        assert!(s.matches_at(8, b"<key", &mut NoMetrics).unwrap());
+        assert!(!s.matches_at(8, b"<kez", &mut NoMetrics).unwrap());
+        assert!(!s.matches_at(11, b"<key", &mut NoMetrics).unwrap());
+    }
+}

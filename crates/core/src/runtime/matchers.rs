@@ -1,0 +1,201 @@
+//! Per-state search engines, built lazily.
+//!
+//! The paper (Sec. V): "The data structures for string search are computed
+//! lazily, when an automaton-state is first entered." A state with one
+//! keyword gets Boyer–Moore, with several Commentz–Walter (Fig. 4's
+//! `(BM)`/`(CW)` branches); the `ablations` bench compares this laziness
+//! against eager construction.
+
+use crate::compile::RtState;
+use smpx_stringmatch::{BoyerMoore, CommentzWalter, Metrics};
+
+/// Anything the input layer can drive a windowed search with.
+pub(crate) trait Searcher {
+    /// First occurrence in `hay` at or after `from`: (keyword index, start).
+    fn search_in<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M)
+        -> Option<(usize, usize)>;
+    /// Longest pattern length (stream-refill overlap).
+    fn longest(&self) -> usize;
+}
+
+impl Searcher for CommentzWalter {
+    fn search_in<M: Metrics>(
+        &self,
+        hay: &[u8],
+        from: usize,
+        m: &mut M,
+    ) -> Option<(usize, usize)> {
+        self.find_at(hay, from, m).map(|mm| (mm.pattern, mm.start))
+    }
+
+    fn longest(&self) -> usize {
+        self.patterns().iter().map(Vec::len).max().unwrap_or(1)
+    }
+}
+
+impl Searcher for StateMatcher {
+    fn search_in<M: Metrics>(
+        &self,
+        hay: &[u8],
+        from: usize,
+        m: &mut M,
+    ) -> Option<(usize, usize)> {
+        self.find_in(hay, from, m)
+    }
+
+    fn longest(&self) -> usize {
+        self.max_len()
+    }
+}
+
+/// The search engine of one runtime state.
+#[derive(Debug, Clone)]
+pub(crate) enum StateMatcher {
+    /// No keywords (final states): nothing to search.
+    Empty,
+    /// Unary frontier vocabulary → Boyer–Moore (boxed: the shift tables
+    /// are ~2 KiB and live per state).
+    Bm(Box<BoyerMoore>),
+    /// Multi-keyword frontier vocabulary → Commentz–Walter.
+    Cw(Box<CommentzWalter>),
+}
+
+impl StateMatcher {
+    /// Build the matcher for a state's keyword list.
+    pub fn build(state: &RtState) -> StateMatcher {
+        match state.keywords.len() {
+            0 => StateMatcher::Empty,
+            1 => StateMatcher::Bm(Box::new(BoyerMoore::new(&state.keywords[0].bytes))),
+            _ => {
+                let pats: Vec<&[u8]> =
+                    state.keywords.iter().map(|k| k.bytes.as_slice()).collect();
+                StateMatcher::Cw(Box::new(CommentzWalter::new(&pats)))
+            }
+        }
+    }
+
+    /// First keyword occurrence in `hay` starting at or after `from`:
+    /// `(keyword index, start offset)`.
+    pub fn find_in<M: Metrics>(
+        &self,
+        hay: &[u8],
+        from: usize,
+        m: &mut M,
+    ) -> Option<(usize, usize)> {
+        match self {
+            StateMatcher::Empty => None,
+            StateMatcher::Bm(bm) => bm.find_at(hay, from, m).map(|s| (0, s)),
+            StateMatcher::Cw(cw) => cw.find_at(hay, from, m).map(|mm| (mm.pattern, mm.start)),
+        }
+    }
+
+    /// Shortest keyword length (the Commentz–Walter sliding-window size).
+    #[allow(dead_code)] // part of the matcher API surface; used in tests
+    pub fn min_len(&self) -> usize {
+        match self {
+            StateMatcher::Empty => 1,
+            StateMatcher::Bm(bm) => bm.pattern().len(),
+            StateMatcher::Cw(cw) => cw.min_len(),
+        }
+    }
+
+    /// Longest keyword length. The streaming window must re-scan this many
+    /// minus one bytes of overlap after a refill, or a long keyword
+    /// straddling the old window end is lost.
+    pub fn max_len(&self) -> usize {
+        match self {
+            StateMatcher::Empty => 1,
+            StateMatcher::Bm(bm) => bm.pattern().len(),
+            StateMatcher::Cw(cw) => {
+                cw.patterns().iter().map(Vec::len).max().unwrap_or(1)
+            }
+        }
+    }
+
+    /// Approximate heap size of the lookup tables (the paper's `Mem`
+    /// column counts these).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            StateMatcher::Empty => 0,
+            StateMatcher::Bm(bm) => {
+                // bad-char table + good-suffix table + pattern copy.
+                256 * std::mem::size_of::<usize>()
+                    + bm.pattern().len() * (1 + std::mem::size_of::<usize>())
+            }
+            StateMatcher::Cw(cw) => {
+                let nodes: usize = cw.patterns().iter().map(|p| p.len() + 1).sum();
+                // trie nodes (edges, gs, tail) + d1 table + patterns.
+                nodes * 48
+                    + 256 * std::mem::size_of::<u32>()
+                    + cw.patterns().iter().map(|p| p.len()).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{Action, Keyword, RtState};
+    use smpx_stringmatch::NoMetrics;
+
+    fn state(kws: &[&str]) -> RtState {
+        RtState {
+            label: None,
+            keywords: kws
+                .iter()
+                .enumerate()
+                .map(|(i, k)| Keyword {
+                    bytes: k.as_bytes().to_vec(),
+                    name: k.trim_start_matches(['<', '/']).to_string(),
+                    close: k.starts_with("</"),
+                    target: i as u32,
+                })
+                .collect(),
+            jump: 0,
+            action: Action::Nop,
+            is_final: false,
+            balanced: false,
+        }
+    }
+
+    #[test]
+    fn empty_state_never_matches() {
+        let m = StateMatcher::build(&state(&[]));
+        assert!(m.find_in(b"<a><b>", 0, &mut NoMetrics).is_none());
+    }
+
+    #[test]
+    fn single_keyword_uses_bm() {
+        let m = StateMatcher::build(&state(&["<item"]));
+        assert!(matches!(m, StateMatcher::Bm(_)));
+        assert_eq!(m.find_in(b"xx<item y>", 0, &mut NoMetrics), Some((0, 2)));
+        assert_eq!(m.find_in(b"xx<item y>", 3, &mut NoMetrics), None);
+    }
+
+    #[test]
+    fn multi_keyword_uses_cw_with_stable_indices() {
+        let m = StateMatcher::build(&state(&["</a", "<b", "<c"]));
+        assert!(matches!(m, StateMatcher::Cw(_)));
+        assert_eq!(m.find_in(b"..<c>..</a>", 0, &mut NoMetrics), Some((2, 2)));
+        assert_eq!(m.find_in(b"..<c>..</a>", 3, &mut NoMetrics), Some((0, 7)));
+    }
+
+    #[test]
+    fn min_and_max_len() {
+        let m = StateMatcher::build(&state(&["</a", "<longkeyword"]));
+        assert_eq!(m.min_len(), 3);
+        assert_eq!(m.max_len(), 12);
+        let b = StateMatcher::build(&state(&["<item"]));
+        assert_eq!(b.min_len(), 5);
+        assert_eq!(b.max_len(), 5);
+        assert_eq!(StateMatcher::build(&state(&[])).max_len(), 1);
+    }
+
+    #[test]
+    fn memory_estimates_positive() {
+        assert!(StateMatcher::build(&state(&["<item"])).memory_bytes() > 256);
+        assert!(StateMatcher::build(&state(&["<a", "</a"])).memory_bytes() > 1024);
+        assert_eq!(StateMatcher::build(&state(&[])).memory_bytes(), 0);
+    }
+}

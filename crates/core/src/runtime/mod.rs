@@ -1,0 +1,657 @@
+//! The SMP runtime algorithm (paper Fig. 4).
+//!
+//! ```text
+//! q := q0; c := 0;
+//! while c ≤ end-of-file and q is not final do
+//!     c := c + J[q];                        // initial jump offset
+//!     search for the closest token in V[q]  // BM or CW
+//!     shift c right until '>' or '/>'       // (†) prefix-tag check here
+//!     q := A[q, token]; perform T[q];       // bachelor tags: open + close
+//! ```
+//!
+//! The only addition over the paper's pseudocode is the explicit
+//! *verification* step around keyword hits: a match `<name` is a real tag
+//! only if the next byte ends the tag name (`>`, `/` or whitespace) — this
+//! is the paper's `Abstract` vs `AbstractText` special case (†). On a
+//! false hit the runtime re-checks the remaining keywords at the same
+//! position (prefix keywords may overlap) and otherwise resumes the scan
+//! one byte further.
+
+mod input;
+mod matchers;
+
+use crate::compile::{compile, Action, CompiledTables};
+use crate::error::CoreError;
+use crate::stats::RunStats;
+use input::{Input, SliceInput, StreamInput};
+use matchers::StateMatcher;
+use smpx_dtd::Dtd;
+use smpx_paths::PathSet;
+use smpx_stringmatch::{Counters, Metrics};
+use std::io::{Read, Write};
+
+/// Default streaming chunk: eight times a 4 KiB page, as in the paper's
+/// prototype ("a pre-allocated buffer … in fixed-size chunks, which we set
+/// to eight times the system page size", Sec. V).
+pub const DEFAULT_CHUNK: usize = 8 * 4096;
+
+/// A compiled, reusable XML prefilter.
+pub struct Prefilter {
+    tables: CompiledTables,
+    matchers: Vec<Option<StateMatcher>>,
+    /// Lazily built `{<e, </e}` searchers for balanced (recursive-element)
+    /// states, indexed like `matchers`.
+    balanced_matchers: Vec<Option<smpx_stringmatch::CommentzWalter>>,
+    matchers_built: usize,
+}
+
+impl Prefilter {
+    /// Run the static analysis and wrap the tables in a runtime.
+    pub fn compile(dtd: &Dtd, paths: &PathSet) -> Result<Prefilter, CoreError> {
+        Ok(Prefilter::from_tables(compile(dtd, paths)?))
+    }
+
+    /// Wrap precompiled tables.
+    pub fn from_tables(tables: CompiledTables) -> Prefilter {
+        let n = tables.states.len();
+        Prefilter {
+            tables,
+            matchers: vec![None; n],
+            balanced_matchers: vec![None; n],
+            matchers_built: 0,
+        }
+    }
+
+    /// The compiled tables.
+    pub fn tables(&self) -> &CompiledTables {
+        &self.tables
+    }
+
+    /// Build every matcher now instead of lazily (ablation switch).
+    pub fn precompile_matchers(&mut self) {
+        for (i, slot) in self.matchers.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(StateMatcher::build(&self.tables.states[i]));
+                self.matchers_built += 1;
+            }
+        }
+    }
+
+    /// Approximate heap bytes of tables plus all matchers built so far
+    /// (the paper's `Mem` column, minus the I/O window).
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.table_bytes()
+            + self
+                .matchers
+                .iter()
+                .flatten()
+                .map(StateMatcher::memory_bytes)
+                .sum::<usize>()
+    }
+
+    /// Prefilter an in-memory document, returning the projected bytes and
+    /// the run statistics.
+    pub fn filter_to_vec(&mut self, doc: &[u8]) -> Result<(Vec<u8>, RunStats), CoreError> {
+        let mut counters = Counters::default();
+        let mut input = SliceInput::new(doc);
+        let mut stats = RunStats { input_bytes: doc.len() as u64, ..RunStats::default() };
+        self.run(&mut input, &mut counters, &mut stats)?;
+        stats.chars_compared += counters.comparisons;
+        stats.shifts = counters.shifts;
+        stats.shift_total = counters.shift_total;
+        stats.output_bytes = input.emitted();
+        Ok((input.into_output(), stats))
+    }
+
+    /// Prefilter a stream in a single pass with a bounded window.
+    pub fn filter_stream<R: Read, W: Write>(
+        &mut self,
+        reader: R,
+        writer: W,
+        chunk: usize,
+    ) -> Result<RunStats, CoreError> {
+        let mut counters = Counters::default();
+        let mut input = StreamInput::new(reader, writer, chunk);
+        let mut stats = RunStats::default();
+        self.run(&mut input, &mut counters, &mut stats)?;
+        stats.chars_compared += counters.comparisons;
+        stats.shifts = counters.shifts;
+        stats.shift_total = counters.shift_total;
+        stats.output_bytes = input.emitted();
+        let (_, _peak) = input.finish()?;
+        Ok(stats)
+    }
+
+    fn matcher(&mut self, q: u32) -> &StateMatcher {
+        let slot = &mut self.matchers[q as usize];
+        if slot.is_none() {
+            *slot = Some(StateMatcher::build(&self.tables.states[q as usize]));
+            self.matchers_built += 1;
+        }
+        slot.as_ref().expect("just built")
+    }
+
+    /// The Fig. 4 loop.
+    fn run<I: Input, M: Metrics>(
+        &mut self,
+        input: &mut I,
+        m: &mut M,
+        stats: &mut RunStats,
+    ) -> Result<(), CoreError> {
+        let lookback = self.tables.max_kw_len + 8;
+        let mut q: u32 = 0;
+        let mut cursor: usize = 0;
+        loop {
+            let state = &self.tables.states[q as usize];
+            if state.keywords.is_empty() {
+                break; // final state: nothing further to scan for
+            }
+            // Initial jump offset J[q].
+            let jump = state.jump as usize;
+            if jump > 0 {
+                cursor += jump;
+                stats.initial_jump_chars += jump as u64;
+            }
+            // Search for the closest verified token of V[q].
+            let Some((kw_idx, start)) = self.find_token(q, input, cursor, m, stats)? else {
+                break; // input exhausted: remaining tokens are irrelevant
+            };
+            let (name_len, close, target) = {
+                let kw = &self.tables.states[q as usize].keywords[kw_idx];
+                (kw.bytes.len(), kw.close, kw.target)
+            };
+            // Scan right for the end of the tag.
+            let mut scan_cmp = 0u64;
+            let (end, bachelor) = scan_tag_end(input, start + name_len, &mut scan_cmp)?;
+            m.cmp(scan_cmp);
+            stats.tokens_matched += 1;
+
+            if bachelor && !close {
+                // Bachelor tag: perform the opening and the closing
+                // transition one after the other (paper Fig. 4).
+                let open_target = target;
+                let close_target = {
+                    let open_state = &self.tables.states[open_target as usize];
+                    let open_label =
+                        open_state.label.clone().expect("labeled state");
+                    open_state
+                        .keywords
+                        .iter()
+                        .find(|k| k.close && k.name == open_label.0)
+                        .map(|k| k.target)
+                        .ok_or(CoreError::UnexpectedToken {
+                            name: open_label.0.clone(),
+                            close: true,
+                            pos: start,
+                        })?
+                };
+                self.apply_bachelor(input, open_target, close_target, start, end)?;
+                q = close_target;
+                cursor = end;
+            } else if !close && self.tables.states[target as usize].balanced {
+                // Recursion extension: cross the opaque subtree with a
+                // balanced depth-counting scan for <e / </e.
+                self.apply_action(input, target, start, end, false)?;
+                let (close_start, close_end) =
+                    self.balanced_scan(target, input, end, m, stats)?;
+                let close_target = {
+                    let open_state = &self.tables.states[target as usize];
+                    let open_label = open_state.label.clone().expect("labeled state");
+                    open_state
+                        .keywords
+                        .iter()
+                        .find(|k| k.close && k.name == open_label.0)
+                        .map(|k| k.target)
+                        .ok_or(CoreError::UnexpectedToken {
+                            name: open_label.0.clone(),
+                            close: true,
+                            pos: close_start,
+                        })?
+                };
+                self.apply_action(input, close_target, close_start, close_end, true)?;
+                q = close_target;
+                cursor = close_end;
+            } else {
+                self.apply_action(input, target, start, end, close)?;
+                q = target;
+                cursor = end;
+            }
+            input.advance(cursor.saturating_sub(lookback));
+        }
+        if input.copy_active() {
+            return Err(CoreError::UnexpectedEof { context: "copying a subtree" });
+        }
+        Ok(())
+    }
+
+    /// Balanced depth-counting scan across an opaque (recursive-element)
+    /// subtree: starting just past the opening tag (depth 1), find
+    /// verified `<e` / `</e` tokens, counting depth up and down, until the
+    /// matching close tag; returns its (start, end).
+    fn balanced_scan<I: Input, M: Metrics>(
+        &mut self,
+        open_state: u32,
+        input: &mut I,
+        from: usize,
+        m: &mut M,
+        stats: &mut RunStats,
+    ) -> Result<(usize, usize), CoreError> {
+        let name = self.tables.states[open_state as usize]
+            .label
+            .as_ref()
+            .expect("balanced states are labeled")
+            .0
+            .clone();
+        let lookback = self.tables.max_kw_len.max(name.len() + 2) + 8;
+        if self.balanced_matchers[open_state as usize].is_none() {
+            let open_pat = format!("<{name}").into_bytes();
+            let close_pat = format!("</{name}").into_bytes();
+            self.balanced_matchers[open_state as usize] = Some(
+                smpx_stringmatch::CommentzWalter::new(&[open_pat, close_pat]),
+            );
+        }
+        let mut cursor = from;
+        let mut depth = 1u32;
+        loop {
+            let hit = {
+                let cw = self.balanced_matchers[open_state as usize]
+                    .as_ref()
+                    .expect("just built");
+                input.find(cw, cursor, m)?
+            };
+            let Some((kw, start)) = hit else {
+                return Err(CoreError::UnexpectedEof {
+                    context: "balanced scan for a recursive element",
+                });
+            };
+            let plen = if kw == 0 { name.len() + 1 } else { name.len() + 2 };
+            m.cmp(1);
+            match input.byte(start + plen)? {
+                Some(c) if is_tag_name_end(c) => {
+                    let mut scan_cmp = 0u64;
+                    let (end, bachelor) = scan_tag_end(input, start + plen, &mut scan_cmp)?;
+                    m.cmp(scan_cmp);
+                    stats.tokens_matched += 1;
+                    if kw == 1 {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Ok((start, end));
+                        }
+                    } else if !bachelor {
+                        depth += 1;
+                    }
+                    cursor = end;
+                }
+                _ => {
+                    stats.false_matches += 1;
+                    cursor = start + 1;
+                }
+            }
+            input.advance(cursor.saturating_sub(lookback));
+        }
+    }
+
+    /// Search from `from` for the closest keyword occurrence that is a real
+    /// tag token (boundary-verified); handles prefix-keyword overlaps.
+    fn find_token<I: Input, M: Metrics>(
+        &mut self,
+        q: u32,
+        input: &mut I,
+        from: usize,
+        m: &mut M,
+        stats: &mut RunStats,
+    ) -> Result<Option<(usize, usize)>, CoreError> {
+        let mut from = from;
+        loop {
+            let hit = {
+                let matcher = self.matcher(q);
+                // Split borrow: matcher borrows self.matchers, input is
+                // independent.
+                input.find(matcher, from, m)?
+            };
+            let Some((kw_idx, start)) = hit else {
+                return Ok(None);
+            };
+            let kw_len = self.tables.states[q as usize].keywords[kw_idx].bytes.len();
+            m.cmp(1);
+            match input.byte(start + kw_len)? {
+                Some(c) if is_tag_name_end(c) => return Ok(Some((kw_idx, start))),
+                _ => {
+                    stats.false_matches += 1;
+                    // Another (longer) keyword may still match here, e.g.
+                    // "<AbstractText" when "<Abstract" just failed.
+                    if let Some(other) = self.keyword_at(q, input, start, kw_idx, m)? {
+                        return Ok(Some((other, start)));
+                    }
+                    from = start + 1;
+                }
+            }
+        }
+    }
+
+    /// Check the remaining keywords of `V[q]` directly at `start` (longest
+    /// first), with boundary verification.
+    fn keyword_at<I: Input, M: Metrics>(
+        &self,
+        q: u32,
+        input: &mut I,
+        start: usize,
+        except: usize,
+        m: &mut M,
+    ) -> Result<Option<usize>, CoreError> {
+        let kws = &self.tables.states[q as usize].keywords;
+        let mut order: Vec<usize> = (0..kws.len()).filter(|&i| i != except).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(kws[i].bytes.len()));
+        for i in order {
+            if input.matches_at(start, &kws[i].bytes, m)? {
+                m.cmp(1);
+                if let Some(c) = input.byte(start + kws[i].bytes.len())? {
+                    if is_tag_name_end(c) {
+                        return Ok(Some(i));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Execute `T[target]` for a non-bachelor token spanning `[start, end)`.
+    fn apply_action<I: Input>(
+        &self,
+        input: &mut I,
+        target: u32,
+        start: usize,
+        end: usize,
+        close: bool,
+    ) -> Result<(), CoreError> {
+        let state = &self.tables.states[target as usize];
+        // Inside an active copy range every byte is already covered by the
+        // raw copy; only copy-off has work to do.
+        if input.copy_active() {
+            if state.action == Action::CopyOff {
+                input.copy_off(end)?;
+            }
+            return Ok(());
+        }
+        match state.action {
+            Action::Nop => {}
+            Action::CopyOn => input.copy_on(start),
+            Action::CopyOff => {
+                // No active range (merged-state conservatism): fall back to
+                // emitting the closing tag.
+                input.emit_range(start, end)?;
+            }
+            Action::CopyTag { with_atts } => {
+                if with_atts {
+                    input.emit_range(start, end)?;
+                } else {
+                    let name = &state.label.as_ref().expect("labeled").0;
+                    let mut buf = Vec::with_capacity(name.len() + 3);
+                    buf.push(b'<');
+                    if close {
+                        buf.push(b'/');
+                    }
+                    buf.extend_from_slice(name.as_bytes());
+                    buf.push(b'>');
+                    input.emit_bytes(&buf)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute the open + close actions of a bachelor tag `<name …/>`.
+    fn apply_bachelor<I: Input>(
+        &self,
+        input: &mut I,
+        open_target: u32,
+        close_target: u32,
+        start: usize,
+        end: usize,
+    ) -> Result<(), CoreError> {
+        let open_act = self.tables.states[open_target as usize].action;
+        let close_act = self.tables.states[close_target as usize].action;
+        if input.copy_active() {
+            // Covered by the enclosing raw copy. A copy-off cannot occur
+            // here: bachelor close actions pair with their own copy-on.
+            if close_act == Action::CopyOff && open_act != Action::CopyOn {
+                input.copy_off(end)?;
+            }
+            return Ok(());
+        }
+        let raw = matches!(open_act, Action::CopyOn)
+            || matches!(close_act, Action::CopyOff)
+            || matches!(open_act, Action::CopyTag { with_atts: true });
+        if raw {
+            input.emit_range(start, end)?;
+            return Ok(());
+        }
+        if matches!(open_act, Action::CopyTag { .. })
+            || matches!(close_act, Action::CopyTag { .. })
+        {
+            let name = &self.tables.states[open_target as usize]
+                .label
+                .as_ref()
+                .expect("labeled")
+                .0;
+            let mut buf = Vec::with_capacity(name.len() + 3);
+            buf.push(b'<');
+            buf.extend_from_slice(name.as_bytes());
+            buf.extend_from_slice(b"/>");
+            input.emit_bytes(&buf)?;
+        }
+        Ok(())
+    }
+}
+
+/// May `c` follow a tag name inside a tag?
+#[inline]
+fn is_tag_name_end(c: u8) -> bool {
+    matches!(c, b'>' | b'/' | b' ' | b'\t' | b'\r' | b'\n')
+}
+
+/// Scan right from `pos` for the closing `>` of a tag, respecting quoted
+/// attribute values (which may contain `>`). Returns (position one past
+/// `>`, bachelor?).
+fn scan_tag_end<I: Input>(
+    input: &mut I,
+    pos: usize,
+    cmp: &mut u64,
+) -> Result<(usize, bool), CoreError> {
+    let mut i = pos;
+    let mut prev = 0u8;
+    loop {
+        *cmp += 1;
+        match input.byte(i)? {
+            None => return Err(CoreError::UnexpectedEof { context: "scanning for tag end" }),
+            Some(b'>') => return Ok((i + 1, prev == b'/')),
+            Some(q @ (b'"' | b'\'')) => {
+                // Skip the quoted attribute value.
+                i += 1;
+                loop {
+                    *cmp += 1;
+                    match input.byte(i)? {
+                        None => {
+                            return Err(CoreError::UnexpectedEof {
+                                context: "scanning a quoted attribute value",
+                            })
+                        }
+                        Some(c) if c == q => break,
+                        Some(_) => i += 1,
+                    }
+                }
+                prev = q;
+                i += 1;
+            }
+            Some(c) => {
+                prev = c;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EX2: &[u8] =
+        br#"<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>"#;
+
+    fn pf(dtd: &[u8], paths: &[&str]) -> Prefilter {
+        let dtd = Dtd::parse(dtd).unwrap();
+        let paths = PathSet::parse(paths).unwrap();
+        Prefilter::compile(&dtd, &paths).unwrap()
+    }
+
+    #[test]
+    fn example2_end_to_end() {
+        let mut p = pf(EX2, &["/*", "/a/b#"]);
+        let doc = b"<a><c><b>x</b></c><b>keep</b><c><b>y</b><b>z</b></c></a>";
+        let (out, stats) = p.filter_to_vec(doc).unwrap();
+        assert_eq!(out, b"<a><b>keep</b></a>".to_vec());
+        assert!(stats.tokens_matched >= 6);
+        assert_eq!(stats.output_bytes, 18);
+    }
+
+    #[test]
+    fn copy_on_off_preserves_subtrees_raw() {
+        let mut p = pf(EX2, &["/*", "//c#"]);
+        let doc = b"<a><b>drop</b><c><b>in c</b></c><b>drop2</b><c><b>q</b><b>r</b></c></a>";
+        let (out, _) = p.filter_to_vec(doc).unwrap();
+        assert_eq!(out, b"<a><c><b>in c</b></c><c><b>q</b><b>r</b></c></a>".to_vec());
+    }
+
+    #[test]
+    fn attributes_and_whitespace_in_tags() {
+        let mut p = pf(EX2, &["/*", "/a/b#"]);
+        // The paper: "<t >" is valid; attributes may contain '>'.
+        let doc = b"<a ><c><b>n</b></c><b  id=\"x>y\" >keep</b></a>";
+        let (out, _) = p.filter_to_vec(doc).unwrap();
+        assert_eq!(out, b"<a><b  id=\"x>y\" >keep</b></a>".to_vec());
+    }
+
+    #[test]
+    fn bachelor_tags_fire_both_transitions() {
+        let mut p = pf(EX2, &["/*", "/a/b#"]);
+        let doc = b"<a><b/><c><b/></c><b>t</b></a>";
+        let (out, _) = p.filter_to_vec(doc).unwrap();
+        assert_eq!(out, b"<a><b/><b>t</b></a>".to_vec());
+    }
+
+    #[test]
+    fn empty_document_root_only() {
+        let mut p = pf(EX2, &["/*", "/a/b#"]);
+        let (out, _) = p.filter_to_vec(b"<a></a>").unwrap();
+        assert_eq!(out, b"<a></a>".to_vec());
+        let (out, _) = p.filter_to_vec(b"<a/>").unwrap();
+        assert_eq!(out, b"<a/>".to_vec());
+    }
+
+    #[test]
+    fn prolog_is_skipped() {
+        let mut p = pf(EX2, &["/*", "/a/b#"]);
+        let doc = b"<?xml version=\"1.0\"?>\n<a><b>k</b></a>";
+        let (out, _) = p.filter_to_vec(doc).unwrap();
+        assert_eq!(out, b"<a><b>k</b></a>".to_vec());
+    }
+
+    #[test]
+    fn stats_reflect_skipping() {
+        let mut p = pf(EX2, &["/*", "/a/b#"]);
+        // Long text inside b-subtrees is raw-copied without inspection
+        // beyond the search; text in c-subtrees is skipped.
+        let filler = "ccccccccccccccccccccccccccccccccccccccc";
+        let doc = format!("<a><c><b>{filler}{filler}</b></c><b>k</b></a>");
+        let (_, stats) = p.filter_to_vec(doc.as_bytes()).unwrap();
+        assert!(stats.chars_compared < doc.len() as u64);
+        assert!(stats.avg_shift() > 1.0);
+    }
+
+    #[test]
+    fn stream_equals_slice_for_all_chunk_sizes() {
+        let doc = b"<a><c><b>x</b><b>y</b></c><b id=\"1\">keep me</b><c><b>zz</b></c></a>";
+        let mut p = pf(EX2, &["/*", "/a/b#"]);
+        let (slice_out, _) = p.filter_to_vec(doc).unwrap();
+        for chunk in [1usize, 2, 3, 5, 8, 16, 64, 4096] {
+            let mut out = Vec::new();
+            let stats = p.filter_stream(&doc[..], &mut out, chunk).unwrap();
+            assert_eq!(out, slice_out, "chunk={chunk}");
+            assert_eq!(stats.output_bytes as usize, slice_out.len());
+        }
+    }
+
+    #[test]
+    fn prefix_tagnames_disambiguated() {
+        // Abstract vs AbstractText (the paper's Medline case).
+        let dtd = br#"<!DOCTYPE r [
+            <!ELEMENT r (AbstractText | Abstract)*>
+            <!ELEMENT Abstract (#PCDATA)>
+            <!ELEMENT AbstractText (#PCDATA)>
+        ]>"#;
+        let mut p = pf(dtd, &["/*", "/r/Abstract#"]);
+        let doc = b"<r><AbstractText>no</AbstractText><Abstract>yes</Abstract></r>";
+        let (out, stats) = p.filter_to_vec(doc).unwrap();
+        assert_eq!(out, b"<r><Abstract>yes</Abstract></r>".to_vec());
+        assert!(stats.false_matches > 0, "must have rejected <AbstractText");
+    }
+
+    #[test]
+    fn prefix_tagnames_other_direction() {
+        let dtd = br#"<!DOCTYPE r [
+            <!ELEMENT r (AbstractText | Abstract)*>
+            <!ELEMENT Abstract (#PCDATA)>
+            <!ELEMENT AbstractText (#PCDATA)>
+        ]>"#;
+        let mut p = pf(dtd, &["/*", "/r/AbstractText#"]);
+        let doc = b"<r><Abstract>no</Abstract><AbstractText>yes</AbstractText></r>";
+        let (out, _) = p.filter_to_vec(doc).unwrap();
+        assert_eq!(out, b"<r><AbstractText>yes</AbstractText></r>".to_vec());
+    }
+
+    #[test]
+    fn keyword_inside_text_is_rejected() {
+        // Text containing "<b"-lookalikes cannot occur in valid XML (must
+        // be escaped), but "<brand" shares the "<b" prefix — the boundary
+        // check must reject it.
+        let dtd = br#"<!DOCTYPE a [
+            <!ELEMENT a (brand | b)*>
+            <!ELEMENT brand (#PCDATA)>
+            <!ELEMENT b (#PCDATA)>
+        ]>"#;
+        let mut p = pf(dtd, &["/*", "/a/b#"]);
+        let doc = b"<a><brand>n</brand><b>y</b></a>";
+        let (out, _) = p.filter_to_vec(doc).unwrap();
+        assert_eq!(out, b"<a><b>y</b></a>".to_vec());
+    }
+
+    #[test]
+    fn initial_jumps_are_applied_and_safe() {
+        // Example 3: inside c we jump 4 before scanning for </c>.
+        let mut p = pf(EX2, &["/*", "/a/b#"]);
+        let doc = b"<a><c><b>x</b></c><b>k</b></a>";
+        let (out, stats) = p.filter_to_vec(doc).unwrap();
+        assert_eq!(out, b"<a><b>k</b></a>".to_vec());
+        assert!(stats.initial_jump_chars >= 4);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_lazy_matchers() {
+        let mut p = pf(EX2, &["/*", "/a/b#"]);
+        let before = p.memory_bytes();
+        let _ = p.filter_to_vec(b"<a><b>k</b></a>").unwrap();
+        let after_run = p.memory_bytes();
+        assert!(after_run > before, "lazy matchers must add memory");
+        let mut q = pf(EX2, &["/*", "/a/b#"]);
+        q.precompile_matchers();
+        assert!(q.memory_bytes() >= after_run);
+    }
+
+    #[test]
+    fn invalid_document_reports_unexpected_eof() {
+        let mut p = pf(EX2, &["/*", "//b#"]);
+        // Opening <b> without a closing tag: copy range never ends.
+        let res = p.filter_to_vec(b"<a><b>never closed");
+        assert!(matches!(res, Err(CoreError::UnexpectedEof { .. })));
+    }
+}

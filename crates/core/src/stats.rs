@@ -1,0 +1,96 @@
+//! Per-run statistics matching the paper's Table I/II rows.
+
+/// Statistics collected by an instrumented prefilter run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Input size in bytes.
+    pub input_bytes: u64,
+    /// Output (projected document) size in bytes.
+    pub output_bytes: u64,
+    /// Characters inspected: matcher comparisons plus tag-end scans and
+    /// match verification (the paper's `Char Comp.`, reported as a
+    /// percentage of the input).
+    pub chars_compared: u64,
+    /// Number of forward shifts performed by the matchers.
+    pub shifts: u64,
+    /// Sum of shift sizes (`∅ Shift Size` = shift_total / shifts).
+    pub shift_total: u64,
+    /// Characters skipped by initial jump offsets alone (the paper's
+    /// `Initial Jumps`, reported as a percentage of the input).
+    pub initial_jump_chars: u64,
+    /// Number of tokens matched and processed.
+    pub tokens_matched: u64,
+    /// Number of keyword matches rejected by the tag-name boundary check
+    /// (the paper's prefix-tag special case, e.g. `<Abstract` vs
+    /// `<AbstractText`).
+    pub false_matches: u64,
+}
+
+impl RunStats {
+    /// `Char Comp. [%]` of Table I/II.
+    pub fn char_comp_pct(&self) -> f64 {
+        pct(self.chars_compared, self.input_bytes)
+    }
+
+    /// `Initial Jumps [%]` of Table I/II.
+    pub fn initial_jumps_pct(&self) -> f64 {
+        pct(self.initial_jump_chars, self.input_bytes)
+    }
+
+    /// `∅ Shift Size [char]` of Table I/II.
+    pub fn avg_shift(&self) -> f64 {
+        if self.shifts == 0 {
+            0.0
+        } else {
+            self.shift_total as f64 / self.shifts as f64
+        }
+    }
+
+    /// Output size relative to input.
+    pub fn projection_ratio(&self) -> f64 {
+        if self.input_bytes == 0 {
+            0.0
+        } else {
+            self.output_bytes as f64 / self.input_bytes as f64
+        }
+    }
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages() {
+        let s = RunStats {
+            input_bytes: 200,
+            output_bytes: 50,
+            chars_compared: 40,
+            shifts: 10,
+            shift_total: 57,
+            initial_jump_chars: 4,
+            tokens_matched: 3,
+            false_matches: 0,
+        };
+        assert!((s.char_comp_pct() - 20.0).abs() < 1e-9);
+        assert!((s.initial_jumps_pct() - 2.0).abs() < 1e-9);
+        assert!((s.avg_shift() - 5.7).abs() < 1e-9);
+        assert!((s.projection_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let s = RunStats::default();
+        assert_eq!(s.char_comp_pct(), 0.0);
+        assert_eq!(s.avg_shift(), 0.0);
+        assert_eq!(s.projection_ratio(), 0.0);
+    }
+}

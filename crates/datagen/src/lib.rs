@@ -1,0 +1,69 @@
+//! Deterministic, size-targeted XML data generators.
+//!
+//! Stand-ins for the paper's evaluation datasets (see DESIGN.md §2):
+//!
+//! * [`xmark`] — an XMark-like auction site with the recursion-free DTD the
+//!   paper uses ("We modified the DTD accordingly", Sec. V-A): regions with
+//!   items, people with profiles, open and closed auctions. Drives
+//!   Table I, Table III, Fig. 7(a) and 7(c).
+//! * [`medline`] — a MEDLINE-like citation corpus: long tag names (larger
+//!   BM/CW shifts), many *optional* elements (near-zero initial jumps, as
+//!   the paper observes), and elements that are declared but never
+//!   generated (query M1 matches nothing). Drives Table II, Fig. 7(b) and
+//!   7(c).
+//! * [`protein`] — a Protein-Sequence-like database (the paper's third
+//!   dataset, results in its technical report \[27\]).
+//!
+//! All generators are seeded and deterministic: the same
+//! [`GenOptions`] always produces the same bytes. Documents are valid
+//! w.r.t. the bundled DTDs (tested token-by-token against the
+//! DTD-automaton) and contain no comments, CDATA or processing
+//! instructions beyond the XML declaration — matching the corpora the
+//! paper ran on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod medline;
+pub mod protein;
+mod text;
+mod util;
+pub mod xmark;
+
+pub use text::TextGen;
+pub use util::XmlBuilder;
+
+/// Options shared by all generators.
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Approximate output size in bytes; generation stops after the
+    /// current top-level record once the target is reached.
+    pub target_bytes: usize,
+    /// RNG seed (same seed ⇒ same document).
+    pub seed: u64,
+}
+
+impl GenOptions {
+    /// Options for a document of roughly `target_bytes` bytes.
+    pub fn sized(target_bytes: usize) -> GenOptions {
+        GenOptions { target_bytes, seed: 0x5eed_cafe }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> GenOptions {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_builder() {
+        let o = GenOptions::sized(1024).with_seed(7);
+        assert_eq!(o.target_bytes, 1024);
+        assert_eq!(o.seed, 7);
+    }
+}

@@ -1,0 +1,322 @@
+//! MEDLINE-like citation-set generator.
+//!
+//! Reproduces the properties of the real MEDLINE corpus that drive the
+//! paper's Table II observations:
+//!
+//! * **long tag names** (`DatesAssociatedWithName`, `CopyrightInformation`)
+//!   → larger average forward shifts than on XMark,
+//! * **mostly optional elements** → initial jump offsets are almost never
+//!   available (the paper measures 0.00% for M1–M4) — except on the spine
+//!   `PMID, DateCreated` which is required, giving M5-style queries their
+//!   jumps,
+//! * **elements declared but absent from the instance** (`CollectionTitle`
+//!   inside the never-generated `Book`): query M1 scans the whole input and
+//!   outputs nothing,
+//! * rare marker values (`PDB`, `NASA`, `Hippocrates`, `Oct2006`,
+//!   `Sterilization`) so the M2–M5 predicates select small fractions.
+
+use crate::text::TextGen;
+use crate::util::XmlBuilder;
+use crate::GenOptions;
+
+/// The MEDLINE-like DTD.
+pub const MEDLINE_DTD: &str = r#"<!DOCTYPE MedlineCitationSet [
+<!ELEMENT MedlineCitationSet (MedlineCitation*)>
+<!ELEMENT MedlineCitation (PMID, DateCreated, DateCompleted?, Article, MedlineJournalInfo, ChemicalList?, MeshHeadingList?, PersonalNameSubjectList?, CopyrightInformation?, GeneralNote?)>
+<!ATTLIST MedlineCitation Owner CDATA #IMPLIED Status CDATA #IMPLIED>
+<!ELEMENT PMID (#PCDATA)>
+<!ELEMENT DateCreated (Year, Month, Day)>
+<!ELEMENT DateCompleted (Year, Month, Day)>
+<!ELEMENT Year (#PCDATA)>
+<!ELEMENT Month (#PCDATA)>
+<!ELEMENT Day (#PCDATA)>
+<!ELEMENT Article (Journal, ArticleTitle, Pagination?, Abstract?, AuthorList?, Language, DataBankList?, Book?)>
+<!ELEMENT Journal (ISSN?, JournalIssue, Title?)>
+<!ELEMENT ISSN (#PCDATA)>
+<!ELEMENT JournalIssue (Volume?, Issue?, PubDate)>
+<!ELEMENT Volume (#PCDATA)>
+<!ELEMENT Issue (#PCDATA)>
+<!ELEMENT PubDate (Year, Month?, Day?)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT ArticleTitle (#PCDATA)>
+<!ELEMENT Pagination (MedlinePgn)>
+<!ELEMENT MedlinePgn (#PCDATA)>
+<!ELEMENT Abstract (AbstractText, CopyrightInformation?)>
+<!ELEMENT AbstractText (#PCDATA)>
+<!ELEMENT AuthorList (Author+)>
+<!ELEMENT Author (LastName, ForeName?, Initials?)>
+<!ELEMENT LastName (#PCDATA)>
+<!ELEMENT ForeName (#PCDATA)>
+<!ELEMENT Initials (#PCDATA)>
+<!ELEMENT Language (#PCDATA)>
+<!ELEMENT DataBankList (DataBank+)>
+<!ELEMENT DataBank (DataBankName, AccessionNumberList?)>
+<!ELEMENT DataBankName (#PCDATA)>
+<!ELEMENT AccessionNumberList (AccessionNumber+)>
+<!ELEMENT AccessionNumber (#PCDATA)>
+<!ELEMENT Book (CollectionTitle?, Isbn?)>
+<!ELEMENT CollectionTitle (#PCDATA)>
+<!ELEMENT Isbn (#PCDATA)>
+<!ELEMENT MedlineJournalInfo (Country?, MedlineTA, NlmUniqueID?)>
+<!ELEMENT Country (#PCDATA)>
+<!ELEMENT MedlineTA (#PCDATA)>
+<!ELEMENT NlmUniqueID (#PCDATA)>
+<!ELEMENT ChemicalList (Chemical+)>
+<!ELEMENT Chemical (RegistryNumber, NameOfSubstance)>
+<!ELEMENT RegistryNumber (#PCDATA)>
+<!ELEMENT NameOfSubstance (#PCDATA)>
+<!ELEMENT MeshHeadingList (MeshHeading+)>
+<!ELEMENT MeshHeading (DescriptorName, QualifierName*)>
+<!ELEMENT DescriptorName (#PCDATA)>
+<!ELEMENT QualifierName (#PCDATA)>
+<!ELEMENT PersonalNameSubjectList (PersonalNameSubject+)>
+<!ELEMENT PersonalNameSubject (LastName, ForeName?, DatesAssociatedWithName?, TitleAssociatedWithName?)>
+<!ELEMENT DatesAssociatedWithName (#PCDATA)>
+<!ELEMENT TitleAssociatedWithName (#PCDATA)>
+<!ELEMENT CopyrightInformation (#PCDATA)>
+<!ELEMENT GeneralNote (#PCDATA)>
+]>"#;
+
+/// Generate a MEDLINE-like document of roughly `opts.target_bytes` bytes.
+pub fn generate(opts: GenOptions) -> Vec<u8> {
+    let mut g = TextGen::new(
+        opts.seed,
+        vec!["NASA", "Sterilization", "PDB", "SWISSPROT", "GENBANK"],
+        80,
+    );
+    let mut b = XmlBuilder::new();
+    let target = opts.target_bytes.max(4096);
+    let mut pmid = 10_000_000u64;
+
+    b.open("MedlineCitationSet");
+    while b.len() < target {
+        citation(&mut b, &mut g, &mut pmid);
+    }
+    b.finish()
+}
+
+fn date(b: &mut XmlBuilder, g: &mut TextGen, tag: &'static str, full: bool) {
+    b.open(tag);
+    b.leaf("Year", &g.number(1990, 2006));
+    if full || g.chance(80) {
+        b.leaf("Month", &g.number(1, 12));
+        if full || g.chance(80) {
+            b.leaf("Day", &g.number(1, 28));
+        }
+    }
+    b.close();
+}
+
+fn citation(b: &mut XmlBuilder, g: &mut TextGen, pmid: &mut u64) {
+    *pmid += 1;
+    b.open_attrs(
+        "MedlineCitation",
+        &[("Owner", "NLM"), ("Status", if g.chance(70) { "MEDLINE" } else { "In-Process" })],
+    );
+    b.leaf("PMID", &pmid.to_string());
+    // DateCreated is required with a full (Year, Month, Day): this is the
+    // mandatory spine that M5-style queries jump over.
+    date(b, g, "DateCreated", true);
+    if g.chance(55) {
+        date(b, g, "DateCompleted", true);
+    }
+
+    b.open("Article");
+    b.open("Journal");
+    if g.chance(70) {
+        b.leaf("ISSN", &format!("{:04}-{:04}", g.number(0, 9999), g.number(0, 9999)));
+    }
+    b.open("JournalIssue");
+    if g.chance(80) {
+        b.leaf("Volume", &g.number(1, 120));
+    }
+    if g.chance(70) {
+        b.leaf("Issue", &g.number(1, 12));
+    }
+    b.open("PubDate");
+    b.leaf("Year", &g.number(1990, 2006));
+    if g.chance(60) {
+        b.leaf("Month", &g.number(1, 12));
+    }
+    b.close(); // PubDate
+    b.close(); // JournalIssue
+    if g.chance(85) {
+        b.leaf("Title", &g.sentence(3, 9));
+    }
+    b.close(); // Journal
+    b.leaf("ArticleTitle", &g.sentence(6, 18));
+    if g.chance(60) {
+        b.open("Pagination");
+        b.leaf("MedlinePgn", &format!("{}-{}", g.number(1, 800), g.number(801, 999)));
+        b.close();
+    }
+    if g.chance(65) {
+        b.open("Abstract");
+        b.leaf("AbstractText", &g.sentence(60, 180));
+        if g.chance(10) {
+            b.leaf("CopyrightInformation", &g.sentence(4, 12));
+        }
+        b.close();
+    }
+    if g.chance(85) {
+        b.open("AuthorList");
+        for _ in 0..(1 + g.below(5)) {
+            b.open("Author");
+            b.leaf("LastName", if g.chance(1) { "Hippocrates" } else { g.word() });
+            if g.chance(80) {
+                b.leaf("ForeName", g.word());
+            }
+            if g.chance(70) {
+                b.leaf("Initials", "JR");
+            }
+            b.close();
+        }
+        b.close();
+    }
+    b.leaf("Language", "eng");
+    if g.chance(12) {
+        b.open("DataBankList");
+        for _ in 0..(1 + g.below(2)) {
+            b.open("DataBank");
+            b.leaf("DataBankName", if g.chance(30) { "PDB" } else { "GENBANK" });
+            if g.chance(80) {
+                b.open("AccessionNumberList");
+                for _ in 0..(1 + g.below(4)) {
+                    b.leaf("AccessionNumber", &format!("{}{}", g.word(), g.number(100, 99999)));
+                }
+                b.close();
+            }
+            b.close();
+        }
+        b.close();
+    }
+    // Book (with CollectionTitle) is declared in the DTD but never
+    // generated: query M1 matches nothing, as in the paper.
+    b.close(); // Article
+
+    b.open("MedlineJournalInfo");
+    if g.chance(80) {
+        b.leaf("Country", "UNITED STATES");
+    }
+    b.leaf("MedlineTA", &g.sentence(1, 4));
+    if g.chance(70) {
+        b.leaf("NlmUniqueID", &g.number(100000, 9999999));
+    }
+    b.close();
+
+    if g.chance(35) {
+        b.open("ChemicalList");
+        for _ in 0..(1 + g.below(4)) {
+            b.open("Chemical");
+            b.leaf("RegistryNumber", &g.number(0, 999999));
+            b.leaf("NameOfSubstance", &g.sentence(1, 4));
+            b.close();
+        }
+        b.close();
+    }
+    if g.chance(60) {
+        b.open("MeshHeadingList");
+        for _ in 0..(2 + g.below(8)) {
+            b.open("MeshHeading");
+            b.leaf("DescriptorName", &g.sentence(1, 3));
+            for _ in 0..g.below(3) {
+                b.leaf("QualifierName", g.word());
+            }
+            b.close();
+        }
+        b.close();
+    }
+    if g.chance(3) {
+        b.open("PersonalNameSubjectList");
+        for _ in 0..(1 + g.below(2)) {
+            b.open("PersonalNameSubject");
+            b.leaf("LastName", if g.chance(8) { "Hippocrates" } else { g.word() });
+            if g.chance(60) {
+                b.leaf("ForeName", g.word());
+            }
+            if g.chance(50) {
+                b.leaf(
+                    "DatesAssociatedWithName",
+                    if g.chance(15) { "Oct2006" } else { "Jan2001" },
+                );
+            }
+            if g.chance(60) {
+                b.leaf("TitleAssociatedWithName", &g.sentence(2, 6));
+            }
+            b.close();
+        }
+        b.close();
+    }
+    if g.chance(8) {
+        b.leaf("CopyrightInformation", &g.sentence(5, 14));
+    }
+    if g.chance(10) {
+        b.leaf("GeneralNote", &g.sentence(4, 10));
+    }
+    b.close(); // MedlineCitation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpx_dtd::{Dtd, DtdAutomaton};
+    use smpx_xml::{check_well_formed, Token, Tokenizer};
+
+    #[test]
+    fn dtd_parses_nonrecursive() {
+        let dtd = Dtd::parse(MEDLINE_DTD.as_bytes()).unwrap();
+        assert_eq!(dtd.root(), "MedlineCitationSet");
+        assert!(!dtd.is_recursive());
+    }
+
+    #[test]
+    fn collection_title_declared_but_never_generated() {
+        let dtd = Dtd::parse(MEDLINE_DTD.as_bytes()).unwrap();
+        assert!(dtd.get("CollectionTitle").is_some());
+        let doc = generate(GenOptions::sized(200_000));
+        let text = String::from_utf8(doc).unwrap();
+        assert!(!text.contains("<CollectionTitle"), "M1 must match nothing");
+        assert!(!text.contains("<Book"), "Book is never generated");
+    }
+
+    #[test]
+    fn generated_document_is_dtd_valid() {
+        let dtd = Dtd::parse(MEDLINE_DTD.as_bytes()).unwrap();
+        let auto = DtdAutomaton::build(&dtd).unwrap();
+        let doc = generate(GenOptions::sized(40_000));
+        check_well_formed(&doc).unwrap();
+        let mut tokens: Vec<(String, bool)> = Vec::new();
+        for t in Tokenizer::new(&doc) {
+            match t.unwrap() {
+                Token::StartTag { name, self_closing, .. } => {
+                    let n = String::from_utf8(name.to_vec()).unwrap();
+                    tokens.push((n.clone(), false));
+                    if self_closing {
+                        tokens.push((n, true));
+                    }
+                }
+                Token::EndTag { name, .. } => {
+                    tokens.push((String::from_utf8(name.to_vec()).unwrap(), true));
+                }
+                _ => {}
+            }
+        }
+        assert!(auto.accepts(&tokens));
+    }
+
+    #[test]
+    fn markers_present_at_scale() {
+        let doc = String::from_utf8(generate(GenOptions::sized(400_000))).unwrap();
+        assert!(doc.contains("PDB"));
+        assert!(doc.contains("<PersonalNameSubjectList>"));
+        assert!(doc.contains("<DateCompleted>"));
+    }
+
+    #[test]
+    fn deterministic_and_size_targeted() {
+        let a = generate(GenOptions::sized(50_000).with_seed(1));
+        let b = generate(GenOptions::sized(50_000).with_seed(1));
+        assert_eq!(a, b);
+        assert!(a.len() >= 50_000 && a.len() < 100_000);
+    }
+}

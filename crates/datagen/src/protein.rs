@@ -1,0 +1,225 @@
+//! Protein-Sequence-like database generator (the paper's third dataset;
+//! its results live in the technical report the paper cites as \[27\]).
+//!
+//! Characteristics: very large leaf text (sequences), a flat record
+//! structure, and medium-length tag names — between XMark and MEDLINE in
+//! shift behaviour.
+
+use crate::text::TextGen;
+use crate::util::XmlBuilder;
+use crate::GenOptions;
+
+/// The ProteinDatabase-like DTD.
+pub const PROTEIN_DTD: &str = r#"<!DOCTYPE ProteinDatabase [
+<!ELEMENT ProteinDatabase (ProteinEntry*)>
+<!ELEMENT ProteinEntry (header, protein, organism, reference+, genetics?, classification?, keywords?, feature*, summary, sequence)>
+<!ATTLIST ProteinEntry id ID #REQUIRED>
+<!ELEMENT header (uid, accession+, created_date, seq_rev_date)>
+<!ELEMENT uid (#PCDATA)>
+<!ELEMENT accession (#PCDATA)>
+<!ELEMENT created_date (#PCDATA)>
+<!ELEMENT seq_rev_date (#PCDATA)>
+<!ELEMENT protein (name, classname?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT classname (#PCDATA)>
+<!ELEMENT organism (source, common?, formal)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT formal (#PCDATA)>
+<!ELEMENT reference (refinfo, accinfo?)>
+<!ELEMENT refinfo (authors, citation, year)>
+<!ATTLIST refinfo refid CDATA #REQUIRED>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT citation (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT accinfo (mol-type?, seq-spec?)>
+<!ELEMENT mol-type (#PCDATA)>
+<!ELEMENT seq-spec (#PCDATA)>
+<!ELEMENT genetics (gene?, codon?)>
+<!ELEMENT gene (#PCDATA)>
+<!ELEMENT codon (#PCDATA)>
+<!ELEMENT classification (superfamily?)>
+<!ELEMENT superfamily (#PCDATA)>
+<!ELEMENT keywords (keyword+)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT feature (feature-type, description?, seq-spec)>
+<!ELEMENT feature-type (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT summary (length, type)>
+<!ELEMENT length (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT sequence (#PCDATA)>
+]>"#;
+
+/// Generate a ProteinDatabase-like document of roughly
+/// `opts.target_bytes` bytes.
+pub fn generate(opts: GenOptions) -> Vec<u8> {
+    let mut g = TextGen::new(opts.seed, vec!["kinase", "globin"], 50);
+    let mut b = XmlBuilder::new();
+    let target = opts.target_bytes.max(4096);
+    let mut uid = 700_000u64;
+
+    b.open("ProteinDatabase");
+    while b.len() < target {
+        entry(&mut b, &mut g, &mut uid);
+    }
+    b.finish()
+}
+
+const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+fn sequence_text(g: &mut TextGen, len: usize) -> String {
+    let mut s = String::with_capacity(len);
+    for _ in 0..len {
+        s.push(AMINO[g.below(AMINO.len())] as char);
+    }
+    s
+}
+
+fn entry(b: &mut XmlBuilder, g: &mut TextGen, uid: &mut u64) {
+    *uid += 1;
+    let id = format!("PE{uid}");
+    b.open_attrs("ProteinEntry", &[("id", &id)]);
+
+    b.open("header");
+    b.leaf("uid", &uid.to_string());
+    for _ in 0..(1 + g.below(2)) {
+        b.leaf("accession", &format!("A{}", g.number(10000, 99999)));
+    }
+    b.leaf("created_date", &g.date());
+    b.leaf("seq_rev_date", &g.date());
+    b.close();
+
+    b.open("protein");
+    b.leaf("name", &g.sentence(1, 4));
+    if g.chance(50) {
+        b.leaf("classname", g.word());
+    }
+    b.close();
+
+    b.open("organism");
+    b.leaf("source", &g.sentence(1, 3));
+    if g.chance(40) {
+        b.leaf("common", g.word());
+    }
+    b.leaf("formal", &g.sentence(2, 3));
+    b.close();
+
+    for _ in 0..(1 + g.below(3)) {
+        b.open("reference");
+        let refid = format!("R{}", g.number(1, 9999));
+        b.open_attrs("refinfo", &[("refid", &refid)]);
+        b.open("authors");
+        for _ in 0..(1 + g.below(4)) {
+            b.leaf("author", g.word());
+        }
+        b.close();
+        b.leaf("citation", &g.sentence(4, 10));
+        b.leaf("year", &g.number(1980, 2006));
+        b.close();
+        if g.chance(40) {
+            b.open("accinfo");
+            if g.chance(70) {
+                b.leaf("mol-type", "complete");
+            }
+            if g.chance(50) {
+                b.leaf("seq-spec", &format!("1-{}", g.number(50, 900)));
+            }
+            b.close();
+        }
+        b.close();
+    }
+
+    if g.chance(45) {
+        b.open("genetics");
+        if g.chance(80) {
+            b.leaf("gene", g.word());
+        }
+        b.close();
+    }
+    if g.chance(55) {
+        b.open("classification");
+        b.leaf("superfamily", &g.sentence(1, 3));
+        b.close();
+    }
+    if g.chance(60) {
+        b.open("keywords");
+        for _ in 0..(1 + g.below(4)) {
+            b.leaf("keyword", g.word());
+        }
+        b.close();
+    }
+    for _ in 0..g.below(4) {
+        b.open("feature");
+        b.leaf("feature-type", g.word());
+        if g.chance(60) {
+            b.leaf("description", &g.sentence(2, 6));
+        }
+        b.leaf("seq-spec", &format!("{}-{}", g.number(1, 100), g.number(101, 900)));
+        b.close();
+    }
+
+    let seq_len = 120 + g.below(900);
+    b.open("summary");
+    b.leaf("length", &seq_len.to_string());
+    b.leaf("type", "complete");
+    b.close();
+    b.leaf("sequence", &sequence_text(g, seq_len));
+    b.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpx_dtd::{Dtd, DtdAutomaton};
+    use smpx_xml::{check_well_formed, Token, Tokenizer};
+
+    #[test]
+    fn dtd_parses_nonrecursive() {
+        let dtd = Dtd::parse(PROTEIN_DTD.as_bytes()).unwrap();
+        assert_eq!(dtd.root(), "ProteinDatabase");
+        assert!(!dtd.is_recursive());
+        DtdAutomaton::build(&dtd).unwrap();
+    }
+
+    #[test]
+    fn generated_document_is_dtd_valid() {
+        let dtd = Dtd::parse(PROTEIN_DTD.as_bytes()).unwrap();
+        let auto = DtdAutomaton::build(&dtd).unwrap();
+        let doc = generate(GenOptions::sized(30_000));
+        check_well_formed(&doc).unwrap();
+        let mut tokens: Vec<(String, bool)> = Vec::new();
+        for t in Tokenizer::new(&doc) {
+            match t.unwrap() {
+                Token::StartTag { name, self_closing, .. } => {
+                    let n = String::from_utf8(name.to_vec()).unwrap();
+                    tokens.push((n.clone(), false));
+                    if self_closing {
+                        tokens.push((n, true));
+                    }
+                }
+                Token::EndTag { name, .. } => {
+                    tokens.push((String::from_utf8(name.to_vec()).unwrap(), true));
+                }
+                _ => {}
+            }
+        }
+        assert!(auto.accepts(&tokens));
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate(GenOptions::sized(60_000).with_seed(3));
+        let b = generate(GenOptions::sized(60_000).with_seed(3));
+        assert_eq!(a, b);
+        assert!(a.len() >= 60_000 && a.len() < 120_000);
+    }
+
+    #[test]
+    fn sequences_dominate_leaf_text() {
+        let doc = String::from_utf8(generate(GenOptions::sized(50_000))).unwrap();
+        assert!(doc.contains("<sequence>"));
+        assert!(doc.contains("<ProteinEntry id=\"PE"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Seeded word-soup text generation.
+//!
+//! Deliberately markup-free prose (Shakespeare-flavoured, like the real
+//! XMark generator's text) with occasional *marker words* injected at a
+//! controlled rate — the strings the evaluation queries look for
+//! (`gold`, `NASA`, `PDB`, `Sterilization`, …), so value predicates select
+//! a realistic, small fraction of nodes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base vocabulary (from the Shakespeare word list the original XMark
+/// generator samples).
+const WORDS: &[&str] = &[
+    "abandon", "bargain", "cattle", "destroy", "enough", "fortune", "gentle", "honour",
+    "instant", "journey", "kindness", "labour", "marriage", "natural", "obtain", "passion",
+    "quarrel", "reason", "silver", "temper", "unfold", "virtue", "wonder", "yonder",
+    "against", "banish", "command", "danger", "embrace", "feather", "garden", "heaven",
+    "inform", "justice", "kingdom", "letter", "mother", "nothing", "office", "prayer",
+    "quality", "remember", "soldier", "thunder", "uncle", "valiant", "weather", "youth",
+    "brother", "counsel", "daughter", "evening", "father", "glory", "hunger", "island",
+    "jealous", "knight", "lantern", "mercy", "needle", "orchard", "palace", "quiet",
+    "river", "sorrow", "tongue", "urgent", "vessel", "window", "yellow", "zeal",
+];
+
+/// A seeded text generator.
+#[derive(Debug, Clone)]
+pub struct TextGen {
+    rng: SmallRng,
+    /// Marker words and their injection rate (one in `marker_rate` words
+    /// may be a marker).
+    markers: Vec<&'static str>,
+    marker_rate: u32,
+}
+
+impl TextGen {
+    /// New generator; `markers` are injected roughly once per
+    /// `marker_rate` words (0 disables injection).
+    pub fn new(seed: u64, markers: Vec<&'static str>, marker_rate: u32) -> TextGen {
+        TextGen { rng: SmallRng::seed_from_u64(seed), markers, marker_rate }
+    }
+
+    /// Plain generator without markers.
+    pub fn plain(seed: u64) -> TextGen {
+        TextGen::new(seed, Vec::new(), 0)
+    }
+
+    /// One random word.
+    pub fn word(&mut self) -> &'static str {
+        if self.marker_rate > 0
+            && !self.markers.is_empty()
+            && self.rng.gen_range(0..self.marker_rate) == 0
+        {
+            self.markers[self.rng.gen_range(0..self.markers.len())]
+        } else {
+            WORDS[self.rng.gen_range(0..WORDS.len())]
+        }
+    }
+
+    /// A sentence of `min..=max` words.
+    pub fn sentence(&mut self, min: usize, max: usize) -> String {
+        let n = self.rng.gen_range(min..=max.max(min));
+        let mut s = String::with_capacity(n * 8);
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(self.word());
+        }
+        s
+    }
+
+    /// A random integer rendered as text.
+    pub fn number(&mut self, lo: u64, hi: u64) -> String {
+        self.rng.gen_range(lo..=hi).to_string()
+    }
+
+    /// A date like `10/22/2006`.
+    pub fn date(&mut self) -> String {
+        format!(
+            "{:02}/{:02}/{}",
+            self.rng.gen_range(1..=12u32),
+            self.rng.gen_range(1..=28u32),
+            self.rng.gen_range(1998..=2007u32)
+        )
+    }
+
+    /// Random in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n.max(1))
+    }
+
+    /// Bernoulli with probability `pct`%.
+    pub fn chance(&mut self, pct: u32) -> bool {
+        self.rng.gen_range(0..100) < pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TextGen::plain(42);
+        let mut b = TextGen::plain(42);
+        assert_eq!(a.sentence(5, 10), b.sentence(5, 10));
+        assert_eq!(a.number(0, 1000), b.number(0, 1000));
+        let mut c = TextGen::plain(43);
+        // Overwhelmingly likely to differ.
+        assert_ne!(
+            (0..20).map(|_| a.word()).collect::<Vec<_>>(),
+            (0..20).map(|_| c.word()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn markers_injected_at_rate() {
+        let mut g = TextGen::new(7, vec!["gold"], 10);
+        let text: Vec<&str> = (0..2000).map(|_| g.word()).collect();
+        let hits = text.iter().filter(|&&w| w == "gold").count();
+        // Expect ~200; allow a generous band.
+        assert!(hits > 100 && hits < 350, "got {hits}");
+    }
+
+    #[test]
+    fn no_markup_characters_in_words() {
+        let mut g = TextGen::new(1, vec!["NASA", "PDB"], 3);
+        for _ in 0..500 {
+            let w = g.word();
+            assert!(!w.contains('<') && !w.contains('&') && !w.contains('>'));
+        }
+    }
+
+    #[test]
+    fn sentence_bounds() {
+        let mut g = TextGen::plain(9);
+        for _ in 0..50 {
+            let s = g.sentence(3, 6);
+            let n = s.split(' ').count();
+            assert!((3..=6).contains(&n));
+        }
+    }
+}

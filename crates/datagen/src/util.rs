@@ -1,0 +1,167 @@
+//! Low-level XML construction helper.
+
+/// Append-only XML builder with a tag stack; keeps generated markup
+//  well-formed by construction.
+#[derive(Debug, Default)]
+pub struct XmlBuilder {
+    buf: Vec<u8>,
+    stack: Vec<&'static str>,
+}
+
+impl XmlBuilder {
+    /// Fresh builder with the XML declaration.
+    pub fn new() -> XmlBuilder {
+        let mut b = XmlBuilder { buf: Vec::with_capacity(4096), stack: Vec::new() };
+        b.buf.extend_from_slice(b"<?xml version=\"1.0\"?>\n");
+        b
+    }
+
+    /// Current output length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before anything was written (never, due to the declaration).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Open `<name>`.
+    pub fn open(&mut self, name: &'static str) {
+        self.buf.push(b'<');
+        self.buf.extend_from_slice(name.as_bytes());
+        self.buf.push(b'>');
+        self.stack.push(name);
+    }
+
+    /// Open `<name a1="v1" …>`.
+    pub fn open_attrs(&mut self, name: &'static str, attrs: &[(&str, &str)]) {
+        self.buf.push(b'<');
+        self.buf.extend_from_slice(name.as_bytes());
+        for (a, v) in attrs {
+            self.buf.push(b' ');
+            self.buf.extend_from_slice(a.as_bytes());
+            self.buf.extend_from_slice(b"=\"");
+            escape_attr(v.as_bytes(), &mut self.buf);
+            self.buf.push(b'"');
+        }
+        self.buf.push(b'>');
+        self.stack.push(name);
+    }
+
+    /// Emit a bachelor tag `<name a1="v1"…/>`.
+    pub fn bachelor(&mut self, name: &'static str, attrs: &[(&str, &str)]) {
+        self.buf.push(b'<');
+        self.buf.extend_from_slice(name.as_bytes());
+        for (a, v) in attrs {
+            self.buf.push(b' ');
+            self.buf.extend_from_slice(a.as_bytes());
+            self.buf.extend_from_slice(b"=\"");
+            escape_attr(v.as_bytes(), &mut self.buf);
+            self.buf.push(b'"');
+        }
+        self.buf.extend_from_slice(b"/>");
+    }
+
+    /// Close the innermost open tag.
+    pub fn close(&mut self) {
+        let name = self.stack.pop().expect("close without open");
+        self.buf.extend_from_slice(b"</");
+        self.buf.extend_from_slice(name.as_bytes());
+        self.buf.push(b'>');
+    }
+
+    /// Escaped character data.
+    pub fn text(&mut self, text: &str) {
+        escape_text(text.as_bytes(), &mut self.buf);
+    }
+
+    /// `<name>text</name>` in one call.
+    pub fn leaf(&mut self, name: &'static str, text: &str) {
+        self.open(name);
+        self.text(text);
+        self.close();
+    }
+
+    /// Raw newline (layout only; PCDATA whitespace is harmless in the
+    /// generated schemas' mixed/text content positions — only used between
+    /// records inside elements whose content allows text).
+    pub fn newline(&mut self) {
+        self.buf.push(b'\n');
+    }
+
+    /// Finish: closes any remaining tags and returns the document.
+    pub fn finish(mut self) -> Vec<u8> {
+        while !self.stack.is_empty() {
+            self.close();
+        }
+        self.buf
+    }
+
+    /// Remaining open depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+fn escape_text(t: &[u8], out: &mut Vec<u8>) {
+    for &b in t {
+        match b {
+            b'&' => out.extend_from_slice(b"&amp;"),
+            b'<' => out.extend_from_slice(b"&lt;"),
+            b'>' => out.extend_from_slice(b"&gt;"),
+            _ => out.push(b),
+        }
+    }
+}
+
+fn escape_attr(t: &[u8], out: &mut Vec<u8>) {
+    for &b in t {
+        match b {
+            b'&' => out.extend_from_slice(b"&amp;"),
+            b'<' => out.extend_from_slice(b"&lt;"),
+            b'"' => out.extend_from_slice(b"&quot;"),
+            // '>' stays raw: legal in attribute values, and exercises the
+            // prefilter's quote-aware tag-end scan.
+            _ => out.push(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_wellformed_markup() {
+        let mut b = XmlBuilder::new();
+        b.open("site");
+        b.open_attrs("item", &[("id", "i1"), ("note", "a&b")]);
+        b.leaf("name", "T<V");
+        b.bachelor("incategory", &[("category", "c3")]);
+        b.close();
+        let doc = b.finish();
+        let s = String::from_utf8(doc).unwrap();
+        assert!(s.contains("<item id=\"i1\" note=\"a&amp;b\">"));
+        assert!(s.contains("<name>T&lt;V</name>"));
+        assert!(s.contains("<incategory category=\"c3\"/>"));
+        assert!(s.ends_with("</item></site>"));
+    }
+
+    #[test]
+    fn finish_closes_stack() {
+        let mut b = XmlBuilder::new();
+        b.open("a");
+        b.open("b");
+        assert_eq!(b.depth(), 2);
+        let doc = b.finish();
+        assert!(String::from_utf8(doc).unwrap().ends_with("</b></a>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "close without open")]
+    fn close_unbalanced_panics() {
+        let mut b = XmlBuilder::new();
+        b.close();
+    }
+}

@@ -1,0 +1,428 @@
+//! XMark-like auction-site generator (non-recursive DTD).
+//!
+//! Mirrors the structure the XMark benchmark generator produces, with the
+//! recursive `parlist`/`listitem` part of item descriptions removed — the
+//! same modification the paper applies ("the XMark DTD allows recursive
+//! lists within item descriptions. We modified the DTD accordingly",
+//! Sec. V-A). Every element and attribute the XM1–XM20 projection paths
+//! touch is present.
+
+use crate::text::TextGen;
+use crate::util::XmlBuilder;
+use crate::GenOptions;
+
+/// The non-recursive XMark-like DTD.
+pub const XMARK_DTD: &str = r#"<!DOCTYPE site [
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox?)>
+<!ATTLIST item id ID #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (text)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT emph (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ATTLIST edge from IDREF #REQUIRED to IDREF #REQUIRED>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile income CDATA #REQUIRED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ATTLIST watch open_auction IDREF #REQUIRED>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT annotation (author, description, happiness)>
+<!ELEMENT author EMPTY>
+<!ATTLIST author person IDREF #REQUIRED>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+]>"#;
+
+/// The six region elements, in document order.
+pub const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Generate an XMark-like document of roughly `opts.target_bytes` bytes.
+pub fn generate(opts: GenOptions) -> Vec<u8> {
+    let mut g = TextGen::new(opts.seed, vec!["gold", "Palm", "Zire", "LCD"], 40);
+    let mut b = XmlBuilder::new();
+    let target = opts.target_bytes.max(4096);
+
+    // Budget shares per section, roughly matching real XMark proportions.
+    let regions_end = target * 44 / 100;
+    let categories_end = target * 47 / 100;
+    let catgraph_end = target * 48 / 100;
+    let people_end = target * 68 / 100;
+    let open_end = target * 89 / 100;
+
+    let mut ids = Ids::default();
+    b.open("site");
+
+    b.open("regions");
+    for (ri, &region) in REGIONS.iter().enumerate() {
+        b.open(region);
+        let region_budget = regions_end * (ri + 1) / REGIONS.len();
+        while b.len() < region_budget {
+            item(&mut b, &mut g, &mut ids);
+        }
+        b.close();
+    }
+    b.close();
+
+    b.open("categories");
+    // At least one category; XM10/XM20 reference them via IDREFs.
+    loop {
+        category(&mut b, &mut g, &mut ids);
+        if b.len() >= categories_end || ids.category > 64 {
+            break;
+        }
+    }
+    b.close();
+
+    b.open("catgraph");
+    while b.len() < catgraph_end && ids.category >= 2 {
+        let from = format!("category{}", g.below(ids.category));
+        let to = format!("category{}", g.below(ids.category));
+        b.bachelor("edge", &[("from", &from), ("to", &to)]);
+    }
+    b.close();
+
+    b.open("people");
+    while b.len() < people_end {
+        person(&mut b, &mut g, &mut ids);
+    }
+    b.close();
+
+    b.open("open_auctions");
+    while b.len() < open_end {
+        open_auction(&mut b, &mut g, &mut ids);
+    }
+    b.close();
+
+    b.open("closed_auctions");
+    while b.len() < target {
+        closed_auction(&mut b, &mut g, &mut ids);
+    }
+    b.close();
+
+    b.finish()
+}
+
+#[derive(Default)]
+struct Ids {
+    item: usize,
+    person: usize,
+    category: usize,
+    open_auction: usize,
+}
+
+fn description(b: &mut XmlBuilder, g: &mut TextGen) {
+    b.open("description");
+    b.open("text");
+    b.text(&g.sentence(15, 60));
+    if g.chance(30) {
+        b.leaf("bold", &g.sentence(1, 3));
+        b.text(&g.sentence(3, 10));
+    }
+    if g.chance(20) {
+        b.leaf("keyword", &g.sentence(1, 2));
+        b.text(&g.sentence(3, 10));
+    }
+    if g.chance(15) {
+        b.leaf("emph", &g.sentence(1, 2));
+    }
+    b.close();
+    b.close();
+}
+
+fn item(b: &mut XmlBuilder, g: &mut TextGen, ids: &mut Ids) {
+    let id = format!("item{}", ids.item);
+    ids.item += 1;
+    b.open_attrs("item", &[("id", &id)]);
+    b.leaf("location", if g.chance(60) { "United States" } else { "Egypt" });
+    b.leaf("quantity", &g.number(1, 9));
+    b.leaf("name", &g.sentence(1, 4));
+    b.leaf("payment", if g.chance(50) { "Creditcard" } else { "Check" });
+    description(b, g);
+    b.leaf("shipping", "Will ship internationally");
+    let cats = 1 + g.below(3);
+    for _ in 0..cats {
+        let c = format!("category{}", g.below(ids.category.max(8)));
+        b.bachelor("incategory", &[("category", &c)]);
+    }
+    if g.chance(25) {
+        b.open("mailbox");
+        for _ in 0..g.below(3) {
+            b.open("mail");
+            b.leaf("from", &g.sentence(1, 2));
+            b.leaf("to", &g.sentence(1, 2));
+            b.leaf("date", &g.date());
+            b.open("text");
+            b.text(&g.sentence(10, 30));
+            b.close();
+            b.close();
+        }
+        b.close();
+    }
+    b.close();
+}
+
+fn category(b: &mut XmlBuilder, g: &mut TextGen, ids: &mut Ids) {
+    let id = format!("category{}", ids.category);
+    ids.category += 1;
+    b.open_attrs("category", &[("id", &id)]);
+    b.leaf("name", &g.sentence(1, 3));
+    description(b, g);
+    b.close();
+}
+
+fn person(b: &mut XmlBuilder, g: &mut TextGen, ids: &mut Ids) {
+    let id = format!("person{}", ids.person);
+    ids.person += 1;
+    b.open_attrs("person", &[("id", &id)]);
+    b.leaf("name", &g.sentence(2, 3));
+    b.leaf("emailaddress", &format!("mailto:{}@example.org", g.word()));
+    if g.chance(40) {
+        b.leaf("phone", &format!("+1 ({}) {}", g.number(100, 999), g.number(1000000, 9999999)));
+    }
+    if g.chance(50) {
+        b.open("address");
+        b.leaf("street", &format!("{} {} St", g.number(1, 99), g.word()));
+        b.leaf("city", g.word());
+        b.leaf("country", "United States");
+        b.leaf("zipcode", &g.number(10000, 99999));
+        b.close();
+    }
+    if g.chance(30) {
+        b.leaf("homepage", &format!("http://www.{}.example/~{}", g.word(), g.word()));
+    }
+    if g.chance(25) {
+        b.leaf("creditcard", &format!("{} {} {} {}", g.number(1000, 9999), g.number(1000, 9999), g.number(1000, 9999), g.number(1000, 9999)));
+    }
+    if g.chance(70) {
+        let income = g.number(9876, 99999);
+        b.open_attrs("profile", &[("income", &income)]);
+        for _ in 0..g.below(4) {
+            let c = format!("category{}", g.below(ids.category.max(8)));
+            b.bachelor("interest", &[("category", &c)]);
+        }
+        if g.chance(60) {
+            b.leaf("education", "Graduate School");
+        }
+        if g.chance(80) {
+            b.leaf("gender", if g.chance(50) { "male" } else { "female" });
+        }
+        b.leaf("business", if g.chance(50) { "Yes" } else { "No" });
+        if g.chance(60) {
+            b.leaf("age", &g.number(18, 90));
+        }
+        b.close();
+    }
+    if g.chance(30) && ids.open_auction > 0 {
+        b.open("watches");
+        for _ in 0..g.below(3) {
+            let w = format!("open_auction{}", g.below(ids.open_auction));
+            b.bachelor("watch", &[("open_auction", &w)]);
+        }
+        b.close();
+    }
+    b.close();
+}
+
+fn open_auction(b: &mut XmlBuilder, g: &mut TextGen, ids: &mut Ids) {
+    let id = format!("open_auction{}", ids.open_auction);
+    ids.open_auction += 1;
+    b.open_attrs("open_auction", &[("id", &id)]);
+    b.leaf("initial", &format!("{}.{:02}", g.number(1, 300), g.number(0, 99)));
+    if g.chance(40) {
+        b.leaf("reserve", &format!("{}.{:02}", g.number(1, 500), g.number(0, 99)));
+    }
+    for _ in 0..g.below(4) {
+        b.open("bidder");
+        b.leaf("date", &g.date());
+        b.leaf("time", &format!("{:02}:{:02}:{:02}", g.number(0, 23), g.number(0, 59), g.number(0, 59)));
+        let p = format!("person{}", g.below(ids.person.max(1)));
+        b.bachelor("personref", &[("person", &p)]);
+        b.leaf("increase", &format!("{}.{:02}", g.number(1, 50), g.number(0, 99)));
+        b.close();
+    }
+    b.leaf("current", &format!("{}.{:02}", g.number(1, 900), g.number(0, 99)));
+    if g.chance(30) {
+        b.leaf("privacy", "Yes");
+    }
+    let it = format!("item{}", g.below(ids.item.max(1)));
+    b.bachelor("itemref", &[("item", &it)]);
+    let s = format!("person{}", g.below(ids.person.max(1)));
+    b.bachelor("seller", &[("person", &s)]);
+    annotation(b, g, ids);
+    b.leaf("quantity", &g.number(1, 9));
+    b.leaf("type", if g.chance(60) { "Regular" } else { "Featured" });
+    b.open("interval");
+    b.leaf("start", &g.date());
+    b.leaf("end", &g.date());
+    b.close();
+    b.close();
+}
+
+fn annotation(b: &mut XmlBuilder, g: &mut TextGen, ids: &mut Ids) {
+    b.open("annotation");
+    let a = format!("person{}", g.below(ids.person.max(1)));
+    b.bachelor("author", &[("person", &a)]);
+    description(b, g);
+    b.leaf("happiness", &g.number(1, 10));
+    b.close();
+}
+
+fn closed_auction(b: &mut XmlBuilder, g: &mut TextGen, ids: &mut Ids) {
+    b.open("closed_auction");
+    let s = format!("person{}", g.below(ids.person.max(1)));
+    b.bachelor("seller", &[("person", &s)]);
+    let buyer = format!("person{}", g.below(ids.person.max(1)));
+    b.bachelor("buyer", &[("person", &buyer)]);
+    let it = format!("item{}", g.below(ids.item.max(1)));
+    b.bachelor("itemref", &[("item", &it)]);
+    b.leaf("price", &format!("{}.{:02}", g.number(1, 900), g.number(0, 99)));
+    b.leaf("date", &g.date());
+    b.leaf("quantity", &g.number(1, 9));
+    b.leaf("type", if g.chance(60) { "Regular" } else { "Featured" });
+    if g.chance(50) {
+        annotation(b, g, ids);
+    }
+    b.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpx_dtd::{Dtd, DtdAutomaton};
+    use smpx_xml::{check_well_formed, Token, Tokenizer};
+
+    #[test]
+    fn dtd_parses_and_is_nonrecursive() {
+        let dtd = Dtd::parse(XMARK_DTD.as_bytes()).unwrap();
+        assert_eq!(dtd.root(), "site");
+        assert!(!dtd.is_recursive());
+        DtdAutomaton::build(&dtd).unwrap();
+    }
+
+    #[test]
+    fn generated_document_is_well_formed() {
+        let doc = generate(GenOptions::sized(40_000));
+        check_well_formed(&doc).unwrap();
+    }
+
+    #[test]
+    fn generated_document_is_dtd_valid() {
+        let dtd = Dtd::parse(XMARK_DTD.as_bytes()).unwrap();
+        let auto = DtdAutomaton::build(&dtd).unwrap();
+        let doc = generate(GenOptions::sized(30_000));
+        let mut tokens: Vec<(String, bool)> = Vec::new();
+        for t in Tokenizer::new(&doc) {
+            match t.unwrap() {
+                Token::StartTag { name, self_closing, .. } => {
+                    let n = String::from_utf8(name.to_vec()).unwrap();
+                    tokens.push((n.clone(), false));
+                    if self_closing {
+                        tokens.push((n, true));
+                    }
+                }
+                Token::EndTag { name, .. } => {
+                    tokens.push((String::from_utf8(name.to_vec()).unwrap(), true));
+                }
+                _ => {}
+            }
+        }
+        assert!(auto.accepts(&tokens), "generated document must be DTD-valid");
+    }
+
+    #[test]
+    fn size_targeting_is_approximate() {
+        for target in [8_192usize, 100_000, 400_000] {
+            let doc = generate(GenOptions::sized(target));
+            assert!(doc.len() >= target, "doc {} >= {target}", doc.len());
+            assert!(doc.len() < target * 2, "doc {} < 2×{target}", doc.len());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(GenOptions::sized(20_000).with_seed(5));
+        let b = generate(GenOptions::sized(20_000).with_seed(5));
+        assert_eq!(a, b);
+        let c = generate(GenOptions::sized(20_000).with_seed(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn contains_all_query_relevant_sections() {
+        let doc = String::from_utf8(generate(GenOptions::sized(60_000))).unwrap();
+        for tag in [
+            "<australia>", "<europe>", "<people>", "<person id=", "<open_auctions>",
+            "<closed_auction>", "<description>", "<incategory category=", "<profile income=",
+        ] {
+            assert!(doc.contains(tag), "missing {tag}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! DTD error type.
+
+use std::fmt;
+
+/// Errors raised while parsing a DTD or compiling automata from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtdError {
+    /// Syntax error in the DTD text.
+    Syntax {
+        /// Human-readable description.
+        msg: String,
+        /// Byte offset in the DTD input.
+        pos: usize,
+    },
+    /// The same element was declared twice.
+    DuplicateElement(String),
+    /// The DTD is recursive (an element can contain itself), which SMP's
+    /// static analysis does not support (the paper assumes non-recursive
+    /// schemas; recursion would require the extension sketched in its
+    /// Sec. II).
+    Recursive {
+        /// One element on the cycle.
+        element: String,
+    },
+    /// The expanded DTD-automaton exceeded the state budget, indicating a
+    /// pathologically nested schema.
+    TooLarge {
+        /// Number of states at which expansion was aborted.
+        limit: usize,
+    },
+    /// The DTD declares no elements.
+    Empty,
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtdError::Syntax { msg, pos } => write!(f, "DTD syntax error at byte {pos}: {msg}"),
+            DtdError::DuplicateElement(e) => write!(f, "element {e:?} declared twice"),
+            DtdError::Recursive { element } => {
+                write!(f, "recursive DTD: element {element:?} can contain itself")
+            }
+            DtdError::TooLarge { limit } => {
+                write!(f, "DTD-automaton exceeds {limit} states")
+            }
+            DtdError::Empty => write!(f, "DTD declares no elements"),
+        }
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DtdError::Syntax { msg: "x".into(), pos: 3 }.to_string().contains("byte 3"));
+        assert!(DtdError::Recursive { element: "a".into() }.to_string().contains("recursive"));
+        assert!(DtdError::TooLarge { limit: 10 }.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Glushkov position automata for content-model regular expressions.
+//!
+//! The Glushkov construction (Brüggemann-Klein & Wood \[24\] in the paper)
+//! yields a *homogeneous* automaton: every transition entering a position
+//! carries that position's label. The paper relies on homogeneity to hang
+//! actions off states, so this is the construction used for the DTD
+//! automaton's per-element skeletons.
+
+use crate::model::Regex;
+use std::collections::BTreeSet;
+
+/// The Glushkov position automaton of one content-model expression.
+///
+/// Positions are the occurrences of element names in the expression,
+/// numbered left to right from 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Glushkov {
+    /// Label (element name) of each position.
+    pub labels: Vec<String>,
+    /// Does the expression accept the empty word?
+    pub nullable: bool,
+    /// Positions that can start a word.
+    pub first: Vec<usize>,
+    /// Positions that can end a word.
+    pub last: Vec<usize>,
+    /// `follow[x]` = positions that may directly follow position `x`.
+    pub follow: Vec<Vec<usize>>,
+}
+
+struct Info {
+    nullable: bool,
+    first: BTreeSet<usize>,
+    last: BTreeSet<usize>,
+}
+
+impl Glushkov {
+    /// Build the position automaton for `re`.
+    pub fn build(re: &Regex) -> Glushkov {
+        let mut labels = Vec::new();
+        let mut follow: Vec<BTreeSet<usize>> = Vec::new();
+        let info = walk(re, &mut labels, &mut follow);
+        Glushkov {
+            labels,
+            nullable: info.nullable,
+            first: info.first.into_iter().collect(),
+            last: info.last.into_iter().collect(),
+            follow: follow.into_iter().map(|s| s.into_iter().collect()).collect(),
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the expression contains no positions.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// NFA simulation: does `seq` (a sequence of element names) match the
+    /// expression? Used by tests and by the document validator.
+    pub fn matches<S: AsRef<str>>(&self, seq: &[S]) -> bool {
+        if seq.is_empty() {
+            return self.nullable;
+        }
+        let mut current: BTreeSet<usize> = self
+            .first
+            .iter()
+            .copied()
+            .filter(|&p| self.labels[p] == seq[0].as_ref())
+            .collect();
+        for s in &seq[1..] {
+            if current.is_empty() {
+                return false;
+            }
+            let mut next = BTreeSet::new();
+            for &p in &current {
+                for &q in &self.follow[p] {
+                    if self.labels[q] == s.as_ref() {
+                        next.insert(q);
+                    }
+                }
+            }
+            current = next;
+        }
+        current.iter().any(|p| self.last.contains(p))
+    }
+}
+
+fn walk(re: &Regex, labels: &mut Vec<String>, follow: &mut Vec<BTreeSet<usize>>) -> Info {
+    match re {
+        Regex::Name(n) => {
+            let p = labels.len();
+            labels.push(n.clone());
+            follow.push(BTreeSet::new());
+            Info {
+                nullable: false,
+                first: std::iter::once(p).collect(),
+                last: std::iter::once(p).collect(),
+            }
+        }
+        Regex::Seq(parts) => {
+            let mut acc: Option<Info> = None;
+            for part in parts {
+                let cur = walk(part, labels, follow);
+                acc = Some(match acc {
+                    None => cur,
+                    Some(prev) => {
+                        // last(prev) → first(cur)
+                        for &l in &prev.last {
+                            follow[l].extend(cur.first.iter().copied());
+                        }
+                        Info {
+                            nullable: prev.nullable && cur.nullable,
+                            first: if prev.nullable {
+                                prev.first.union(&cur.first).copied().collect()
+                            } else {
+                                prev.first
+                            },
+                            last: if cur.nullable {
+                                prev.last.union(&cur.last).copied().collect()
+                            } else {
+                                cur.last
+                            },
+                        }
+                    }
+                });
+            }
+            acc.unwrap_or(Info { nullable: true, first: BTreeSet::new(), last: BTreeSet::new() })
+        }
+        Regex::Choice(parts) => {
+            let mut nullable = false;
+            let mut first = BTreeSet::new();
+            let mut last = BTreeSet::new();
+            for part in parts {
+                let cur = walk(part, labels, follow);
+                nullable |= cur.nullable;
+                first.extend(cur.first);
+                last.extend(cur.last);
+            }
+            Info { nullable, first, last }
+        }
+        Regex::Opt(inner) => {
+            let cur = walk(inner, labels, follow);
+            Info { nullable: true, ..cur }
+        }
+        Regex::Star(inner) | Regex::Plus(inner) => {
+            let cur = walk(inner, labels, follow);
+            for &l in &cur.last {
+                let firsts: Vec<usize> = cur.first.iter().copied().collect();
+                follow[l].extend(firsts);
+            }
+            Info { nullable: matches!(re, Regex::Star(_)) || cur.nullable, ..cur }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str) -> Regex {
+        Regex::Name(n.into())
+    }
+
+    #[test]
+    fn single_name() {
+        let g = Glushkov::build(&name("a"));
+        assert_eq!(g.len(), 1);
+        assert!(!g.nullable);
+        assert_eq!(g.first, vec![0]);
+        assert_eq!(g.last, vec![0]);
+        assert!(g.matches(&["a"]));
+        assert!(!g.matches(&["b"]));
+        assert!(!g.matches::<&str>(&[]));
+        assert!(!g.matches(&["a", "a"]));
+    }
+
+    #[test]
+    fn sequence() {
+        let g = Glushkov::build(&Regex::Seq(vec![name("a"), name("b"), name("c")]));
+        assert!(g.matches(&["a", "b", "c"]));
+        assert!(!g.matches(&["a", "b"]));
+        assert!(!g.matches(&["a", "c", "b"]));
+        assert_eq!(g.follow[0], vec![1]);
+        assert_eq!(g.follow[1], vec![2]);
+        assert!(g.follow[2].is_empty());
+    }
+
+    #[test]
+    fn choice_star_from_example2() {
+        // (b|c)* — the paper's element `a` content.
+        let g = Glushkov::build(&Regex::Star(Box::new(Regex::Choice(vec![
+            name("b"),
+            name("c"),
+        ]))));
+        assert!(g.nullable);
+        assert!(g.matches::<&str>(&[]));
+        assert!(g.matches(&["b", "c", "c", "b"]));
+        assert_eq!(g.first, vec![0, 1]);
+        assert_eq!(g.last, vec![0, 1]);
+        assert_eq!(g.follow[0], vec![0, 1]);
+        assert_eq!(g.follow[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn seq_with_optional_from_example2() {
+        // (b, b?) — the paper's element `c` content.
+        let g = Glushkov::build(&Regex::Seq(vec![
+            name("b"),
+            Regex::Opt(Box::new(name("b"))),
+        ]));
+        assert!(!g.nullable);
+        assert!(g.matches(&["b"]));
+        assert!(g.matches(&["b", "b"]));
+        assert!(!g.matches(&["b", "b", "b"]));
+        assert_eq!(g.first, vec![0]);
+        assert_eq!(g.last, vec![0, 1]);
+    }
+
+    #[test]
+    fn plus_repeats() {
+        let g = Glushkov::build(&Regex::Plus(Box::new(name("x"))));
+        assert!(!g.nullable);
+        assert!(g.matches(&["x"]));
+        assert!(g.matches(&["x", "x", "x"]));
+        assert!(!g.matches::<&str>(&[]));
+    }
+
+    #[test]
+    fn nullable_prefix_extends_first() {
+        // (a?, b): first = {a, b}.
+        let g = Glushkov::build(&Regex::Seq(vec![
+            Regex::Opt(Box::new(name("a"))),
+            name("b"),
+        ]));
+        assert_eq!(g.first, vec![0, 1]);
+        assert!(g.matches(&["b"]));
+        assert!(g.matches(&["a", "b"]));
+        assert!(!g.matches(&["a"]));
+    }
+
+    #[test]
+    fn duplicate_labels_are_distinct_positions() {
+        // (b, b?) has two b-positions; Glushkov keeps them apart.
+        let g = Glushkov::build(&Regex::Seq(vec![name("b"), Regex::Opt(Box::new(name("b")))]));
+        assert_eq!(g.labels, vec!["b".to_string(), "b".to_string()]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn xmark_item_sequence() {
+        // (location,name,payment,description,shipping,incategory+)
+        let g = Glushkov::build(&Regex::Seq(vec![
+            name("location"),
+            name("name"),
+            name("payment"),
+            name("description"),
+            name("shipping"),
+            Regex::Plus(Box::new(name("incategory"))),
+        ]));
+        assert!(g.matches(&[
+            "location",
+            "name",
+            "payment",
+            "description",
+            "shipping",
+            "incategory",
+            "incategory"
+        ]));
+        assert!(!g.matches(&["location", "name", "payment", "description", "shipping"]));
+    }
+}

@@ -1,0 +1,308 @@
+//! Minimal serialization lengths (paper Ex. 1 and Ex. 3).
+//!
+//! The initial jump offsets `J[q]` rest on one question: *how few characters
+//! can a given piece of document structure occupy in any valid instance?*
+//! This module answers it per element:
+//!
+//! * the minimal **open tag** `<name …>` including all `#REQUIRED`
+//!   attributes at their shortest valid values,
+//! * the minimal **close tag** `</name>`,
+//! * the minimal **bachelor tag** `<name …/>` (only when the content model
+//!   admits emptiness),
+//! * the minimal **complete instance** (open + minimal content + close, or
+//!   the bachelor form when allowed).
+//!
+//! Required attributes of enumerated type must carry one of the enumeration
+//! tokens, so their minimal value is the shortest token; every other
+//! attribute type admits an empty value as far as well-formedness is
+//! concerned — matching the paper's `<incategory category=''/>` accounting
+//! (25 characters).
+
+use crate::error::DtdError;
+use crate::model::{AttDefault, ContentModel, Dtd, Regex};
+use std::collections::BTreeMap;
+
+/// Precomputed minimal lengths for every element of a DTD.
+#[derive(Debug, Clone)]
+pub struct MinLen {
+    attr_min: BTreeMap<String, usize>,
+    content_min: BTreeMap<String, usize>,
+    can_be_empty: BTreeMap<String, bool>,
+}
+
+impl MinLen {
+    /// Compute the table. Fails on recursive DTDs (exact lengths would be
+    /// ill-founded); use
+    /// [`compute_allow_recursion`](Self::compute_allow_recursion) for the
+    /// conservative variant.
+    pub fn compute(dtd: &Dtd) -> Result<MinLen, DtdError> {
+        if let Some(e) = dtd.find_cycle() {
+            return Err(DtdError::Recursive { element: e.to_string() });
+        }
+        Self::compute_allow_recursion(dtd)
+    }
+
+    /// Compute the table, assigning recursive elements a conservative
+    /// minimal content length of 0. All lengths remain valid *lower*
+    /// bounds, which is the only property jump-offset safety needs.
+    pub fn compute_allow_recursion(dtd: &Dtd) -> Result<MinLen, DtdError> {
+        let mut ml = MinLen {
+            attr_min: BTreeMap::new(),
+            content_min: BTreeMap::new(),
+            can_be_empty: BTreeMap::new(),
+        };
+        // Declared elements plus everything they reference.
+        let mut names: Vec<String> = dtd.elements().map(|e| e.name.clone()).collect();
+        let mut i = 0;
+        while i < names.len() {
+            let children: Vec<String> = dtd
+                .effective_child_names(&names[i])
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            for c in children {
+                if !names.contains(&c) {
+                    names.push(c);
+                }
+            }
+            i += 1;
+        }
+        for n in &names {
+            ml.attr_min.insert(n.clone(), required_attrs_min(dtd, n));
+            ml.can_be_empty.insert(n.clone(), dtd.content(n).can_be_empty());
+        }
+        // Pre-seed recursive elements with 0 so the memoized recursion is
+        // well-founded (and conservative).
+        for e in dtd.recursive_elements() {
+            ml.content_min.insert(e.to_string(), 0);
+        }
+        for n in &names {
+            content_min_memo(dtd, n, &mut ml.content_min);
+        }
+        Ok(ml)
+    }
+
+    /// Minimal total characters of the `#REQUIRED` attributes of `elem`,
+    /// including the separating spaces (e.g. ` category=""` = 12).
+    pub fn attrs(&self, elem: &str) -> usize {
+        self.attr_min.get(elem).copied().unwrap_or(0)
+    }
+
+    /// Minimal characters of the content (between open and close tag).
+    pub fn content_len(&self, elem: &str) -> usize {
+        self.content_min.get(elem).copied().unwrap_or(0)
+    }
+
+    /// Minimal open tag `<elem …>` length.
+    pub fn open_tag(&self, elem: &str) -> usize {
+        1 + elem.len() + self.attrs(elem) + 1
+    }
+
+    /// Close tag `</elem>` length.
+    pub fn close_tag(&self, elem: &str) -> usize {
+        2 + elem.len() + 1
+    }
+
+    /// Minimal bachelor tag `<elem …/>` length, if the element may be empty.
+    pub fn bachelor(&self, elem: &str) -> Option<usize> {
+        if self.can_be_empty.get(elem).copied().unwrap_or(true) {
+            Some(1 + elem.len() + self.attrs(elem) + 2)
+        } else {
+            None
+        }
+    }
+
+    /// Minimal length of a complete instance of `elem` in any valid
+    /// document.
+    pub fn elem(&self, elem: &str) -> usize {
+        let paired = self.open_tag(elem) + self.content_len(elem) + self.close_tag(elem);
+        match self.bachelor(elem) {
+            Some(b) => paired.min(b),
+            None => paired,
+        }
+    }
+}
+
+/// Memoized minimal content length of `elem` (acyclic by the recursion
+/// check, so plain recursion with a memo map terminates in O(schema size)).
+fn content_min_memo(dtd: &Dtd, elem: &str, memo: &mut BTreeMap<String, usize>) -> usize {
+    if let Some(&v) = memo.get(elem) {
+        return v;
+    }
+    let v = match dtd.content(elem) {
+        ContentModel::Empty | ContentModel::Pcdata | ContentModel::Any | ContentModel::Mixed(_) => {
+            0
+        }
+        ContentModel::Children(re) => {
+            let re = re.clone();
+            regex_min_memo(dtd, &re, memo)
+        }
+    };
+    memo.insert(elem.to_string(), v);
+    v
+}
+
+fn regex_min_memo(dtd: &Dtd, re: &Regex, memo: &mut BTreeMap<String, usize>) -> usize {
+    match re {
+        Regex::Name(n) => elem_min_memo(dtd, n, memo),
+        Regex::Seq(parts) => parts.iter().map(|p| regex_min_memo(dtd, p, memo)).sum(),
+        Regex::Choice(parts) => {
+            parts.iter().map(|p| regex_min_memo(dtd, p, memo)).min().unwrap_or(0)
+        }
+        Regex::Opt(_) | Regex::Star(_) => 0,
+        Regex::Plus(inner) => regex_min_memo(dtd, inner, memo),
+    }
+}
+
+/// Minimal length of a complete instance of `elem`.
+fn elem_min_memo(dtd: &Dtd, elem: &str, memo: &mut BTreeMap<String, usize>) -> usize {
+    let a = required_attrs_min(dtd, elem);
+    let content = content_min_memo(dtd, elem, memo);
+    let paired = (1 + elem.len() + a + 1) + content + (2 + elem.len() + 1);
+    if dtd.content(elem).can_be_empty() {
+        let bachelor = 1 + elem.len() + a + 2;
+        paired.min(bachelor)
+    } else {
+        paired
+    }
+}
+
+fn required_attrs_min(dtd: &Dtd, elem: &str) -> usize {
+    dtd.attrs(elem)
+        .iter()
+        .filter(|a| matches!(a.default, AttDefault::Required))
+        .map(|a| {
+            // ` name="v"` = 1 + |name| + 1 + 2 + |v|.
+            let min_value = min_attr_value_len(&a.ty);
+            1 + a.name.len() + 1 + 2 + min_value
+        })
+        .sum()
+}
+
+/// Minimal value length by declared type: enumerations must use one of
+/// their tokens; every other type admits the empty string as far as
+/// well-formedness goes.
+fn min_attr_value_len(ty: &str) -> usize {
+    let ty = ty.trim();
+    if let Some(body) = ty.strip_prefix('(').and_then(|t| t.strip_suffix(')')) {
+        return body
+            .split('|')
+            .map(|tok| tok.trim().len())
+            .min()
+            .unwrap_or(0);
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_dtd() -> Dtd {
+        Dtd::parse(
+            br#"<!DOCTYPE site [
+            <!ELEMENT site (regions)>
+            <!ELEMENT regions (africa, asia, australia)>
+            <!ELEMENT africa (item*)>
+            <!ELEMENT asia (item*)>
+            <!ELEMENT australia (item*)>
+            <!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+            <!ELEMENT incategory EMPTY>
+            <!ATTLIST incategory category ID #REQUIRED>
+            ]>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example1_jump_ingredients() {
+        // "<regions><africa/><asia/>" has length 25 in the paper.
+        let ml = MinLen::compute(&fig1_dtd()).unwrap();
+        assert_eq!(ml.open_tag("regions"), 9);
+        assert_eq!(ml.bachelor("africa"), Some(9));
+        assert_eq!(ml.bachelor("asia"), Some(7));
+        assert_eq!(ml.open_tag("regions") + ml.elem("africa") + ml.elem("asia"), 25);
+    }
+
+    #[test]
+    fn example1_item_tail_ingredients() {
+        // "<shipping/><incategory category=''/></item>" from the paper's
+        // Example 1: 11 + 25 + 7 = 43.
+        let ml = MinLen::compute(&fig1_dtd()).unwrap();
+        assert_eq!(ml.elem("shipping"), 11);
+        assert_eq!(ml.attrs("incategory"), 12);
+        assert_eq!(ml.elem("incategory"), 25);
+        assert_eq!(ml.close_tag("item"), 7);
+        assert_eq!(ml.elem("shipping") + ml.elem("incategory") + ml.close_tag("item"), 43);
+    }
+
+    #[test]
+    fn example3_c_content() {
+        // DTD of Ex. 2: c has content (b,b?); minimal content is one
+        // bachelor <b/> = 4 characters (J[q3] = 4 in Fig. 3).
+        let dtd = Dtd::parse(
+            br#"<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>"#,
+        )
+        .unwrap();
+        let ml = MinLen::compute(&dtd).unwrap();
+        assert_eq!(ml.content_len("c"), 4);
+        assert_eq!(ml.bachelor("b"), Some(4));
+        // c itself cannot be a bachelor (needs one b).
+        assert_eq!(ml.bachelor("c"), None);
+        assert_eq!(ml.elem("c"), 3 + 4 + 4); // <c> + <b/> + </c>
+    }
+
+    #[test]
+    fn choice_takes_minimum() {
+        let dtd = Dtd::parse(
+            b"<!ELEMENT r (long_element | s)> <!ELEMENT long_element EMPTY> <!ELEMENT s EMPTY>",
+        )
+        .unwrap();
+        let ml = MinLen::compute(&dtd).unwrap();
+        assert_eq!(ml.content_len("r"), 4); // <s/>
+    }
+
+    #[test]
+    fn plus_counts_one_instance() {
+        let dtd = Dtd::parse(b"<!ELEMENT r (x+)> <!ELEMENT x EMPTY>").unwrap();
+        let ml = MinLen::compute(&dtd).unwrap();
+        assert_eq!(ml.content_len("r"), 4); // one <x/>
+        assert_eq!(ml.bachelor("r"), None);
+    }
+
+    #[test]
+    fn enumerated_required_attr_counts_shortest_token() {
+        let dtd = Dtd::parse(
+            br#"<!ELEMENT e EMPTY> <!ATTLIST e kind (alpha|hi|gamma) #REQUIRED>"#,
+        )
+        .unwrap();
+        let ml = MinLen::compute(&dtd).unwrap();
+        // ` kind="hi"` = 1 + 4 + 1 + 2 + 2 = 10.
+        assert_eq!(ml.attrs("e"), 10);
+    }
+
+    #[test]
+    fn optional_attrs_do_not_count() {
+        let dtd = Dtd::parse(
+            br#"<!ELEMENT e EMPTY> <!ATTLIST e a CDATA #IMPLIED b CDATA "dflt">"#,
+        )
+        .unwrap();
+        let ml = MinLen::compute(&dtd).unwrap();
+        assert_eq!(ml.attrs("e"), 0);
+        assert_eq!(ml.bachelor("e"), Some(4));
+    }
+
+    #[test]
+    fn undeclared_children_are_pcdata() {
+        let dtd = Dtd::parse(b"<!ELEMENT r (ghost)>").unwrap();
+        let ml = MinLen::compute(&dtd).unwrap();
+        assert_eq!(ml.elem("ghost"), 8); // <ghost/>
+        assert_eq!(ml.content_len("r"), 8);
+    }
+
+    #[test]
+    fn recursive_dtd_rejected() {
+        let dtd = Dtd::parse(b"<!ELEMENT a (b)> <!ELEMENT b (a)>").unwrap();
+        assert!(matches!(MinLen::compute(&dtd), Err(DtdError::Recursive { .. })));
+    }
+}

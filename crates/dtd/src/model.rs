@@ -1,0 +1,400 @@
+//! Schema model: element declarations, content models, attribute lists.
+
+use crate::error::DtdError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A regular expression over child element names (the body of an element
+/// content model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// A child element.
+    Name(String),
+    /// Concatenation `(a, b, …)`.
+    Seq(Vec<Regex>),
+    /// Alternation `(a | b | …)`.
+    Choice(Vec<Regex>),
+    /// `r?`.
+    Opt(Box<Regex>),
+    /// `r*`.
+    Star(Box<Regex>),
+    /// `r+`.
+    Plus(Box<Regex>),
+}
+
+impl Regex {
+    /// Can this expression match the empty sequence?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Name(_) => false,
+            Regex::Seq(rs) => rs.iter().all(Regex::nullable),
+            Regex::Choice(rs) => rs.iter().any(Regex::nullable),
+            Regex::Opt(_) | Regex::Star(_) => true,
+            Regex::Plus(r) => r.nullable(),
+        }
+    }
+
+    /// All element names mentioned.
+    pub fn names(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Regex::Name(n) => {
+                out.insert(n.as_str());
+            }
+            Regex::Seq(rs) | Regex::Choice(rs) => {
+                for r in rs {
+                    r.collect_names(out);
+                }
+            }
+            Regex::Opt(r) | Regex::Star(r) | Regex::Plus(r) => r.collect_names(out),
+        }
+    }
+}
+
+/// Content model of an element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// `EMPTY`.
+    Empty,
+    /// `ANY` — any sequence of declared elements and text.
+    Any,
+    /// `(#PCDATA)` — text only.
+    Pcdata,
+    /// `(#PCDATA | a | b)*` — mixed content.
+    Mixed(Vec<String>),
+    /// Element content: a regular expression over child names.
+    Children(Regex),
+}
+
+impl ContentModel {
+    /// Can an instance of this content be completely empty (no child
+    /// elements and no mandatory text)?  Text is never mandatory in XML, so
+    /// this is true for everything except a non-nullable children model.
+    pub fn can_be_empty(&self) -> bool {
+        match self {
+            ContentModel::Empty | ContentModel::Any | ContentModel::Pcdata => true,
+            ContentModel::Mixed(_) => true,
+            ContentModel::Children(r) => r.nullable(),
+        }
+    }
+
+    /// May character data appear directly inside this content?
+    pub fn allows_text(&self) -> bool {
+        matches!(self, ContentModel::Any | ContentModel::Pcdata | ContentModel::Mixed(_))
+    }
+
+    /// The set of element names that may appear as direct children.
+    pub fn child_names(&self) -> BTreeSet<&str> {
+        match self {
+            ContentModel::Empty | ContentModel::Pcdata | ContentModel::Any => BTreeSet::new(),
+            ContentModel::Mixed(ns) => ns.iter().map(String::as_str).collect(),
+            ContentModel::Children(r) => r.names(),
+        }
+    }
+}
+
+/// How an attribute is defaulted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttDefault {
+    /// `#REQUIRED` — must be present in every instance.
+    Required,
+    /// `#IMPLIED` — optional.
+    Implied,
+    /// `#FIXED "v"` — optional in the instance, value fixed.
+    Fixed(String),
+    /// A literal default value — optional in the instance.
+    Default(String),
+}
+
+/// One attribute definition from an `<!ATTLIST>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttDef {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type, kept verbatim (`CDATA`, `ID`, `IDREF`, enumerations…).
+    pub ty: String,
+    /// Default declaration.
+    pub default: AttDefault,
+}
+
+/// One `<!ELEMENT>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: String,
+    /// Content model.
+    pub content: ContentModel,
+    /// Attributes from `<!ATTLIST>` declarations, in declaration order.
+    pub attrs: Vec<AttDef>,
+}
+
+/// A parsed DTD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dtd {
+    root: String,
+    elements: BTreeMap<String, ElementDecl>,
+}
+
+impl Dtd {
+    /// Assemble a DTD from parts (used by the parser and by tests/property
+    /// generators).
+    pub fn from_parts(
+        root: String,
+        decls: Vec<ElementDecl>,
+    ) -> Result<Dtd, DtdError> {
+        if decls.is_empty() {
+            return Err(DtdError::Empty);
+        }
+        let mut elements = BTreeMap::new();
+        for d in decls {
+            let name = d.name.clone();
+            if elements.insert(name.clone(), d).is_some() {
+                return Err(DtdError::DuplicateElement(name));
+            }
+        }
+        Ok(Dtd { root, elements })
+    }
+
+    /// Parse DTD text: either a full `<!DOCTYPE name [ … ]>` or a bare
+    /// internal subset (a sequence of `<!ELEMENT>`/`<!ATTLIST>`
+    /// declarations; the root then defaults to the first declared element).
+    pub fn parse(input: &[u8]) -> Result<Dtd, DtdError> {
+        crate::parser::parse(input)
+    }
+
+    /// The document element name.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// All declared elements in name order.
+    pub fn elements(&self) -> impl Iterator<Item = &ElementDecl> {
+        self.elements.values()
+    }
+
+    /// Look up a declaration.
+    pub fn get(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.get(name)
+    }
+
+    /// Content model of `name`. Elements that are referenced but not
+    /// declared default to `(#PCDATA)` — the convention the paper uses for
+    /// its Fig. 1 XMark excerpt ("assume that all unlisted tags have
+    /// #PCDATA content").
+    pub fn content(&self, name: &str) -> &ContentModel {
+        static PCDATA: ContentModel = ContentModel::Pcdata;
+        self.elements.get(name).map(|e| &e.content).unwrap_or(&PCDATA)
+    }
+
+    /// Attribute definitions of `name` (empty for undeclared elements).
+    pub fn attrs(&self, name: &str) -> &[AttDef] {
+        self.elements.get(name).map(|e| e.attrs.as_slice()).unwrap_or(&[])
+    }
+
+    /// Names of `#REQUIRED` attributes of `name`.
+    pub fn required_attrs(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.attrs(name)
+            .iter()
+            .filter(|a| matches!(a.default, AttDefault::Required))
+            .map(|a| a.name.as_str())
+    }
+
+    /// The element names that may appear as direct children of `name`,
+    /// resolving `ANY` to all declared elements (which is what `ANY` means
+    /// for containment and recursion purposes).
+    pub fn effective_child_names(&self, name: &str) -> BTreeSet<&str> {
+        match self.content(name) {
+            ContentModel::Any => self.elements.keys().map(String::as_str).collect(),
+            other => other.child_names(),
+        }
+    }
+
+    /// Is any element (transitively) able to contain itself?
+    pub fn is_recursive(&self) -> bool {
+        self.find_cycle().is_some()
+    }
+
+    /// All elements that can (transitively) contain themselves — the
+    /// elements the recursion extension treats as *opaque* (their subtrees
+    /// are navigated by balanced tag counting instead of automaton states).
+    pub fn recursive_elements(&self) -> BTreeSet<&str> {
+        let names: Vec<&str> = self.elements.keys().map(String::as_str).collect();
+        let mut out = BTreeSet::new();
+        for &e in &names {
+            // DFS from e's children; e is recursive iff it reaches itself.
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut stack: Vec<&str> =
+                self.effective_child_names(e).into_iter().collect();
+            let mut hit = false;
+            while let Some(c) = stack.pop() {
+                if c == e {
+                    hit = true;
+                    break;
+                }
+                if seen.insert(c) {
+                    stack.extend(self.effective_child_names(c));
+                }
+            }
+            if hit {
+                out.insert(e);
+            }
+        }
+        out
+    }
+
+    /// Returns an element on a containment cycle, if one exists.
+    pub fn find_cycle(&self) -> Option<&str> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let names: Vec<&str> = self.elements.keys().map(String::as_str).collect();
+        let index: BTreeMap<&str, usize> =
+            names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut marks = vec![Mark::White; names.len()];
+
+        // Iterative DFS with a grey/black coloring.
+        for &start in &names {
+            if marks[index[start]] != Mark::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, bool)> = vec![(index[start], false)];
+            while let Some((v, processed)) = stack.pop() {
+                if processed {
+                    marks[v] = Mark::Black;
+                    continue;
+                }
+                if marks[v] == Mark::Black {
+                    continue;
+                }
+                marks[v] = Mark::Grey;
+                stack.push((v, true));
+                let children = self.effective_child_names(names[v]);
+                for c in children {
+                    if let Some(&ci) = index.get(c) {
+                        match marks[ci] {
+                            Mark::Grey => return Some(names[ci]),
+                            Mark::White => stack.push((ci, false)),
+                            Mark::Black => {}
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decl(name: &str, content: ContentModel) -> ElementDecl {
+        ElementDecl { name: name.into(), content, attrs: Vec::new() }
+    }
+
+    #[test]
+    fn nullable_regexes() {
+        use Regex::*;
+        assert!(!Name("a".into()).nullable());
+        assert!(Opt(Box::new(Name("a".into()))).nullable());
+        assert!(Star(Box::new(Name("a".into()))).nullable());
+        assert!(!Plus(Box::new(Name("a".into()))).nullable());
+        assert!(Seq(vec![Opt(Box::new(Name("a".into()))), Star(Box::new(Name("b".into())))])
+            .nullable());
+        assert!(!Seq(vec![Opt(Box::new(Name("a".into()))), Name("b".into())]).nullable());
+        assert!(Choice(vec![Name("a".into()), Star(Box::new(Name("b".into())))]).nullable());
+    }
+
+    #[test]
+    fn undeclared_elements_default_to_pcdata() {
+        let dtd = Dtd::from_parts(
+            "a".into(),
+            vec![decl("a", ContentModel::Children(Regex::Name("b".into())))],
+        )
+        .unwrap();
+        assert_eq!(*dtd.content("b"), ContentModel::Pcdata);
+        assert_eq!(*dtd.content("a"), ContentModel::Children(Regex::Name("b".into())));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let dtd = Dtd::from_parts(
+            "a".into(),
+            vec![
+                decl("a", ContentModel::Children(Regex::Name("b".into()))),
+                decl("b", ContentModel::Children(Regex::Opt(Box::new(Regex::Name("a".into()))))),
+            ],
+        )
+        .unwrap();
+        assert!(dtd.is_recursive());
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let dtd = Dtd::from_parts(
+            "a".into(),
+            vec![decl("a", ContentModel::Mixed(vec!["a".into()]))],
+        )
+        .unwrap();
+        assert!(dtd.is_recursive());
+    }
+
+    #[test]
+    fn non_recursive() {
+        let dtd = Dtd::from_parts(
+            "a".into(),
+            vec![
+                decl("a", ContentModel::Children(Regex::Star(Box::new(Regex::Choice(vec![
+                    Regex::Name("b".into()),
+                    Regex::Name("c".into()),
+                ]))))),
+                decl("b", ContentModel::Pcdata),
+                decl("c", ContentModel::Children(Regex::Seq(vec![
+                    Regex::Name("b".into()),
+                    Regex::Opt(Box::new(Regex::Name("b".into()))),
+                ]))),
+            ],
+        )
+        .unwrap();
+        assert!(!dtd.is_recursive());
+    }
+
+    #[test]
+    fn can_be_empty() {
+        assert!(ContentModel::Empty.can_be_empty());
+        assert!(ContentModel::Pcdata.can_be_empty());
+        assert!(ContentModel::Mixed(vec!["a".into()]).can_be_empty());
+        assert!(!ContentModel::Children(Regex::Name("a".into())).can_be_empty());
+        assert!(ContentModel::Children(Regex::Star(Box::new(Regex::Name("a".into()))))
+            .can_be_empty());
+    }
+
+    #[test]
+    fn required_attrs_filtered() {
+        let mut e = decl("a", ContentModel::Empty);
+        e.attrs = vec![
+            AttDef { name: "id".into(), ty: "ID".into(), default: AttDefault::Required },
+            AttDef { name: "x".into(), ty: "CDATA".into(), default: AttDefault::Implied },
+            AttDef {
+                name: "y".into(),
+                ty: "CDATA".into(),
+                default: AttDefault::Fixed("v".into()),
+            },
+        ];
+        let dtd = Dtd::from_parts("a".into(), vec![e]).unwrap();
+        let req: Vec<&str> = dtd.required_attrs("a").collect();
+        assert_eq!(req, vec!["id"]);
+    }
+
+    #[test]
+    fn empty_dtd_rejected() {
+        assert_eq!(Dtd::from_parts("a".into(), vec![]), Err(DtdError::Empty));
+    }
+}

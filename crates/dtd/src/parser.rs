@@ -1,0 +1,484 @@
+//! Recursive-descent parser for DTD internal subsets.
+//!
+//! Accepts either a full `<!DOCTYPE name [ … ]>` wrapper or a bare sequence
+//! of `<!ELEMENT>` / `<!ATTLIST>` declarations. Comments are skipped;
+//! parameter entities are not supported (none of the paper's schemas use
+//! them).
+
+use crate::error::DtdError;
+use crate::model::{AttDef, AttDefault, ContentModel, Dtd, ElementDecl, Regex};
+use smpx_xml::{is_name_byte, is_name_start_byte, is_xml_whitespace};
+use std::collections::BTreeMap;
+
+pub(crate) fn parse(input: &[u8]) -> Result<Dtd, DtdError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws_and_comments();
+
+    let mut doctype_root: Option<String> = None;
+    if p.eat(b"<!DOCTYPE") {
+        p.require_ws()?;
+        doctype_root = Some(p.name()?);
+        p.skip_ws_and_comments();
+        if !p.eat(b"[") {
+            return Err(p.err("expected '[' opening the internal subset"));
+        }
+    }
+
+    let mut decls: Vec<(String, ContentModel)> = Vec::new();
+    let mut attlists: BTreeMap<String, Vec<AttDef>> = BTreeMap::new();
+    loop {
+        p.skip_ws_and_comments();
+        if p.done() {
+            break;
+        }
+        if doctype_root.is_some() && p.peek() == Some(b']') {
+            p.pos += 1;
+            p.skip_ws_and_comments();
+            if !p.eat(b">") {
+                return Err(p.err("expected '>' closing DOCTYPE"));
+            }
+            p.skip_ws_and_comments();
+            break;
+        }
+        if p.eat(b"<!ELEMENT") {
+            p.require_ws()?;
+            let name = p.name()?;
+            p.require_ws()?;
+            let content = p.content_model()?;
+            p.skip_ws_and_comments();
+            if !p.eat(b">") {
+                return Err(p.err("expected '>' closing ELEMENT declaration"));
+            }
+            decls.push((name, content));
+        } else if p.eat(b"<!ATTLIST") {
+            p.require_ws()?;
+            let elem = p.name()?;
+            let defs = p.att_defs()?;
+            attlists.entry(elem).or_default().extend(defs);
+        } else if p.eat(b"<!ENTITY") || p.eat(b"<!NOTATION") {
+            // Tolerated and skipped: scan to the closing '>'.
+            while let Some(c) = p.peek() {
+                p.pos += 1;
+                if c == b'>' {
+                    break;
+                }
+            }
+        } else {
+            return Err(p.err("expected a markup declaration"));
+        }
+    }
+
+    if decls.is_empty() {
+        return Err(DtdError::Empty);
+    }
+    let root = doctype_root.unwrap_or_else(|| decls[0].0.clone());
+    let mut elements = Vec::with_capacity(decls.len());
+    for (name, content) in decls {
+        let attrs = attlists.remove(&name).unwrap_or_default();
+        elements.push(ElementDecl { name, content, attrs });
+    }
+    // ATTLISTs for undeclared elements get a synthetic PCDATA declaration so
+    // their required attributes still count toward minimal lengths.
+    for (name, attrs) in attlists {
+        elements.push(ElementDecl { name, content: ContentModel::Pcdata, attrs });
+    }
+    Dtd::from_parts(root, elements)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> DtdError {
+        DtdError::Syntax { msg: msg.to_string(), pos: self.pos }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &[u8]) -> bool {
+        if self.input[self.pos.min(self.input.len())..].starts_with(lit) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if is_xml_whitespace(c) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.eat(b"<!--") {
+                while self.pos < self.input.len() && !self.input[self.pos..].starts_with(b"-->") {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 3).min(self.input.len());
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn require_ws(&mut self) -> Result<(), DtdError> {
+        match self.peek() {
+            Some(c) if is_xml_whitespace(c) => {
+                self.skip_ws_and_comments();
+                Ok(())
+            }
+            _ => Err(self.err("expected whitespace")),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, DtdError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start_byte(c) => self.pos += 1,
+            _ => return Err(self.err("expected a name")),
+        }
+        while let Some(c) = self.peek() {
+            if is_name_byte(c) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn content_model(&mut self) -> Result<ContentModel, DtdError> {
+        if self.eat(b"EMPTY") {
+            return Ok(ContentModel::Empty);
+        }
+        if self.eat(b"ANY") {
+            return Ok(ContentModel::Any);
+        }
+        if self.peek() != Some(b'(') {
+            // Non-standard shorthand some DTD excerpts use: `#PCDATA`
+            // without parentheses (the paper's Fig. 1 uses this style).
+            if self.eat(b"#PCDATA") {
+                return Ok(ContentModel::Pcdata);
+            }
+            return Err(self.err("expected a content model"));
+        }
+        // Look ahead for mixed content.
+        let save = self.pos;
+        self.pos += 1; // consume '('
+        self.skip_ws_and_comments();
+        if self.eat(b"#PCDATA") {
+            self.skip_ws_and_comments();
+            let mut names = Vec::new();
+            while self.eat(b"|") {
+                self.skip_ws_and_comments();
+                names.push(self.name()?);
+                self.skip_ws_and_comments();
+            }
+            if !self.eat(b")") {
+                return Err(self.err("expected ')' in mixed content"));
+            }
+            let starred = self.eat(b"*");
+            if !names.is_empty() && !starred {
+                return Err(self.err("mixed content with names requires trailing '*'"));
+            }
+            return Ok(if names.is_empty() {
+                ContentModel::Pcdata
+            } else {
+                ContentModel::Mixed(names)
+            });
+        }
+        // Element content: back up to the '(' and parse a regex.
+        self.pos = save;
+        let re = self.regex_particle()?;
+        Ok(ContentModel::Children(re))
+    }
+
+    /// cp ::= (name | choice | seq) ('?' | '*' | '+')?
+    fn regex_particle(&mut self) -> Result<Regex, DtdError> {
+        self.skip_ws_and_comments();
+        let base = if self.eat(b"(") {
+            let re = self.regex_group()?;
+            if !self.eat(b")") {
+                return Err(self.err("expected ')'"));
+            }
+            re
+        } else {
+            Regex::Name(self.name()?)
+        };
+        Ok(match self.peek() {
+            Some(b'?') => {
+                self.pos += 1;
+                Regex::Opt(Box::new(base))
+            }
+            Some(b'*') => {
+                self.pos += 1;
+                Regex::Star(Box::new(base))
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                Regex::Plus(Box::new(base))
+            }
+            _ => base,
+        })
+    }
+
+    /// group ::= cp ((',' cp)* | ('|' cp)*)
+    fn regex_group(&mut self) -> Result<Regex, DtdError> {
+        let first = self.regex_particle()?;
+        self.skip_ws_and_comments();
+        match self.peek() {
+            Some(b',') => {
+                let mut parts = vec![first];
+                while self.eat(b",") {
+                    parts.push(self.regex_particle()?);
+                    self.skip_ws_and_comments();
+                }
+                Ok(Regex::Seq(parts))
+            }
+            Some(b'|') => {
+                let mut parts = vec![first];
+                while self.eat(b"|") {
+                    parts.push(self.regex_particle()?);
+                    self.skip_ws_and_comments();
+                }
+                Ok(Regex::Choice(parts))
+            }
+            _ => Ok(first),
+        }
+    }
+
+    fn att_defs(&mut self) -> Result<Vec<AttDef>, DtdError> {
+        let mut defs = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            if self.eat(b">") {
+                return Ok(defs);
+            }
+            let name = self.name()?;
+            self.require_ws()?;
+            let ty = self.att_type()?;
+            self.require_ws()?;
+            let default = if self.eat(b"#REQUIRED") {
+                AttDefault::Required
+            } else if self.eat(b"#IMPLIED") {
+                AttDefault::Implied
+            } else if self.eat(b"#FIXED") {
+                self.require_ws()?;
+                AttDefault::Fixed(self.quoted()?)
+            } else {
+                AttDefault::Default(self.quoted()?)
+            };
+            defs.push(AttDef { name, ty, default });
+        }
+    }
+
+    fn att_type(&mut self) -> Result<String, DtdError> {
+        // Enumerated type?
+        if self.peek() == Some(b'(') {
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                self.pos += 1;
+                if c == b')' {
+                    return Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned());
+                }
+            }
+            return Err(self.err("unterminated enumerated attribute type"));
+        }
+        // NOTATION (…)?
+        if self.eat(b"NOTATION") {
+            self.require_ws()?;
+            if self.peek() == Some(b'(') {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b')' {
+                        return Ok(format!(
+                            "NOTATION {}",
+                            String::from_utf8_lossy(&self.input[start..self.pos])
+                        ));
+                    }
+                }
+            }
+            return Err(self.err("malformed NOTATION type"));
+        }
+        self.name()
+    }
+
+    fn quoted(&mut self) -> Result<String, DtdError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let v = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(v);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated quoted value"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XMARK_EXCERPT: &[u8] = br#"<!DOCTYPE site [
+<!ELEMENT site (regions)>
+<!ELEMENT regions (africa, asia, australia)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category ID #REQUIRED>
+]>"#;
+
+    #[test]
+    fn parses_the_papers_fig1_excerpt() {
+        let dtd = Dtd::parse(XMARK_EXCERPT).unwrap();
+        assert_eq!(dtd.root(), "site");
+        assert_eq!(*dtd.content("incategory"), ContentModel::Empty);
+        assert_eq!(dtd.required_attrs("incategory").collect::<Vec<_>>(), vec!["category"]);
+        // Unlisted tags default to PCDATA.
+        assert_eq!(*dtd.content("location"), ContentModel::Pcdata);
+        match dtd.content("item") {
+            ContentModel::Children(Regex::Seq(parts)) => assert_eq!(parts.len(), 6),
+            other => panic!("unexpected content model {other:?}"),
+        }
+        assert!(!dtd.is_recursive());
+    }
+
+    #[test]
+    fn parses_example2_dtd() {
+        let dtd = Dtd::parse(
+            br#"<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>"#,
+        )
+        .unwrap();
+        assert_eq!(dtd.root(), "a");
+        match dtd.content("a") {
+            ContentModel::Children(Regex::Star(inner)) => match &**inner {
+                Regex::Choice(cs) => assert_eq!(cs.len(), 2),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        match dtd.content("c") {
+            ContentModel::Children(Regex::Seq(parts)) => {
+                assert_eq!(parts[0], Regex::Name("b".into()));
+                assert_eq!(parts[1], Regex::Opt(Box::new(Regex::Name("b".into()))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_internal_subset_without_doctype() {
+        let dtd = Dtd::parse(b"<!ELEMENT r (x?)> <!ELEMENT x EMPTY>").unwrap();
+        assert_eq!(dtd.root(), "r");
+    }
+
+    #[test]
+    fn mixed_content() {
+        let dtd = Dtd::parse(b"<!ELEMENT p (#PCDATA | em | strong)*>").unwrap();
+        assert_eq!(
+            *dtd.content("p"),
+            ContentModel::Mixed(vec!["em".into(), "strong".into()])
+        );
+        assert!(dtd.content("p").allows_text());
+    }
+
+    #[test]
+    fn nested_groups_and_modifiers() {
+        let dtd = Dtd::parse(b"<!ELEMENT r ((a | b)+, c?, (d, e)*)>").unwrap();
+        match dtd.content("r") {
+            ContentModel::Children(Regex::Seq(parts)) => {
+                assert!(matches!(parts[0], Regex::Plus(_)));
+                assert!(matches!(parts[1], Regex::Opt(_)));
+                assert!(matches!(parts[2], Regex::Star(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attlist_kinds() {
+        let dtd = Dtd::parse(
+            br#"<!ELEMENT e EMPTY>
+                <!ATTLIST e id ID #REQUIRED
+                            opt CDATA #IMPLIED
+                            fix CDATA #FIXED "v"
+                            def (x|y) "x">"#,
+        )
+        .unwrap();
+        let attrs = dtd.attrs("e");
+        assert_eq!(attrs.len(), 4);
+        assert_eq!(attrs[0].default, AttDefault::Required);
+        assert_eq!(attrs[1].default, AttDefault::Implied);
+        assert_eq!(attrs[2].default, AttDefault::Fixed("v".into()));
+        assert_eq!(attrs[3].default, AttDefault::Default("x".into()));
+        assert_eq!(attrs[3].ty, "(x|y)");
+    }
+
+    #[test]
+    fn attlist_for_undeclared_element_is_kept() {
+        let dtd = Dtd::parse(
+            b"<!ELEMENT r (ghost)> <!ATTLIST ghost g CDATA #REQUIRED>",
+        )
+        .unwrap();
+        assert_eq!(dtd.required_attrs("ghost").count(), 1);
+    }
+
+    #[test]
+    fn comments_and_entities_skipped() {
+        let dtd = Dtd::parse(
+            b"<!-- header --> <!ELEMENT r EMPTY> <!ENTITY nbsp \"&#160;\"> <!-- tail -->",
+        )
+        .unwrap();
+        assert_eq!(dtd.root(), "r");
+    }
+
+    #[test]
+    fn pcdata_without_parens_tolerated() {
+        // The paper's Example 2 writes `<!ELEMENT b #PCDATA>`.
+        let dtd = Dtd::parse(b"<!ELEMENT b #PCDATA>").unwrap();
+        assert_eq!(*dtd.content("b"), ContentModel::Pcdata);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(Dtd::parse(b"<!ELEMENT >").is_err());
+        assert!(Dtd::parse(b"<!ELEMENT a (b|>").is_err());
+        assert!(Dtd::parse(b"<!DOCTYPE a <!ELEMENT a EMPTY>").is_err());
+        assert!(Dtd::parse(b"nonsense").is_err());
+        assert!(Dtd::parse(b"").is_err());
+        assert!(Dtd::parse(b"<!ATTLIST e a CDATA >").is_err());
+    }
+
+    #[test]
+    fn duplicate_element_rejected() {
+        assert!(matches!(
+            Dtd::parse(b"<!ELEMENT a EMPTY> <!ELEMENT a EMPTY>"),
+            Err(DtdError::DuplicateElement(_))
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Failures while loading or evaluating.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Input is not well-formed XML.
+    Xml(smpx_xml::XmlError),
+    /// The DOM would exceed the configured memory budget — the engine
+    /// "runs out of memory", reproducing the paper's Fig. 7(a) failures
+    /// mechanically instead of by actually exhausting the machine.
+    MemoryBudget {
+        /// Bytes the document tree needs.
+        needed: usize,
+        /// Configured budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Xml(e) => write!(f, "XML error: {e}"),
+            EngineError::MemoryBudget { needed, budget } => {
+                write!(f, "out of memory: document needs {needed} bytes, budget is {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<smpx_xml::XmlError> for EngineError {
+    fn from(e: smpx_xml::XmlError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EngineError::MemoryBudget { needed: 100, budget: 10 };
+        assert!(e.to_string().contains("out of memory"));
+    }
+}

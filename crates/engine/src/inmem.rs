@@ -1,0 +1,429 @@
+//! In-memory XPath engine with a byte budget (QizX/Saxon stand-in).
+
+use crate::error::EngineError;
+use smpx_paths::xpath::{CmpOp, XExpr, XNodeTest, XPath, XRelPath, XStep};
+use smpx_paths::Axis;
+use smpx_xml::{serialize, Document, NodeId, NodeKind};
+
+/// The engine: configuration only; documents are loaded per query run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InMemEngine {
+    /// Maximum DOM heap bytes; `None` = unlimited.
+    pub memory_budget: Option<usize>,
+}
+
+impl InMemEngine {
+    /// Engine with a budget (the paper capped QizX at 1 GB of heap).
+    pub fn with_budget(bytes: usize) -> InMemEngine {
+        InMemEngine { memory_budget: Some(bytes) }
+    }
+
+    /// Engine without a budget.
+    pub fn unlimited() -> InMemEngine {
+        InMemEngine { memory_budget: None }
+    }
+
+    /// Parse `doc` into a DOM, enforcing the budget.
+    pub fn load(&self, doc: &[u8]) -> Result<LoadedDoc, EngineError> {
+        let tree = Document::parse(doc)?;
+        let needed = tree.heap_bytes();
+        if let Some(budget) = self.memory_budget {
+            if needed > budget {
+                return Err(EngineError::MemoryBudget { needed, budget });
+            }
+        }
+        Ok(LoadedDoc { tree })
+    }
+}
+
+/// A loaded document ready for evaluation.
+#[derive(Debug)]
+pub struct LoadedDoc {
+    tree: Document,
+}
+
+impl LoadedDoc {
+    /// The underlying DOM.
+    pub fn dom(&self) -> &Document {
+        &self.tree
+    }
+
+    /// Evaluate `query`, returning each result item serialized: elements as
+    /// markup, text results as raw bytes. Document order.
+    pub fn eval(&self, query: &XPath) -> Vec<Vec<u8>> {
+        let mut items = Vec::new();
+        // Virtual root context: the document node.
+        let ctx = Ctx::Document;
+        self.eval_steps(&query.steps, ctx, &mut items);
+        items
+    }
+
+    fn eval_steps(&self, steps: &[XStep], ctx: Ctx, out: &mut Vec<Vec<u8>>) {
+        let mut current: Vec<Ctx> = vec![ctx];
+        for (si, step) in steps.iter().enumerate() {
+            let mut next = Vec::new();
+            for c in &current {
+                self.apply_step(step, c.clone(), &mut next);
+            }
+            // Keep document order and dedup (descendant steps can reach the
+            // same node twice via different contexts).
+            next.sort();
+            next.dedup();
+            current = next;
+            if current.is_empty() {
+                return;
+            }
+            let _ = si;
+        }
+        for c in current {
+            match c {
+                Ctx::Document => {}
+                Ctx::Elem(n) => out.push(serialize(&self.tree, n)),
+                Ctx::Text(n) => {
+                    if let NodeKind::Text(t) = self.tree.kind(n) {
+                        out.push(t.to_vec());
+                    }
+                }
+                Ctx::Attr(_, ref v) => out.push(v.clone()),
+            }
+        }
+    }
+
+    fn apply_step(&self, step: &XStep, ctx: Ctx, out: &mut Vec<Ctx>) {
+        // Attribute tests address the *context* node (child axis) or the
+        // context's descendants-or-self (descendant axis), not children.
+        if let XNodeTest::Attr(a) = &step.test {
+            let holders: Vec<NodeId> = match (&ctx, step.axis) {
+                (Ctx::Elem(n), Axis::Child) => vec![*n],
+                (Ctx::Elem(n), Axis::Descendant) => {
+                    let mut v = vec![*n];
+                    v.extend(self.tree.descendants(*n));
+                    v
+                }
+                (Ctx::Document, Axis::Child) => vec![self.tree.root()],
+                (Ctx::Document, Axis::Descendant) => {
+                    let mut v = vec![self.tree.root()];
+                    v.extend(self.tree.descendants(self.tree.root()));
+                    v
+                }
+                _ => vec![],
+            };
+            for h in holders {
+                if let Some(v) = self.tree.attr(h, a.as_bytes()) {
+                    out.push(Ctx::Attr(h, v.to_vec()));
+                }
+            }
+            return;
+        }
+        let nodes: Vec<NodeId> = match (ctx, step.axis) {
+            (Ctx::Document, Axis::Child) => vec![self.tree.root()],
+            (Ctx::Document, Axis::Descendant) => {
+                let mut v = vec![self.tree.root()];
+                v.extend(self.tree.descendants(self.tree.root()));
+                v
+            }
+            (Ctx::Elem(n), Axis::Child) => self.tree.children(n).collect(),
+            (Ctx::Elem(n), Axis::Descendant) => self.tree.descendants(n).collect(),
+            (Ctx::Text(_), _) | (Ctx::Attr(..), _) => return,
+        };
+        // Name-test pass first; predicates are applied afterwards in
+        // sequence with proper positional semantics ([1], [last()]).
+        let mut matched: Vec<NodeId> = Vec::new();
+        for n in nodes {
+            match (&step.test, self.tree.kind(n)) {
+                (XNodeTest::Name(want), NodeKind::Element { name, .. })
+                    if want.as_bytes() == &name[..] =>
+                {
+                    matched.push(n);
+                }
+                (XNodeTest::Wildcard, NodeKind::Element { .. }) => matched.push(n),
+                (XNodeTest::Text, NodeKind::Text(_)) => out.push(Ctx::Text(n)),
+                _ => {}
+            }
+        }
+        for pred in &step.predicates {
+            matched = self.filter_predicate(pred, matched);
+            if matched.is_empty() {
+                break;
+            }
+        }
+        out.extend(matched.into_iter().map(Ctx::Elem));
+    }
+
+    /// Apply one predicate to an ordered candidate list (XPath semantics:
+    /// positions are relative to the list produced by the preceding
+    /// predicate).
+    fn filter_predicate(&self, pred: &XExpr, matched: Vec<NodeId>) -> Vec<NodeId> {
+        match pred {
+            XExpr::Number(n) => {
+                // Positional: [k] keeps the k-th match (1-based).
+                let k = *n as usize;
+                if *n >= 1.0 && (*n - k as f64).abs() < f64::EPSILON && k <= matched.len() {
+                    vec![matched[k - 1]]
+                } else {
+                    Vec::new()
+                }
+            }
+            XExpr::Last => matched.last().copied().into_iter().collect(),
+            other => matched
+                .into_iter()
+                .filter(|&n| self.truthy(other, n))
+                .collect(),
+        }
+    }
+
+    /// XPath-1.0-style effective boolean value with existential
+    /// comparisons.
+    fn truthy(&self, e: &XExpr, ctx: NodeId) -> bool {
+        match e {
+            XExpr::Path(p) => !self.rel_values(p, ctx).is_empty(),
+            XExpr::Literal(s) => !s.is_empty(),
+            XExpr::Number(n) => *n != 0.0,
+            XExpr::Not(inner) => !self.truthy(inner, ctx),
+            XExpr::And(a, b) => self.truthy(a, ctx) && self.truthy(b, ctx),
+            XExpr::Or(a, b) => self.truthy(a, ctx) || self.truthy(b, ctx),
+            XExpr::Empty(p) => self.rel_values(p, ctx).is_empty(),
+            XExpr::Count(_) => true, // bare count() is truthy if > 0 — see Cmp
+            XExpr::Last => true,     // positional use is handled in filter_predicate
+            XExpr::Contains(a, b) => {
+                let hay = self.string_values(a, ctx);
+                let needles = self.string_values(b, ctx);
+                hay.iter().any(|h| {
+                    needles.iter().any(|n| {
+                        h.windows(n.len().max(1)).any(|w| w == &n[..]) || n.is_empty()
+                    })
+                })
+            }
+            XExpr::Cmp(a, op, b) => self.compare(a, *op, b, ctx),
+        }
+    }
+
+    fn compare(&self, a: &XExpr, op: CmpOp, b: &XExpr, ctx: NodeId) -> bool {
+        // Numeric comparison when either side is a number literal or a
+        // count(); else existential string comparison.
+        let numeric = matches!(a, XExpr::Number(_) | XExpr::Count(_))
+            || matches!(b, XExpr::Number(_) | XExpr::Count(_));
+        if numeric {
+            let left = self.numeric_values(a, ctx);
+            let right = self.numeric_values(b, ctx);
+            left.iter().any(|&l| right.iter().any(|&r| cmp_f64(l, op, r)))
+        } else {
+            let left = self.string_values(a, ctx);
+            let right = self.string_values(b, ctx);
+            left.iter().any(|l| right.iter().any(|r| cmp_bytes(l, op, r)))
+        }
+    }
+
+    fn numeric_values(&self, e: &XExpr, ctx: NodeId) -> Vec<f64> {
+        match e {
+            XExpr::Number(n) => vec![*n],
+            XExpr::Count(p) => vec![self.rel_values(p, ctx).len() as f64],
+            _ => self
+                .string_values(e, ctx)
+                .iter()
+                .filter_map(|v| std::str::from_utf8(v).ok()?.trim().parse().ok())
+                .collect(),
+        }
+    }
+
+    fn string_values(&self, e: &XExpr, ctx: NodeId) -> Vec<Vec<u8>> {
+        match e {
+            XExpr::Literal(s) => vec![s.as_bytes().to_vec()],
+            XExpr::Number(n) => vec![format_number(*n).into_bytes()],
+            XExpr::Path(p) => self.rel_values(p, ctx),
+            _ => vec![],
+        }
+    }
+
+    /// String values of the nodes a relative path selects from `ctx`.
+    fn rel_values(&self, p: &XRelPath, ctx: NodeId) -> Vec<Vec<u8>> {
+        let mut current: Vec<Ctx> = vec![Ctx::Elem(ctx)];
+        for step in &p.steps {
+            let mut next = Vec::new();
+            for c in &current {
+                self.apply_step(step, c.clone(), &mut next);
+            }
+            next.sort();
+            next.dedup();
+            current = next;
+            if current.is_empty() {
+                return vec![];
+            }
+        }
+        current
+            .into_iter()
+            .map(|c| match c {
+                Ctx::Elem(n) => self.tree.text_content(n),
+                Ctx::Text(n) => match self.tree.kind(n) {
+                    NodeKind::Text(t) => t.to_vec(),
+                    _ => Vec::new(),
+                },
+                Ctx::Attr(_, v) => v,
+                Ctx::Document => Vec::new(),
+            })
+            .collect()
+    }
+}
+
+/// Evaluation context item.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Ctx {
+    Document,
+    Elem(NodeId),
+    Text(NodeId),
+    Attr(NodeId, Vec<u8>),
+}
+
+fn cmp_f64(l: f64, op: CmpOp, r: f64) -> bool {
+    match op {
+        CmpOp::Eq => l == r,
+        CmpOp::Ne => l != r,
+        CmpOp::Lt => l < r,
+        CmpOp::Le => l <= r,
+        CmpOp::Gt => l > r,
+        CmpOp::Ge => l >= r,
+    }
+}
+
+fn cmp_bytes(l: &[u8], op: CmpOp, r: &[u8]) -> bool {
+    match op {
+        CmpOp::Eq => l == r,
+        CmpOp::Ne => l != r,
+        CmpOp::Lt => l < r,
+        CmpOp::Le => l <= r,
+        CmpOp::Gt => l > r,
+        CmpOp::Ge => l >= r,
+    }
+}
+
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpx_paths::xpath::XPath;
+
+    fn eval(doc: &[u8], query: &str) -> Vec<String> {
+        let engine = InMemEngine::unlimited();
+        let loaded = engine.load(doc).unwrap();
+        loaded
+            .eval(&XPath::parse(query).unwrap())
+            .into_iter()
+            .map(|v| String::from_utf8(v).unwrap())
+            .collect()
+    }
+
+    const DOC: &[u8] = br#"<site><people>
+        <person id="p0"><name>Alice</name><age>30</age></person>
+        <person id="p1"><name>Bob</name><age>55</age></person>
+    </people><regions><australia><item id="i0"><name>Palm</name>
+        <description>gold watch</description></item></australia></regions></site>"#;
+
+    #[test]
+    fn child_and_descendant_steps() {
+        assert_eq!(
+            eval(DOC, "/site/people/person/name"),
+            vec!["<name>Alice</name>", "<name>Bob</name>"]
+        );
+        assert_eq!(eval(DOC, "//name/text()"), vec!["Alice", "Bob", "Palm"]);
+        assert_eq!(eval(DOC, "//australia//description"), vec!["<description>gold watch</description>"]);
+    }
+
+    #[test]
+    fn attribute_predicate() {
+        assert_eq!(
+            eval(DOC, r#"/site/people/person[@id="p1"]/name"#),
+            vec!["<name>Bob</name>"]
+        );
+        assert_eq!(eval(DOC, r#"/site/people/person[@id="zz"]/name"#), Vec::<String>::new());
+    }
+
+    #[test]
+    fn text_comparison_predicate() {
+        assert_eq!(
+            eval(DOC, r#"/site/people/person[name/text()="Alice"]/age"#),
+            vec!["<age>30</age>"]
+        );
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        assert_eq!(
+            eval(DOC, "/site/people/person[age >= 40]/name"),
+            vec!["<name>Bob</name>"]
+        );
+        assert_eq!(
+            eval(DOC, "/site/people/person[age < 40]/name"),
+            vec!["<name>Alice</name>"]
+        );
+    }
+
+    #[test]
+    fn contains_and_boolean_connectives() {
+        assert_eq!(
+            eval(DOC, r#"//item[contains(description,"gold")]/name"#),
+            vec!["<name>Palm</name>"]
+        );
+        assert_eq!(
+            eval(DOC, r#"/site/people/person[name="Alice" or name="Bob"]/age"#),
+            vec!["<age>30</age>", "<age>55</age>"]
+        );
+        assert_eq!(
+            eval(DOC, r#"/site/people/person[name="Alice" and age="30"]/age"#),
+            vec!["<age>30</age>"]
+        );
+        assert_eq!(
+            eval(DOC, r#"/site/people/person[not(name="Alice")]/name"#),
+            vec!["<name>Bob</name>"]
+        );
+    }
+
+    #[test]
+    fn count_and_empty() {
+        assert_eq!(eval(DOC, "/site[count(people/person) >= 2]/regions/australia/item/name"),
+            vec!["<name>Palm</name>"]);
+        assert_eq!(eval(DOC, "/site/people/person[empty(homepage)]/name").len(), 2);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        assert_eq!(eval(DOC, "/site/*/person/name").len(), 2);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let doc: &[u8] = br#"<r><p><x>a</x><x>b</x><x>c</x></p><p><x>d</x></p></r>"#;
+        assert_eq!(eval(doc, "/r/p/x[1]"), vec!["<x>a</x>", "<x>d</x>"]);
+        assert_eq!(eval(doc, "/r/p/x[2]"), vec!["<x>b</x>"]);
+        assert_eq!(eval(doc, "/r/p/x[last()]"), vec!["<x>c</x>", "<x>d</x>"]);
+        assert_eq!(eval(doc, "/r/p/x[4]"), Vec::<String>::new());
+        assert_eq!(eval(doc, "/r/p[last()]/x"), vec!["<x>d</x>"]);
+    }
+
+    #[test]
+    fn chained_positional_and_value_predicates() {
+        let doc: &[u8] = br#"<r><x k="1">a</x><x>b</x><x k="1">c</x></r>"#;
+        // Filter by attribute first, then position within the filtered list.
+        assert_eq!(eval(doc, r#"/r/x[@k="1"][2]"#), vec![r#"<x k="1">c</x>"#]);
+        assert_eq!(eval(doc, r#"/r/x[@k="1"][last()]"#), vec![r#"<x k="1">c</x>"#]);
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let small = InMemEngine::with_budget(64);
+        assert!(matches!(small.load(DOC), Err(EngineError::MemoryBudget { .. })));
+        let big = InMemEngine::with_budget(1 << 20);
+        assert!(big.load(DOC).is_ok());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(InMemEngine::unlimited().load(b"<a><b></a>").is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Query engines for the SMP evaluation (Sec. V-B).
+//!
+//! * [`InMemEngine`] — a DOM-building XPath engine with an explicit
+//!   **memory budget**, standing in for the paper's QizX/Saxon: without
+//!   prefiltering it fails on large inputs ("QizX … fails for all queries
+//!   on the 1GB and 5GB documents"), with SMP prefiltering it scales
+//!   (Fig. 7(a)).
+//! * [`StreamEngine`] — a single-pass streaming XPath evaluator with
+//!   candidate buffering, standing in for SPEX (Fig. 7(b)): per-token cost,
+//!   output-proportional buffering, pipelines naturally behind the
+//!   prefilter.
+//!
+//! Both engines evaluate the same XPath subset (`smpx_paths::xpath`) and
+//! return results as serialized byte items, so their agreement — and
+//! projection-safety (Def. 2: equal results on original and projected
+//! documents) — can be asserted byte-for-byte in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod inmem;
+mod spex;
+
+pub use error::EngineError;
+pub use inmem::{InMemEngine, LoadedDoc};
+pub use spex::StreamEngine;

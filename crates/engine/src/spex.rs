@@ -1,0 +1,846 @@
+//! Single-pass streaming XPath evaluator (SPEX stand-in, Fig. 7(b)).
+//!
+//! Like SPEX, the engine processes a token stream, keeps per-depth
+//! automaton state, and *buffers* potential results until the predicates
+//! guarding them are decided — so its memory is proportional to matched
+//! data, not to the document size, and its CPU cost is per token. That is
+//! exactly the profile the paper exploits when pipelining SMP prefiltering
+//! into the engine: most tokens never reach it.
+//!
+//! Supported queries are the `smpx_paths::xpath` subset with one
+//! simplification: a buffered candidate is gated on *all* predicate
+//! instances open on its ancestor chain at match time (for spine-shaped
+//! queries such as the paper's M1–M5 and the XMark set this is exact).
+
+use smpx_paths::xpath::{CmpOp, XExpr, XNodeTest, XPath, XRelPath};
+use smpx_paths::Axis;
+use smpx_xml::{Token, Tokenizer, XmlError};
+
+/// A compiled streaming evaluator.
+pub struct StreamEngine {
+    query: XPath,
+}
+
+/// Result of a streaming run.
+#[derive(Debug)]
+pub struct StreamResult {
+    /// Serialized result items (raw input bytes for elements, text bytes
+    /// for `text()` results), in document order.
+    pub items: Vec<Vec<u8>>,
+    /// Number of tokens the engine processed (its work measure).
+    pub tokens: u64,
+    /// Peak number of simultaneously buffered candidate bytes.
+    pub peak_buffered: usize,
+}
+
+impl StreamEngine {
+    /// Compile `query`.
+    pub fn new(query: XPath) -> StreamEngine {
+        StreamEngine { query }
+    }
+
+    /// Parse and compile in one step.
+    pub fn parse(query: &str) -> Result<StreamEngine, smpx_paths::xpath::XPathError> {
+        Ok(StreamEngine { query: XPath::parse(query)? })
+    }
+
+    /// Evaluate over `doc` in a single pass.
+    pub fn eval(&self, doc: &[u8]) -> Result<StreamResult, XmlError> {
+        let mut rt = Run::new(&self.query);
+        let mut tokens = 0u64;
+        for tok in Tokenizer::new(doc) {
+            let tok = tok?;
+            tokens += 1;
+            rt.token(doc, &tok);
+        }
+        Ok(StreamResult { items: rt.finish(), tokens, peak_buffered: rt.peak_buffered })
+    }
+}
+
+/// NFA states: position `i` = "the first `i` query steps are matched".
+type StateSet = Vec<usize>;
+
+struct PredInstance {
+    /// Paths collected within the anchor's subtree, in `collect_paths`
+    /// order.
+    collectors: Vec<Collector>,
+    /// Index into the step's predicate list (to find the expr again).
+    step_idx: usize,
+    pred_idx: usize,
+    /// Resolution, filled at anchor close.
+    outcome: Option<bool>,
+}
+
+struct Collector {
+    steps: Vec<(Axis, CollTest)>,
+    /// Per-depth state sets relative to the anchor (index 0 = anchor).
+    stack: Vec<StateSet>,
+    /// Finished string values.
+    values: Vec<Vec<u8>>,
+    /// Open element matches: (depth, buffer index).
+    open_matches: Vec<(usize, usize)>,
+    /// Buffers of string values still being accumulated.
+    buffers: Vec<Vec<u8>>,
+}
+
+#[derive(Clone, PartialEq)]
+enum CollTest {
+    Name(String),
+    Wildcard,
+    Text,
+    Attr(String),
+}
+
+struct Frame {
+    /// Query-NFA states after consuming this element.
+    states: StateSet,
+    /// Predicate instances anchored at this element (indices into `preds`).
+    anchored: Vec<usize>,
+    /// Candidate indices that finish at this element's close.
+    candidates: Vec<usize>,
+    /// Positional bookkeeping: matches of query step `i` among this
+    /// element's children so far.
+    step_counts: std::collections::HashMap<usize, usize>,
+    /// `last()` predicates of child matches, resolved when this frame
+    /// closes: (predicate instance, step index, the child's 1-based
+    /// position).
+    pending_last: Vec<(usize, usize, usize)>,
+}
+
+struct Candidate {
+    bytes: Vec<u8>,
+    /// Unresolved predicate instances this result depends on.
+    deps: Vec<usize>,
+    /// Depth while the candidate subtree is still being recorded.
+    recording: bool,
+    /// `text()` results collect only character data.
+    text_only: bool,
+}
+
+struct Run<'q> {
+    query: &'q XPath,
+    stack: Vec<Frame>,
+    preds: Vec<PredInstance>,
+    candidates: Vec<Candidate>,
+    /// Indices of candidates currently recording.
+    recording: Vec<usize>,
+    peak_buffered: usize,
+    /// Query ends in a text() step?
+    wants_text: bool,
+    /// Number of element-test steps (excluding a trailing text()).
+    elem_steps: usize,
+}
+
+impl<'q> Run<'q> {
+    fn new(query: &'q XPath) -> Run<'q> {
+        let wants_text = matches!(
+            query.steps.last().map(|s| &s.test),
+            Some(XNodeTest::Text)
+        );
+        let elem_steps = query.steps.len() - usize::from(wants_text);
+        Run {
+            query,
+            stack: vec![Frame {
+                states: vec![0],
+                anchored: Vec::new(),
+                candidates: Vec::new(),
+                step_counts: std::collections::HashMap::new(),
+                pending_last: Vec::new(),
+            }],
+            preds: Vec::new(),
+            candidates: Vec::new(),
+            recording: Vec::new(),
+            peak_buffered: 0,
+            wants_text,
+            elem_steps,
+        }
+    }
+
+    fn token(&mut self, doc: &[u8], tok: &Token<'_>) {
+        match *tok {
+            Token::StartTag { name, attrs, self_closing, start, end } => {
+                self.feed_recorders(&doc[start..end], false);
+                self.open(name, attrs, start, end, doc);
+                if self_closing {
+                    self.close(name, end);
+                }
+            }
+            Token::EndTag { name, start, end } => {
+                self.feed_recorders(&doc[start..end], false);
+                self.close(name, end);
+            }
+            Token::Text { text, start, end } => {
+                self.feed_recorders(&doc[start..end], true);
+                self.text(text);
+                let _ = (start, end);
+            }
+            Token::Cdata { text, start, end } => {
+                self.feed_recorders(&doc[start..end], true);
+                self.text(text);
+            }
+            Token::Comment { start, end } | Token::Pi { start, end } => {
+                self.feed_recorders(&doc[start..end], false);
+            }
+            Token::Doctype { .. } => {}
+        }
+    }
+
+    /// Append raw bytes to all recording candidates (text-only candidates
+    /// get only character data).
+    fn feed_recorders(&mut self, bytes: &[u8], is_text: bool) {
+        let mut total = 0usize;
+        for &ci in &self.recording {
+            let c = &mut self.candidates[ci];
+            if !c.text_only || is_text {
+                c.bytes.extend_from_slice(bytes);
+            }
+            total += c.bytes.len();
+        }
+        self.peak_buffered = self.peak_buffered.max(total);
+    }
+
+    fn open(&mut self, name: &[u8], attrs: &[u8], start: usize, end: usize, doc: &[u8]) {
+        // 1. Advance predicate collectors.
+        for &pi in self.stack.iter().flat_map(|f| f.anchored.iter()) {
+            let inst = &mut self.preds[pi];
+            for coll in &mut inst.collectors {
+                coll.open(name, attrs);
+            }
+        }
+        // 2. Advance the query NFA.
+        let parent_states = self.stack.last().expect("root frame").states.clone();
+        let mut states: StateSet = Vec::new();
+        for &i in &parent_states {
+            if i < self.elem_steps {
+                let step = &self.query.steps[i];
+                if elem_test_matches(&step.test, name) {
+                    push_unique(&mut states, i + 1);
+                }
+                if step.axis == Axis::Descendant {
+                    push_unique(&mut states, i);
+                }
+            }
+            if i >= self.elem_steps {
+                // Fully matched ancestors keep no further element states.
+            }
+        }
+        // Descendant self-skip at position i requires re-checking: states
+        // that were at i in the parent stay reachable if steps[i] is a
+        // descendant step — handled above. Child-axis positions do not
+        // propagate.
+        let mut frame = Frame {
+            states: states.clone(),
+            anchored: Vec::new(),
+            candidates: Vec::new(),
+            step_counts: std::collections::HashMap::new(),
+            pending_last: Vec::new(),
+        };
+
+        // 3. Instantiate predicates for newly matched steps; maintain the
+        //    positional counters on the parent frame.
+        for &i in &states {
+            if i == 0 {
+                continue;
+            }
+            let my_pos = {
+                let parent = self.stack.last_mut().expect("parent frame");
+                let c = parent.step_counts.entry(i - 1).or_insert(0);
+                *c += 1;
+                *c
+            };
+            let step = &self.query.steps[i - 1];
+            for (pidx, pred) in step.predicates.iter().enumerate() {
+                // Positional predicates resolve against the parent's
+                // sibling counters instead of collected values.
+                match pred {
+                    XExpr::Number(n) => {
+                        let want = *n as usize;
+                        let ok = *n >= 1.0
+                            && (*n - want as f64).abs() < f64::EPSILON
+                            && my_pos == want;
+                        self.preds.push(PredInstance {
+                            collectors: Vec::new(),
+                            step_idx: i - 1,
+                            pred_idx: pidx,
+                            outcome: Some(ok),
+                        });
+                        frame.anchored.push(self.preds.len() - 1);
+                        continue;
+                    }
+                    XExpr::Last => {
+                        self.preds.push(PredInstance {
+                            collectors: Vec::new(),
+                            step_idx: i - 1,
+                            pred_idx: pidx,
+                            outcome: None,
+                        });
+                        let id = self.preds.len() - 1;
+                        frame.anchored.push(id);
+                        self.stack
+                            .last_mut()
+                            .expect("parent frame")
+                            .pending_last
+                            .push((id, i - 1, my_pos));
+                        continue;
+                    }
+                    _ => {}
+                }
+                let mut paths = Vec::new();
+                collect_paths(pred, &mut paths);
+                let mut collectors: Vec<Collector> =
+                    paths.into_iter().map(Collector::new).collect();
+                // Attribute tests at depth 0 resolve immediately.
+                for coll in &mut collectors {
+                    coll.seed_attrs(attrs);
+                }
+                let inst = PredInstance {
+                    collectors,
+                    step_idx: i - 1,
+                    pred_idx: pidx,
+                    outcome: None,
+                };
+                self.preds.push(inst);
+                frame.anchored.push(self.preds.len() - 1);
+            }
+        }
+
+        // 4. Candidates: element results when all element steps consumed.
+        if !self.wants_text && states.contains(&self.elem_steps) {
+            let deps = self.open_deps(&frame);
+            let ci = self.candidates.len();
+            self.candidates.push(Candidate {
+                bytes: doc[start..end].to_vec(),
+                deps,
+                recording: true,
+                text_only: false,
+            });
+            self.recording.push(ci);
+            frame.candidates.push(ci);
+        }
+        self.stack.push(frame);
+    }
+
+    /// All unresolved predicate instances on the (new) ancestor chain.
+    fn open_deps(&self, new_frame: &Frame) -> Vec<usize> {
+        let mut deps: Vec<usize> = self
+            .stack
+            .iter()
+            .flat_map(|f| f.anchored.iter().copied())
+            .collect();
+        deps.extend(new_frame.anchored.iter().copied());
+        deps
+    }
+
+    fn text(&mut self, text: &[u8]) {
+        // Collectors with a live text() position consume character data.
+        for &pi in self.stack.iter().flat_map(|f| f.anchored.iter()) {
+            for coll in &mut self.preds[pi].collectors {
+                coll.text(text);
+            }
+        }
+        // text() results of the main query.
+        if self.wants_text {
+            let states = &self.stack.last().expect("frame").states;
+            if states.contains(&self.elem_steps) {
+                let tstep = &self.query.steps[self.elem_steps];
+                let direct_ok = tstep.axis == Axis::Child;
+                let matched = if direct_ok {
+                    true
+                } else {
+                    // descendant text: any open ancestor at elem_steps.
+                    true
+                };
+                if matched {
+                    let deps = self
+                        .stack
+                        .iter()
+                        .flat_map(|f| f.anchored.iter().copied())
+                        .collect();
+                    self.candidates.push(Candidate {
+                        bytes: text.to_vec(),
+                        deps,
+                        recording: false,
+                        text_only: true,
+                    });
+                }
+            } else if self.query.steps[self.elem_steps].axis == Axis::Descendant
+                && self.stack.iter().any(|f| f.states.contains(&self.elem_steps))
+            {
+                let deps = self
+                    .stack
+                    .iter()
+                    .flat_map(|f| f.anchored.iter().copied())
+                    .collect();
+                self.candidates.push(Candidate {
+                    bytes: text.to_vec(),
+                    deps,
+                    recording: false,
+                    text_only: true,
+                });
+            }
+        }
+    }
+
+    fn close(&mut self, _name: &[u8], _end: usize) {
+        let frame = match self.stack.pop() {
+            Some(f) => f,
+            None => return,
+        };
+        // Stop recording candidates that finish here.
+        for &ci in &frame.candidates {
+            self.candidates[ci].recording = false;
+            self.recording.retain(|&r| r != ci);
+        }
+        // Resolve predicates anchored here (positional ones may already be
+        // resolved, and last() resolves on the *parent* close below).
+        for &pi in &frame.anchored {
+            let inst = &mut self.preds[pi];
+            if inst.outcome.is_some() {
+                continue;
+            }
+            let step = &self.query.steps[inst.step_idx];
+            let expr = &step.predicates[inst.pred_idx];
+            if matches!(expr, XExpr::Last) {
+                continue;
+            }
+            for coll in &mut inst.collectors {
+                coll.close_anchor();
+            }
+            let mut cursor = 0usize;
+            let outcome = eval_pred(expr, &inst.collectors, &mut cursor);
+            inst.outcome = Some(outcome);
+        }
+        // Resolve the last() predicates of this frame's children.
+        for (pid, step_idx, pos) in frame.pending_last.iter().copied() {
+            let total = frame.step_counts.get(&step_idx).copied().unwrap_or(0);
+            self.preds[pid].outcome = Some(pos == total);
+        }
+        // Advance collectors of still-open predicates.
+        for &pi in self.stack.iter().flat_map(|f| f.anchored.iter()) {
+            for coll in &mut self.preds[pi].collectors {
+                coll.close();
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Vec<Vec<u8>> {
+        let preds = &self.preds;
+        self.candidates
+            .drain(..)
+            .filter(|c| {
+                c.deps.iter().all(|&pi| preds[pi].outcome.unwrap_or(false))
+            })
+            .map(|c| c.bytes)
+            .collect()
+    }
+}
+
+fn elem_test_matches(test: &XNodeTest, name: &[u8]) -> bool {
+    match test {
+        XNodeTest::Name(n) => n.as_bytes() == name,
+        XNodeTest::Wildcard => true,
+        XNodeTest::Text | XNodeTest::Attr(_) => false,
+    }
+}
+
+fn push_unique(v: &mut Vec<usize>, x: usize) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+/// Paths inside a predicate expression, in deterministic traversal order
+/// (mirrored by `eval_pred`).
+fn collect_paths(e: &XExpr, out: &mut Vec<XRelPath>) {
+    match e {
+        XExpr::Path(p) => out.push(p.clone()),
+        XExpr::Literal(_) | XExpr::Number(_) | XExpr::Last => {}
+        XExpr::Cmp(a, _, b) => {
+            collect_paths(a, out);
+            collect_paths(b, out);
+        }
+        XExpr::And(a, b) | XExpr::Or(a, b) => {
+            collect_paths(a, out);
+            collect_paths(b, out);
+        }
+        XExpr::Contains(a, b) => {
+            collect_paths(a, out);
+            collect_paths(b, out);
+        }
+        XExpr::Not(inner) => collect_paths(inner, out),
+        XExpr::Count(p) | XExpr::Empty(p) => out.push(p.clone()),
+    }
+}
+
+/// Evaluate a predicate over collected values; `cursor` walks the
+/// collectors in `collect_paths` order.
+fn eval_pred(e: &XExpr, colls: &[Collector], cursor: &mut usize) -> bool {
+    match e {
+        XExpr::Path(_) => {
+            let c = &colls[*cursor];
+            *cursor += 1;
+            !c.values.is_empty()
+        }
+        XExpr::Literal(s) => !s.is_empty(),
+        XExpr::Number(n) => *n != 0.0,
+        XExpr::Not(inner) => !eval_pred(inner, colls, cursor),
+        XExpr::And(a, b) => {
+            let left = eval_pred(a, colls, cursor);
+            let right = eval_pred(b, colls, cursor);
+            left && right
+        }
+        XExpr::Or(a, b) => {
+            let left = eval_pred(a, colls, cursor);
+            let right = eval_pred(b, colls, cursor);
+            left || right
+        }
+        XExpr::Empty(_) => {
+            let c = &colls[*cursor];
+            *cursor += 1;
+            c.values.is_empty()
+        }
+        XExpr::Count(_) => {
+            let c = &colls[*cursor];
+            *cursor += 1;
+            !c.values.is_empty()
+        }
+        XExpr::Contains(a, b) => {
+            let hay = pred_values(a, colls, cursor);
+            let needles = pred_values(b, colls, cursor);
+            hay.iter().any(|h| {
+                needles
+                    .iter()
+                    .any(|n| n.is_empty() || h.windows(n.len()).any(|w| w == &n[..]))
+            })
+        }
+        XExpr::Last => true, // bare last() is positional, handled at open
+        XExpr::Cmp(a, op, b) => {
+            let numeric =
+                matches!(**a, XExpr::Number(_) | XExpr::Count(_))
+                    || matches!(**b, XExpr::Number(_) | XExpr::Count(_));
+            if numeric {
+                let l = pred_numbers(a, colls, cursor);
+                let r = pred_numbers(b, colls, cursor);
+                l.iter().any(|&x| r.iter().any(|&y| cmp_f64(x, *op, y)))
+            } else {
+                let l = pred_values(a, colls, cursor);
+                let r = pred_values(b, colls, cursor);
+                l.iter().any(|x| r.iter().any(|y| cmp_bytes(x, *op, y)))
+            }
+        }
+    }
+}
+
+fn pred_values(e: &XExpr, colls: &[Collector], cursor: &mut usize) -> Vec<Vec<u8>> {
+    match e {
+        XExpr::Literal(s) => vec![s.as_bytes().to_vec()],
+        XExpr::Number(n) => vec![n.to_string().into_bytes()],
+        XExpr::Path(_) => {
+            let c = &colls[*cursor];
+            *cursor += 1;
+            c.values.clone()
+        }
+        _ => vec![],
+    }
+}
+
+fn pred_numbers(e: &XExpr, colls: &[Collector], cursor: &mut usize) -> Vec<f64> {
+    match e {
+        XExpr::Number(n) => vec![*n],
+        XExpr::Count(_) => {
+            let c = &colls[*cursor];
+            *cursor += 1;
+            vec![c.values.len() as f64]
+        }
+        XExpr::Path(_) => {
+            let c = &colls[*cursor];
+            *cursor += 1;
+            c.values
+                .iter()
+                .filter_map(|v| std::str::from_utf8(v).ok()?.trim().parse().ok())
+                .collect()
+        }
+        XExpr::Literal(s) => s.trim().parse().ok().into_iter().collect(),
+        _ => vec![],
+    }
+}
+
+fn cmp_f64(l: f64, op: CmpOp, r: f64) -> bool {
+    match op {
+        CmpOp::Eq => l == r,
+        CmpOp::Ne => l != r,
+        CmpOp::Lt => l < r,
+        CmpOp::Le => l <= r,
+        CmpOp::Gt => l > r,
+        CmpOp::Ge => l >= r,
+    }
+}
+
+fn cmp_bytes(l: &[u8], op: CmpOp, r: &[u8]) -> bool {
+    match op {
+        CmpOp::Eq => l == r,
+        CmpOp::Ne => l != r,
+        CmpOp::Lt => l < r,
+        CmpOp::Le => l <= r,
+        CmpOp::Gt => l > r,
+        CmpOp::Ge => l >= r,
+    }
+}
+
+impl Collector {
+    fn new(path: XRelPath) -> Collector {
+        let steps = path
+            .steps
+            .iter()
+            .map(|s| {
+                let t = match &s.test {
+                    XNodeTest::Name(n) => CollTest::Name(n.clone()),
+                    XNodeTest::Wildcard => CollTest::Wildcard,
+                    XNodeTest::Text => CollTest::Text,
+                    XNodeTest::Attr(a) => CollTest::Attr(a.clone()),
+                };
+                (s.axis, t)
+            })
+            .collect();
+        Collector {
+            steps,
+            stack: vec![vec![0]],
+            values: Vec::new(),
+            open_matches: Vec::new(),
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Attribute collection at the anchor itself (`[@id="x"]`).
+    fn seed_attrs(&mut self, attrs: &[u8]) {
+        if let Some((Axis::Child, CollTest::Attr(want))) = self.steps.first().map(|s| (s.0, s.1.clone())) {
+            if self.steps.len() == 1 {
+                for (n, v) in smpx_xml::Attributes::new(attrs) {
+                    if n == want.as_bytes() {
+                        self.values.push(smpx_xml::unescape(v));
+                    }
+                }
+            }
+        }
+    }
+
+    fn open(&mut self, name: &[u8], attrs: &[u8]) {
+        let top = self.stack.last().expect("collector stack").clone();
+        let mut next: StateSet = Vec::new();
+        let n = self.steps.len();
+        for &i in &top {
+            if i >= n {
+                continue;
+            }
+            let (axis, ref test) = self.steps[i];
+            let name_match = match test {
+                CollTest::Name(t) => t.as_bytes() == name,
+                CollTest::Wildcard => true,
+                _ => false,
+            };
+            if name_match {
+                push_unique(&mut next, i + 1);
+                // Element fully matched: start collecting its text.
+                if i + 1 == n {
+                    let bi = self.buffers.len();
+                    self.buffers.push(Vec::new());
+                    self.open_matches.push((self.stack.len(), bi));
+                }
+                // Attribute step after this element?
+                if i + 2 == n {
+                    if let (_, CollTest::Attr(want)) = &self.steps[i + 1] {
+                        for (an, av) in smpx_xml::Attributes::new(attrs) {
+                            if an == want.as_bytes() {
+                                self.values.push(smpx_xml::unescape(av));
+                            }
+                        }
+                    }
+                }
+            }
+            if axis == Axis::Descendant {
+                push_unique(&mut next, i);
+            }
+        }
+        self.stack.push(next);
+    }
+
+    fn text(&mut self, text: &[u8]) {
+        // text() completion.
+        let n = self.steps.len();
+        if n > 0 {
+            if let (axis, CollTest::Text) = &self.steps[n - 1] {
+                let top = self.stack.last().expect("stack");
+                let live = match axis {
+                    Axis::Child => top.contains(&(n - 1)),
+                    Axis::Descendant => {
+                        self.stack.iter().any(|s| s.contains(&(n - 1)))
+                    }
+                };
+                if live {
+                    self.values.push(smpx_xml::unescape(text));
+                }
+            }
+        }
+        // Accumulate into open element matches.
+        let unescaped = smpx_xml::unescape(text);
+        for &(_, bi) in &self.open_matches {
+            self.buffers[bi].extend_from_slice(&unescaped);
+        }
+    }
+
+    fn close(&mut self) {
+        let depth = self.stack.len() - 1;
+        self.stack.pop();
+        // Finish element matches opened at this depth.
+        let mut finished: Vec<usize> = Vec::new();
+        self.open_matches.retain(|&(d, bi)| {
+            if d == depth {
+                finished.push(bi);
+                false
+            } else {
+                true
+            }
+        });
+        for bi in finished {
+            self.values.push(std::mem::take(&mut self.buffers[bi]));
+        }
+    }
+
+    /// Anchor closes: finish any remaining matches.
+    fn close_anchor(&mut self) {
+        while self.stack.len() > 1 {
+            self.close();
+        }
+        let remaining: Vec<usize> = self.open_matches.drain(..).map(|(_, bi)| bi).collect();
+        for bi in remaining {
+            self.values.push(std::mem::take(&mut self.buffers[bi]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(query: &str, doc: &[u8]) -> Vec<String> {
+        StreamEngine::parse(query)
+            .unwrap()
+            .eval(doc)
+            .unwrap()
+            .items
+            .into_iter()
+            .map(|v| String::from_utf8(v).unwrap())
+            .collect()
+    }
+
+    const DOC: &[u8] = br#"<site><people><person id="p0"><name>Alice</name><age>30</age></person><person id="p1"><name>Bob</name><age>55</age></person></people><regions><australia><item id="i0"><name>Palm</name><description>gold watch</description></item></australia></regions></site>"#;
+
+    #[test]
+    fn plain_paths() {
+        assert_eq!(
+            eval("/site/people/person/name", DOC),
+            vec!["<name>Alice</name>", "<name>Bob</name>"]
+        );
+        assert_eq!(eval("//name/text()", DOC), vec!["Alice", "Bob", "Palm"]);
+        assert_eq!(
+            eval("//australia//description", DOC),
+            vec!["<description>gold watch</description>"]
+        );
+    }
+
+    #[test]
+    fn attribute_predicate() {
+        assert_eq!(eval(r#"/site/people/person[@id="p1"]/name"#, DOC), vec!["<name>Bob</name>"]);
+        assert!(eval(r#"/site/people/person[@id="zz"]/name"#, DOC).is_empty());
+    }
+
+    #[test]
+    fn text_predicates() {
+        assert_eq!(
+            eval(r#"/site/people/person[name/text()="Alice"]/age"#, DOC),
+            vec!["<age>30</age>"]
+        );
+        assert_eq!(
+            eval(r#"/site/people/person[age >= 40]/name"#, DOC),
+            vec!["<name>Bob</name>"]
+        );
+    }
+
+    #[test]
+    fn contains_predicate() {
+        assert_eq!(
+            eval(r#"//item[contains(description,"gold")]/name"#, DOC),
+            vec!["<name>Palm</name>"]
+        );
+        assert!(eval(r#"//item[contains(description,"zinc")]/name"#, DOC).is_empty());
+    }
+
+    #[test]
+    fn or_and_not() {
+        assert_eq!(
+            eval(r#"/site/people/person[name="Alice" or name="Bob"]/age"#, DOC).len(),
+            2
+        );
+        assert_eq!(
+            eval(r#"/site/people/person[not(name="Alice")]/name"#, DOC),
+            vec!["<name>Bob</name>"]
+        );
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let doc: &[u8] = br#"<r><p><x>a</x><x>b</x><x>c</x></p><p><x>d</x></p></r>"#;
+        assert_eq!(eval("/r/p/x[1]", doc), vec!["<x>a</x>", "<x>d</x>"]);
+        assert_eq!(eval("/r/p/x[2]", doc), vec!["<x>b</x>"]);
+        assert_eq!(eval("/r/p/x[last()]", doc), vec!["<x>c</x>", "<x>d</x>"]);
+        assert!(eval("/r/p/x[4]", doc).is_empty());
+        assert_eq!(eval("/r/p[last()]/x", doc), vec!["<x>d</x>"]);
+    }
+
+    #[test]
+    fn xm2_and_xm3_shapes() {
+        // The real XM2/XM3 queries: first and last bidder increase.
+        let doc: &[u8] = br#"<site><open_auctions><open_auction><bidder><increase>1.00</increase></bidder><bidder><increase>4.50</increase></bidder></open_auction></open_auctions></site>"#;
+        assert_eq!(
+            eval("/site/open_auctions/open_auction/bidder[1]/increase/text()", doc),
+            vec!["1.00"]
+        );
+        assert_eq!(
+            eval("/site/open_auctions/open_auction/bidder[last()]/increase/text()", doc),
+            vec!["4.50"]
+        );
+    }
+
+    #[test]
+    fn predicate_data_after_candidate() {
+        // The candidate <x> appears before the predicate-deciding <flag>
+        // inside the same parent: buffering must hold it until </p>.
+        let doc = b"<r><p><x>one</x><flag>yes</flag></p><p><x>two</x><flag>no</flag></p></r>";
+        assert_eq!(eval(r#"/r/p[flag="yes"]/x"#, doc), vec!["<x>one</x>"]);
+    }
+
+    #[test]
+    fn agrees_with_inmem_engine() {
+        use crate::inmem::InMemEngine;
+        let queries = [
+            "/site/people/person/name",
+            "//name/text()",
+            r#"/site/people/person[@id="p0"]/age"#,
+            r#"//item[contains(description,"gold")]/name"#,
+            r#"/site/people/person[age >= 40]/name"#,
+        ];
+        let loaded = InMemEngine::unlimited().load(DOC).unwrap();
+        for q in queries {
+            let xq = smpx_paths::xpath::XPath::parse(q).unwrap();
+            let want: Vec<Vec<u8>> = loaded.eval(&xq);
+            let got = StreamEngine::new(xq).eval(DOC).unwrap().items;
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn token_count_reported() {
+        let r = StreamEngine::parse("/site/people").unwrap().eval(DOC).unwrap();
+        assert!(r.tokens > 10);
+    }
+}

@@ -1,0 +1,282 @@
+//! Projection-path extraction from XPath expressions (paper Ex. 4).
+//!
+//! Follows Marian & Siméon \[5\], as the paper prescribes: the expression's
+//! main path yields a `#`-flagged projection path (the selected nodes are
+//! returned, so their subtrees must survive projection); every relative
+//! path inside a predicate yields a projection path anchored at the
+//! predicate's context, flagged `#` when the predicate inspects character
+//! data (`text()`, string comparison, `contains`) and unflagged when mere
+//! existence or node counting suffices; `/*` is always added so the
+//! projected document stays well-formed (the paper's default path).
+
+use crate::model::{Axis, NameTest, PathSet, ProjectionPath, Step};
+use crate::xpath::{XExpr, XNodeTest, XPath, XRelPath, XStep};
+
+/// Extract the projection paths of `query`.
+pub fn extract_paths(query: &XPath) -> PathSet {
+    let mut out = PathSet::new(vec![ProjectionPath::parse("/*").expect("static path")]);
+    let mut prefix: Vec<Step> = Vec::new();
+    walk_steps(&query.steps, &mut prefix, &mut out, true);
+    out
+}
+
+/// Walk the steps of a path; `prefix` holds the projection steps
+/// accumulated so far. `is_main` marks the expression's spine (its result
+/// path gets `#`).
+fn walk_steps(steps: &[XStep], prefix: &mut Vec<Step>, out: &mut PathSet, is_main: bool) {
+    let mut ends_in_text = false;
+    let mut pushed = 0usize;
+    for step in steps {
+        match &step.test {
+            XNodeTest::Name(n) => {
+                prefix.push(Step { axis: step.axis, test: NameTest::Name(n.clone()) });
+                pushed += 1;
+            }
+            XNodeTest::Wildcard => {
+                prefix.push(Step { axis: step.axis, test: NameTest::Wildcard });
+                pushed += 1;
+            }
+            XNodeTest::Text => {
+                // text() selects character data of the context node: the
+                // context path needs its subtree.
+                ends_in_text = true;
+            }
+            XNodeTest::Attr(_) => {
+                // Attributes ride along with their element's tag: make the
+                // context path itself a complete (unflagged) path so the
+                // action table copies the tag with attributes.
+                out.insert(ProjectionPath { steps: prefix.clone(), subtree: false });
+            }
+        }
+        for pred in &step.predicates {
+            walk_expr(pred, prefix, out);
+        }
+        if ends_in_text {
+            break;
+        }
+    }
+    let path = ProjectionPath { steps: prefix.clone(), subtree: is_main || ends_in_text };
+    if !path.steps.is_empty() {
+        out.insert(path);
+    }
+    for _ in 0..pushed {
+        prefix.pop();
+    }
+}
+
+/// Walk a predicate expression in the context of `prefix`.
+fn walk_expr(expr: &XExpr, prefix: &mut Vec<Step>, out: &mut PathSet) {
+    match expr {
+        XExpr::Path(p) => add_rel_path(p, prefix, out, false),
+        XExpr::Literal(_) | XExpr::Number(_) => {}
+        XExpr::Cmp(a, _, b) => {
+            // A compared path is inspected for its string value: flag #.
+            for side in [a, b] {
+                match &**side {
+                    XExpr::Path(p) => add_rel_path(p, prefix, out, true),
+                    other => walk_expr(other, prefix, out),
+                }
+            }
+        }
+        XExpr::And(a, b) | XExpr::Or(a, b) => {
+            walk_expr(a, prefix, out);
+            walk_expr(b, prefix, out);
+        }
+        XExpr::Contains(a, b) => {
+            for side in [a, b] {
+                match &**side {
+                    XExpr::Path(p) => add_rel_path(p, prefix, out, true),
+                    other => walk_expr(other, prefix, out),
+                }
+            }
+        }
+        XExpr::Not(e) => walk_expr(e, prefix, out),
+        XExpr::Count(p) | XExpr::Empty(p) => add_rel_path(p, prefix, out, false),
+        XExpr::Last => {}
+    }
+}
+
+/// Add the projection path for a relative path anchored at `prefix`.
+/// `value_used` forces the `#` flag (the predicate reads character data).
+fn add_rel_path(rel: &XRelPath, prefix: &mut Vec<Step>, out: &mut PathSet, value_used: bool) {
+    let mut pushed = 0usize;
+    let mut ends_in_text = false;
+    let mut attr_only = false;
+    for (i, step) in rel.steps.iter().enumerate() {
+        match &step.test {
+            XNodeTest::Name(n) => {
+                prefix.push(Step { axis: step.axis, test: NameTest::Name(n.clone()) });
+                pushed += 1;
+            }
+            XNodeTest::Wildcard => {
+                prefix.push(Step { axis: step.axis, test: NameTest::Wildcard });
+                pushed += 1;
+            }
+            XNodeTest::Text => {
+                // `a//text()` needs the whole subtree of `a`; plain
+                // `a/text()` likewise needs a's character data.
+                ends_in_text = true;
+            }
+            XNodeTest::Attr(_) => {
+                attr_only = i == 0 && rel.steps.len() == 1;
+                // The element owning the attribute must keep its tag+atts.
+                out.insert(ProjectionPath { steps: prefix.clone(), subtree: false });
+            }
+        }
+        for pred in &step.predicates {
+            walk_expr(pred, prefix, out);
+        }
+        if ends_in_text {
+            break;
+        }
+    }
+    if !attr_only && !prefix.is_empty() {
+        out.insert(ProjectionPath {
+            steps: prefix.clone(),
+            subtree: value_used || ends_in_text,
+        });
+    }
+    for _ in 0..pushed {
+        prefix.pop();
+    }
+}
+
+/// Convenience: parse and extract in one call.
+pub fn extract_from_text(query: &str) -> Result<PathSet, crate::xpath::XPathError> {
+    Ok(extract_paths(&XPath::parse(query)?))
+}
+
+/// The paths that a `descendant-or-self` reading of `//` would need when
+/// the `#`-flag semantics interprets it as `descendant-or-self::node()`
+/// (Sec. III). Exposed for the engines.
+pub fn projection_of_steps(steps: &[(Axis, &str)], subtree: bool) -> ProjectionPath {
+    ProjectionPath {
+        steps: steps
+            .iter()
+            .map(|&(axis, name)| Step {
+                axis,
+                test: if name == "*" {
+                    NameTest::Wildcard
+                } else {
+                    NameTest::Name(name.to_string())
+                },
+            })
+            .collect(),
+        subtree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths_of(query: &str) -> Vec<String> {
+        let mut v: Vec<String> =
+            extract_from_text(query).unwrap().paths().iter().map(|p| p.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    /// Paper Example 4: <q>{//australia//description}</q> extracts
+    /// //australia//description# and /*.
+    #[test]
+    fn example4_descendant_query() {
+        assert_eq!(paths_of("//australia//description"), vec!["/*", "//australia//description#"]);
+    }
+
+    #[test]
+    fn m1_plain_path() {
+        assert_eq!(
+            paths_of("/MedlineCitationSet//CollectionTitle"),
+            vec!["/*", "/MedlineCitationSet//CollectionTitle#"]
+        );
+    }
+
+    #[test]
+    fn m2_predicate_text_compare() {
+        assert_eq!(
+            paths_of(r#"/MedlineCitationSet//DataBank[DataBankName/text()="PDB"]/AccessionNumberList"#),
+            vec![
+                "/*",
+                "/MedlineCitationSet//DataBank/AccessionNumberList#",
+                "/MedlineCitationSet//DataBank/DataBankName#",
+            ]
+        );
+    }
+
+    #[test]
+    fn m3_or_predicate_two_paths() {
+        let got = paths_of(
+            r#"/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject[LastName/text()="Hippocrates" or DatesAssociatedWithName="Oct2006"]/TitleAssociatedWithName"#,
+        );
+        assert_eq!(
+            got,
+            vec![
+                "/*",
+                "/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject/DatesAssociatedWithName#",
+                "/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject/LastName#",
+                "/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject/TitleAssociatedWithName#",
+            ]
+        );
+    }
+
+    #[test]
+    fn m4_contains_text_flags_context() {
+        assert_eq!(
+            paths_of(r#"/MedlineCitationSet//CopyrightInformation[contains(text(),"NASA")]"#),
+            vec!["/*", "/MedlineCitationSet//CopyrightInformation#"]
+        );
+    }
+
+    #[test]
+    fn m5_two_branches() {
+        assert_eq!(
+            paths_of(
+                r#"/MedlineCitationSet/MedlineCitation[contains(MedlineJournalInfo//text(),"Sterilization")]/DateCompleted"#
+            ),
+            vec![
+                "/*",
+                "/MedlineCitationSet/MedlineCitation/DateCompleted#",
+                "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo#",
+            ]
+        );
+    }
+
+    #[test]
+    fn attribute_predicate_keeps_element_tag() {
+        assert_eq!(
+            paths_of(r#"/site/people/person[@id="person0"]/name"#),
+            vec!["/*", "/site/people/person", "/site/people/person/name#"]
+        );
+    }
+
+    #[test]
+    fn existence_predicate_unflagged() {
+        assert_eq!(
+            paths_of("/a/b[c]/d"),
+            vec!["/*", "/a/b/c", "/a/b/d#"]
+        );
+    }
+
+    #[test]
+    fn count_and_empty_unflagged() {
+        assert_eq!(paths_of("/a[count(b) > 2]"), vec!["/*", "/a#", "/a/b"]);
+        assert_eq!(paths_of("/a[not(empty(c))]"), vec!["/*", "/a#", "/a/c"]);
+    }
+
+    #[test]
+    fn numeric_compare_flags_value_path() {
+        assert_eq!(
+            paths_of("/site/closed_auctions/closed_auction[price >= 40]/price"),
+            vec![
+                "/*",
+                "/site/closed_auctions/closed_auction/price#",
+            ]
+        );
+    }
+
+    #[test]
+    fn star_always_present() {
+        assert!(paths_of("/a").contains(&"/*".to_string()));
+    }
+}

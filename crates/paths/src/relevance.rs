@@ -1,0 +1,296 @@
+//! Token/branch relevance — Definition 3 of the paper (conditions C1, C2,
+//! C3).
+//!
+//! Relevance is evaluated on *document branches*: the chain of element
+//! labels from the root down to a token. For a tag token the branch ends
+//! with the tag's own label; for a text token the branch is the chain of
+//! its ancestors (the text itself carries no label).
+//!
+//! * **C1** — the leaf of the branch is selected by some path in `P+`.
+//! * **C2** — some node on the branch is selected by a `#`-flagged path.
+//! * **C3** — there is a tag `t` such that `P+` contains a path ending in a
+//!   *child* step on `t` and a path ending in a *descendant* step on `t`,
+//!   both selecting the hypothetical sibling branch `parent-branch + [t]`.
+//!   This keeps "stopover" tags whose presence disambiguates child from
+//!   descendant matches (paper Ex. 6: the `c` tags).
+//!
+//! Following the runtime's behaviour we apply C3 to tag tokens only: its
+//! `⟨t/⟩` substitution speaks about hypothetical sibling *tags*, and the SMP
+//! actions can only preserve text inside `copy on/off` regions (C2).
+
+use crate::model::{Axis, NameTest, PathSet, ProjectionPath};
+use std::collections::BTreeSet;
+
+/// Compiled relevance test for a path set.
+#[derive(Debug, Clone)]
+pub struct Relevance {
+    /// The original set `P`.
+    original: Vec<ProjectionPath>,
+    /// The closure `P+`.
+    plus: Vec<ProjectionPath>,
+    /// Concrete names appearing as the last step of any path in `P+`, the
+    /// candidate `t`s of C3.
+    c3_candidates: Vec<String>,
+}
+
+impl Relevance {
+    /// Compile the relevance test for `P` (computing `P+`).
+    pub fn new(pset: &PathSet) -> Relevance {
+        let plus = pset.plus_closure();
+        let mut cands: BTreeSet<String> = BTreeSet::new();
+        for p in &plus {
+            if let Some(step) = p.last_step() {
+                if let NameTest::Name(n) = &step.test {
+                    cands.insert(n.clone());
+                }
+            }
+        }
+        Relevance {
+            original: pset.paths().to_vec(),
+            plus,
+            c3_candidates: cands.into_iter().collect(),
+        }
+    }
+
+    /// The closure `P+` in deterministic order.
+    pub fn plus(&self) -> &[ProjectionPath] {
+        &self.plus
+    }
+
+    /// C1: the leaf of `branch` is selected by a path in `P+`.
+    pub fn c1<S: AsRef<str>>(&self, branch: &[S]) -> bool {
+        self.plus.iter().any(|p| p.matches(branch))
+    }
+
+    /// Like C1, but only counting *complete* paths of the original set `P`
+    /// (not closure-added prefixes) whose last step names an element. A
+    /// node matched this way is one the query itself selects, so the action
+    /// table copies its attributes ("copy tag + atts"); nodes kept merely
+    /// as ancestors — including via the default well-formedness path `/*` —
+    /// get a bare tag (the paper's Fig. 3 assigns plain `copy tag` to the
+    /// `/*`-preserved root).
+    pub fn c1_exact<S: AsRef<str>>(&self, branch: &[S]) -> bool {
+        self.original.iter().any(|p| {
+            p.last_step().is_some_and(|s| matches!(s.test, NameTest::Name(_)))
+                && p.matches(branch)
+        })
+    }
+
+    /// C2: some node on `branch` (any prefix, leaf included) is selected by
+    /// a `#`-flagged path.
+    pub fn c2<S: AsRef<str>>(&self, branch: &[S]) -> bool {
+        self.plus
+            .iter()
+            .filter(|p| p.subtree)
+            .any(|p| (0..=branch.len()).any(|i| p.matches(&branch[..i])))
+    }
+
+    /// C2 restricted to the leaf itself: the node is selected by a
+    /// `#`-flagged path (drives the `copy on` action).
+    pub fn c2_leaf<S: AsRef<str>>(&self, branch: &[S]) -> bool {
+        self.plus.iter().filter(|p| p.subtree).any(|p| p.matches(branch))
+    }
+
+    /// C3 for a tag whose *parent* branch is `parent`: is there a `t` such
+    /// that `P+` contains a path of the form `/p1/…/pi/t` (child-axis last
+    /// step on the literal name `t`) and one of the form `/p′1/…/p′j//t`
+    /// (descendant-axis last step on `t`), both selecting `parent + [t]`?
+    ///
+    /// Per the paper the two forms name a literal tag `t`; wildcard-final
+    /// paths are not C3 forms (their effect is already covered by prefix
+    /// matches under C1).
+    pub fn c3_parent<S: AsRef<str>>(&self, parent: &[S]) -> bool {
+        let mut probe: Vec<&str> = parent.iter().map(|s| s.as_ref()).collect();
+        for t in &self.c3_candidates {
+            probe.push(t);
+            let child_form = self.plus.iter().any(|p| {
+                p.last_step()
+                    .is_some_and(|s| s.axis == Axis::Child && s.test == NameTest::Name(t.clone()))
+                    && p.matches(&probe)
+            });
+            let desc_form = child_form
+                && self.plus.iter().any(|p| {
+                    p.last_step().is_some_and(|s| {
+                        s.axis == Axis::Descendant && s.test == NameTest::Name(t.clone())
+                    }) && p.matches(&probe)
+                });
+            probe.pop();
+            if child_form && desc_form {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Full relevance of a *tag* token with document branch `branch`
+    /// (Def. 3 with C1 ∨ C2 ∨ C3).
+    pub fn relevant_tag<S: AsRef<str>>(&self, branch: &[S]) -> bool {
+        if branch.is_empty() {
+            return false;
+        }
+        self.c1(branch) || self.c2(branch) || self.c3_parent(&branch[..branch.len() - 1])
+    }
+
+    /// Relevance of a *text* token whose ancestor chain is `branch`: text
+    /// carries no label, so only C2 over the ancestors applies.
+    pub fn relevant_text<S: AsRef<str>>(&self, branch: &[S]) -> bool {
+        self.c2(branch)
+    }
+
+    /// Could any path of `P+` select a node *strictly below* `branch` in
+    /// some document? Used by the recursion extension: when true for an
+    /// opaque (recursive) element's branch, the prefilter cannot navigate
+    /// inside the subtree and must conservatively copy it whole.
+    ///
+    /// The test is per-path NFA liveness after consuming `branch`: a step
+    /// remains unconsumed in some alive configuration (a descendant-axis
+    /// step that is alive can always fire deeper, a child-axis step can
+    /// fire one level down).
+    pub fn may_match_below<S: AsRef<str>>(&self, branch: &[S]) -> bool {
+        self.plus.iter().any(|p| path_live_below(p, branch))
+    }
+}
+
+/// NFA liveness of `p` strictly below `branch`.
+fn path_live_below<S: AsRef<str>>(p: &ProjectionPath, branch: &[S]) -> bool {
+    let n = p.steps.len();
+    let mut states = vec![false; n + 1];
+    states[0] = true;
+    for label in branch {
+        let label = label.as_ref();
+        let mut next = vec![false; n + 1];
+        for i in 0..n {
+            if !states[i] {
+                continue;
+            }
+            let step = &p.steps[i];
+            if step.test.accepts(label) {
+                next[i + 1] = true;
+            }
+            if step.axis == Axis::Descendant {
+                next[i] = true;
+            }
+        }
+        states = next;
+        if states.iter().all(|&s| !s) {
+            return false;
+        }
+    }
+    // Alive with at least one step left: the remaining step(s) can match
+    // one or more levels further down.
+    states[..n].iter().any(|&s| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(paths: &[&str]) -> Relevance {
+        Relevance::new(&PathSet::parse(paths).unwrap())
+    }
+
+    /// Paper Example 6 in full: query <x>{/a/b,//b}</x> over
+    /// D = <a><c><b>T</b></c></a>; every token is relevant.
+    #[test]
+    fn example6_all_tokens_relevant() {
+        let r = rel(&["/*", "/a/b#", "//b#"]);
+        // a-tags: C1 via prefix /a.
+        assert!(r.c1(&["a"]));
+        assert!(r.relevant_tag(&["a"]));
+        // b-tags: C1 via //b#.
+        assert!(r.c1(&["a", "c", "b"]));
+        assert!(r.relevant_tag(&["a", "c", "b"]));
+        // Text "T": C2 (inside //b# subtree).
+        assert!(r.relevant_text(&["a", "c", "b"]));
+        // c-tags: neither C1 nor C2 …
+        assert!(!r.c1(&["a", "c"]));
+        assert!(!r.c2(&["a", "c"]));
+        // … but C3 with t = b.
+        assert!(r.c3_parent(&["a"]));
+        assert!(r.relevant_tag(&["a", "c"]));
+    }
+
+    #[test]
+    fn without_the_child_form_c3_does_not_fire() {
+        // Only //b#: keeping c is unnecessary.
+        let r = rel(&["/*", "//b#"]);
+        assert!(!r.c3_parent(&["a"]));
+        assert!(!r.relevant_tag(&["a", "c"]));
+    }
+
+    #[test]
+    fn without_the_descendant_form_c3_does_not_fire() {
+        let r = rel(&["/*", "/a/b#"]);
+        assert!(!r.c3_parent(&["a"]));
+        assert!(!r.relevant_tag(&["a", "c"]));
+    }
+
+    #[test]
+    fn c3_only_at_the_right_depth() {
+        let r = rel(&["/*", "/a/b#", "//b#"]);
+        // Parent branch [a, c]: /a/b does not match [a, c, b] (wrong depth).
+        assert!(!r.c3_parent(&["a", "c"]));
+        // Parent branch []: /a/b does not match [b].
+        assert!(!r.c3_parent(&[] as &[&str]));
+    }
+
+    #[test]
+    fn c2_covers_whole_subtree() {
+        let r = rel(&["/a#"]);
+        assert!(r.c2(&["a"]));
+        assert!(r.c2(&["a", "x"]));
+        assert!(r.c2(&["a", "x", "y"]));
+        assert!(!r.c2(&["b"]));
+        assert!(r.c2_leaf(&["a"]));
+        assert!(!r.c2_leaf(&["b", "a", "c"]));
+    }
+
+    #[test]
+    fn prefix_paths_keep_ancestors() {
+        let r = rel(&["/site/regions/australia/item/name#"]);
+        assert!(r.c1(&["site"]));
+        assert!(r.c1(&["site", "regions"]));
+        assert!(r.c1(&["site", "regions", "australia"]));
+        assert!(r.c1(&["site", "regions", "australia", "item"]));
+        assert!(!r.c1(&["site", "people"]));
+        assert!(!r.relevant_tag(&["site", "people"]));
+    }
+
+    #[test]
+    fn star_path_keeps_top_level_node_only() {
+        let r = rel(&["/*"]);
+        assert!(r.relevant_tag(&["site"]));
+        assert!(!r.relevant_tag(&["site", "regions"]));
+        assert!(!r.relevant_text(&["site"]));
+    }
+
+    #[test]
+    fn star_hash_keeps_everything() {
+        let r = rel(&["/*#"]);
+        assert!(r.relevant_tag(&["a"]));
+        assert!(r.relevant_tag(&["a", "b", "c"]));
+        assert!(r.relevant_text(&["a", "b"]));
+    }
+
+    #[test]
+    fn wildcard_last_steps_are_not_c3_forms() {
+        // Wildcard-final paths do not create C3 obligations: a wildcard
+        // child path already makes every child C1-relevant via prefixes.
+        let r = rel(&["/a/*", "//*"]);
+        assert!(!r.c3_parent(&["a"]));
+        assert!(r.c1(&["a", "anything"])); // covered by C1 instead
+    }
+
+    #[test]
+    fn text_never_c1() {
+        let r = rel(&["/a/b"]);
+        assert!(!r.relevant_text(&["a", "b"]));
+        assert!(r.relevant_tag(&["a", "b"]));
+    }
+
+    #[test]
+    fn empty_branch_tag_is_irrelevant() {
+        let r = rel(&["/a"]);
+        assert!(!r.relevant_tag(&[] as &[&str]));
+    }
+}

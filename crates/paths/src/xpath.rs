@@ -1,0 +1,536 @@
+//! A small XPath AST and parser.
+//!
+//! Covers exactly what the paper's evaluation needs: the Table II MEDLINE
+//! queries (M1–M5) and XMark-style downward queries — absolute paths with
+//! `/` and `//` steps, name tests, `*`, `text()`, attribute tests `@name`,
+//! and predicates built from relative paths, string/number literals,
+//! comparisons, `and`/`or`, `contains(…)`, `not(…)`, `count(…)`,
+//! `empty(…)`.
+//!
+//! The same AST is consumed by two very different clients:
+//! * [`crate::extract`] — static projection-path extraction (\[5\]-style),
+//! * the query engines in `smpx-engine` — actual evaluation, used to verify
+//!   projection-safety (Def. 2) in the integration tests.
+
+use crate::model::Axis;
+use std::fmt;
+
+/// Node test of an XPath step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XNodeTest {
+    /// Element name test.
+    Name(String),
+    /// `*`.
+    Wildcard,
+    /// `text()`.
+    Text,
+    /// `@name` — attribute test.
+    Attr(String),
+}
+
+/// One step: axis, node test, predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XStep {
+    /// `/` (child) or `//` (descendant-or-self shorthand).
+    pub axis: Axis,
+    /// The node test.
+    pub test: XNodeTest,
+    /// Zero or more `[…]` predicates.
+    pub predicates: Vec<XExpr>,
+}
+
+/// An absolute location path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XPath {
+    /// The steps, outermost first.
+    pub steps: Vec<XStep>,
+}
+
+/// A relative location path (inside predicates / function arguments).
+#[derive(Debug, Clone, PartialEq)]
+pub struct XRelPath {
+    /// The steps relative to the context node.
+    pub steps: Vec<XStep>,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Predicate expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XExpr {
+    /// A relative path (existence test / string value source).
+    Path(XRelPath),
+    /// String literal.
+    Literal(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Binary comparison.
+    Cmp(Box<XExpr>, CmpOp, Box<XExpr>),
+    /// Conjunction.
+    And(Box<XExpr>, Box<XExpr>),
+    /// Disjunction.
+    Or(Box<XExpr>, Box<XExpr>),
+    /// `contains(haystack, needle)`.
+    Contains(Box<XExpr>, Box<XExpr>),
+    /// `not(expr)`.
+    Not(Box<XExpr>),
+    /// `count(path)`.
+    Count(XRelPath),
+    /// `empty(path)`.
+    Empty(XRelPath),
+    /// `last()` — positional: the context node is its parent's last match.
+    Last,
+}
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Description.
+    pub msg: String,
+    /// Byte offset into the query text.
+    pub pos: usize,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+impl XPath {
+    /// Parse an absolute XPath expression.
+    pub fn parse(text: &str) -> Result<XPath, XPathError> {
+        let mut p = P { s: text.as_bytes(), i: 0 };
+        p.ws();
+        if !p.peek_is(b'/') {
+            return Err(p.err("absolute path must start with '/'"));
+        }
+        let steps = p.steps()?;
+        p.ws();
+        if !p.done() {
+            return Err(p.err("trailing input"));
+        }
+        Ok(XPath { steps })
+    }
+}
+
+struct P<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: &str) -> XPathError {
+        XPathError { msg: msg.to_string(), pos: self.i }
+    }
+
+    fn done(&self) -> bool {
+        self.i >= self.s.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn peek_is(&self, b: u8) -> bool {
+        self.peek() == Some(b)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.s[self.i.min(self.s.len())..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Keyword: like eat, but must not be followed by a name character.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        let save = self.i;
+        if self.eat(kw) {
+            match self.peek() {
+                Some(c) if is_ident(c) => {
+                    self.i = save;
+                    false
+                }
+                _ => true,
+            }
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, XPathError> {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if is_ident(c) {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        if self.i == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.i]).into_owned())
+    }
+
+    /// Steps of a path; the cursor sits on the first '/' (absolute) or on
+    /// the first name (relative).
+    fn steps(&mut self) -> Result<Vec<XStep>, XPathError> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else if self.eat("/") {
+                Axis::Child
+            } else if steps.is_empty() {
+                // Relative path: first step has an implicit child axis.
+                Axis::Child
+            } else {
+                break;
+            };
+            let test = self.node_test()?;
+            let mut predicates = Vec::new();
+            loop {
+                self.ws();
+                if self.eat("[") {
+                    let e = self.or_expr()?;
+                    self.ws();
+                    if !self.eat("]") {
+                        return Err(self.err("expected ']'"));
+                    }
+                    predicates.push(e);
+                } else {
+                    break;
+                }
+            }
+            steps.push(XStep { axis, test, predicates });
+            if !self.peek_is(b'/') {
+                break;
+            }
+        }
+        if steps.is_empty() {
+            return Err(self.err("empty path"));
+        }
+        Ok(steps)
+    }
+
+    fn node_test(&mut self) -> Result<XNodeTest, XPathError> {
+        self.ws();
+        if self.eat("*") {
+            return Ok(XNodeTest::Wildcard);
+        }
+        if self.eat("@") {
+            return Ok(XNodeTest::Attr(self.ident()?));
+        }
+        if self.eat("text()") {
+            return Ok(XNodeTest::Text);
+        }
+        Ok(XNodeTest::Name(self.ident()?))
+    }
+
+    fn or_expr(&mut self) -> Result<XExpr, XPathError> {
+        let mut left = self.and_expr()?;
+        loop {
+            self.ws();
+            if self.eat_kw("or") {
+                let right = self.and_expr()?;
+                left = XExpr::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<XExpr, XPathError> {
+        let mut left = self.cmp_expr()?;
+        loop {
+            self.ws();
+            if self.eat_kw("and") {
+                let right = self.cmp_expr()?;
+                left = XExpr::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<XExpr, XPathError> {
+        let left = self.value()?;
+        self.ws();
+        let op = if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                let right = self.value()?;
+                Ok(XExpr::Cmp(Box::new(left), op, Box::new(right)))
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<XExpr, XPathError> {
+        self.ws();
+        match self.peek() {
+            Some(b'"') | Some(b'\'') => {
+                let q = self.peek().unwrap();
+                self.i += 1;
+                let start = self.i;
+                while let Some(c) = self.peek() {
+                    if c == q {
+                        let lit =
+                            String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+                        self.i += 1;
+                        return Ok(XExpr::Literal(lit));
+                    }
+                    self.i += 1;
+                }
+                Err(self.err("unterminated string literal"))
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.i;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.') {
+                    self.i += 1;
+                }
+                let text = std::str::from_utf8(&self.s[start..self.i]).unwrap();
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| self.err("bad number literal"))?;
+                Ok(XExpr::Number(n))
+            }
+            Some(b'(') => {
+                self.i += 1;
+                let e = self.or_expr()?;
+                self.ws();
+                if !self.eat(")") {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            _ => {
+                // Function call or relative path.
+                let save = self.i;
+                if self.eat("contains(") {
+                    let a = self.or_expr()?;
+                    self.ws();
+                    if !self.eat(",") {
+                        return Err(self.err("contains() needs two arguments"));
+                    }
+                    let b = self.or_expr()?;
+                    self.ws();
+                    if !self.eat(")") {
+                        return Err(self.err("expected ')'"));
+                    }
+                    return Ok(XExpr::Contains(Box::new(a), Box::new(b)));
+                }
+                if self.eat("last()") {
+                    return Ok(XExpr::Last);
+                }
+                if self.eat("not(") {
+                    let e = self.or_expr()?;
+                    self.ws();
+                    if !self.eat(")") {
+                        return Err(self.err("expected ')'"));
+                    }
+                    return Ok(XExpr::Not(Box::new(e)));
+                }
+                if self.eat("count(") {
+                    let p = XRelPath { steps: self.steps()? };
+                    self.ws();
+                    if !self.eat(")") {
+                        return Err(self.err("expected ')'"));
+                    }
+                    return Ok(XExpr::Count(p));
+                }
+                if self.eat("empty(") {
+                    let p = XRelPath { steps: self.steps()? };
+                    self.ws();
+                    if !self.eat(")") {
+                        return Err(self.err("expected ')'"));
+                    }
+                    return Ok(XExpr::Empty(p));
+                }
+                self.i = save;
+                Ok(XExpr::Path(XRelPath { steps: self.steps()? }))
+            }
+        }
+    }
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_absolute_path() {
+        let x = XPath::parse("/MedlineCitationSet//CollectionTitle").unwrap();
+        assert_eq!(x.steps.len(), 2);
+        assert_eq!(x.steps[0].axis, Axis::Child);
+        assert_eq!(x.steps[0].test, XNodeTest::Name("MedlineCitationSet".into()));
+        assert_eq!(x.steps[1].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn m2_predicate_with_text_compare() {
+        let x = XPath::parse(
+            r#"/MedlineCitationSet//DataBank[DataBankName/text()="PDB"]/AccessionNumberList"#,
+        )
+        .unwrap();
+        assert_eq!(x.steps.len(), 3);
+        let pred = &x.steps[1].predicates[0];
+        match pred {
+            XExpr::Cmp(lhs, CmpOp::Eq, rhs) => {
+                match &**lhs {
+                    XExpr::Path(p) => {
+                        assert_eq!(p.steps.len(), 2);
+                        assert_eq!(p.steps[1].test, XNodeTest::Text);
+                    }
+                    other => panic!("{other:?}"),
+                }
+                assert_eq!(**rhs, XExpr::Literal("PDB".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn m3_or_predicate() {
+        let x = XPath::parse(
+            r#"/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject[LastName/text()="Hippocrates" or DatesAssociatedWithName="Oct2006"]/TitleAssociatedWithName"#,
+        )
+        .unwrap();
+        assert_eq!(x.steps.len(), 4);
+        assert!(matches!(x.steps[2].predicates[0], XExpr::Or(_, _)));
+    }
+
+    #[test]
+    fn m4_contains_on_text() {
+        let x = XPath::parse(
+            r#"/MedlineCitationSet//CopyrightInformation[contains(text(),"NASA")]"#,
+        )
+        .unwrap();
+        match &x.steps[1].predicates[0] {
+            XExpr::Contains(a, b) => {
+                match &**a {
+                    XExpr::Path(p) => assert_eq!(p.steps[0].test, XNodeTest::Text),
+                    other => panic!("{other:?}"),
+                }
+                assert_eq!(**b, XExpr::Literal("NASA".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn m5_descendant_text_in_contains() {
+        let x = XPath::parse(
+            r#"/MedlineCitationSet/MedlineCitation[contains(MedlineJournalInfo//text(),"Sterilization")]/DateCompleted"#,
+        )
+        .unwrap();
+        match &x.steps[1].predicates[0] {
+            XExpr::Contains(a, _) => match &**a {
+                XExpr::Path(p) => {
+                    assert_eq!(p.steps.len(), 2);
+                    assert_eq!(p.steps[1].axis, Axis::Descendant);
+                    assert_eq!(p.steps[1].test, XNodeTest::Text);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_predicate() {
+        let x = XPath::parse(r#"/site/people/person[@id="person0"]/name"#).unwrap();
+        match &x.steps[2].predicates[0] {
+            XExpr::Cmp(a, CmpOp::Eq, _) => match &**a {
+                XExpr::Path(p) => assert_eq!(p.steps[0].test, XNodeTest::Attr("id".into())),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_comparison_and_functions() {
+        let x = XPath::parse(r#"/a/b[price >= 40]"#).unwrap();
+        assert!(matches!(x.steps[1].predicates[0], XExpr::Cmp(_, CmpOp::Ge, _)));
+        let x = XPath::parse(r#"/a[count(b) > 2 and not(empty(c))]"#).unwrap();
+        assert!(matches!(x.steps[0].predicates[0], XExpr::And(_, _)));
+    }
+
+    #[test]
+    fn keywords_not_confused_with_names() {
+        // Element named "order" must not trigger the "or" keyword.
+        let x = XPath::parse("/a[order/text()=\"x\"]").unwrap();
+        match &x.steps[0].predicates[0] {
+            XExpr::Cmp(a, _, _) => match &**a {
+                XExpr::Path(p) => {
+                    assert_eq!(p.steps[0].test, XNodeTest::Name("order".into()))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_and_multiple_predicates() {
+        let x = XPath::parse(r#"/*/b[c][d]"#).unwrap();
+        assert_eq!(x.steps[0].test, XNodeTest::Wildcard);
+        assert_eq!(x.steps[1].predicates.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(XPath::parse("a/b").is_err());
+        assert!(XPath::parse("/a[").is_err());
+        assert!(XPath::parse("/a[b=\"x]").is_err());
+        assert!(XPath::parse("/a trailing").is_err());
+        assert!(XPath::parse("/").is_err());
+        assert!(XPath::parse("/a[contains(b)]").is_err());
+    }
+}

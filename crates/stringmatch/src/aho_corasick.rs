@@ -1,0 +1,227 @@
+//! Aho–Corasick multi-keyword automaton (Aho & Corasick, CACM 1975).
+//!
+//! Processes every haystack character exactly once. This is the algorithm
+//! family used by the tokenizing XML scanners the paper relates to (its
+//! reference \[21\] extends Aho–Corasick to multi-byte tokens); SMP's point is
+//! that Commentz–Walter style *skipping* beats it on XML inputs. We use it
+//! as (a) a baseline scanner and (b) a second oracle for the
+//! Commentz–Walter property tests.
+
+use crate::{Metrics, MultiMatch, NoMetrics};
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    /// Sorted outgoing edges (byte, target state).
+    edges: Vec<(u8, u32)>,
+    /// Failure link.
+    fail: u32,
+    /// Patterns ending at this node.
+    out: Vec<u32>,
+}
+
+impl Node {
+    fn child(&self, b: u8) -> Option<u32> {
+        self.edges
+            .binary_search_by_key(&b, |&(c, _)| c)
+            .ok()
+            .map(|i| self.edges[i].1)
+    }
+}
+
+/// A compiled Aho–Corasick automaton over a pattern set.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_lens: Vec<usize>,
+}
+
+impl AhoCorasick {
+    /// Compile the pattern set. Panics if any pattern is empty or the set is
+    /// empty.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        assert!(!patterns.is_empty(), "AhoCorasick needs at least one pattern");
+        let mut nodes = vec![Node::default()];
+        let mut pattern_lens = Vec::with_capacity(patterns.len());
+        for (idx, pat) in patterns.iter().enumerate() {
+            let pat = pat.as_ref();
+            assert!(!pat.is_empty(), "AhoCorasick patterns must be non-empty");
+            pattern_lens.push(pat.len());
+            let mut cur = 0u32;
+            for &b in pat {
+                cur = match nodes[cur as usize].child(b) {
+                    Some(n) => n,
+                    None => {
+                        let n = nodes.len() as u32;
+                        nodes.push(Node::default());
+                        let edges = &mut nodes[cur as usize].edges;
+                        let at = edges.partition_point(|&(c, _)| c < b);
+                        edges.insert(at, (b, n));
+                        n
+                    }
+                };
+            }
+            nodes[cur as usize].out.push(idx as u32);
+        }
+
+        // BFS to set failure links and merge outputs.
+        let mut queue = std::collections::VecDeque::new();
+        let root_children: Vec<u32> = nodes[0].edges.iter().map(|&(_, t)| t).collect();
+        for t in root_children {
+            nodes[t as usize].fail = 0;
+            queue.push_back(t);
+        }
+        while let Some(s) = queue.pop_front() {
+            let edges = nodes[s as usize].edges.clone();
+            for (b, t) in edges {
+                // Follow failure links of the parent to find t's failure.
+                let mut f = nodes[s as usize].fail;
+                let fail_target = loop {
+                    if let Some(n) = nodes[f as usize].child(b) {
+                        break n;
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f as usize].fail;
+                };
+                nodes[t as usize].fail = if fail_target == t { 0 } else { fail_target };
+                let inherited = nodes[nodes[t as usize].fail as usize].out.clone();
+                nodes[t as usize].out.extend(inherited);
+                queue.push_back(t);
+            }
+        }
+
+        AhoCorasick { nodes, pattern_lens }
+    }
+
+    /// Number of automaton states.
+    pub fn state_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// First match (minimal end position; ties broken by pattern order),
+    /// uninstrumented.
+    pub fn find(&self, hay: &[u8]) -> Option<MultiMatch> {
+        self.find_at(hay, 0, &mut NoMetrics)
+    }
+
+    /// First match at or after `from`, instrumented.
+    pub fn find_at<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<MultiMatch> {
+        let mut state = 0u32;
+        for (i, &b) in hay.iter().enumerate().skip(from) {
+            m.cmp(1);
+            state = self.step(state, b);
+            let node = &self.nodes[state as usize];
+            let end = i + 1;
+            // Report the smallest pattern index among those ending here whose
+            // occurrence lies fully within hay[from..], for determinism.
+            if let Some(&pat) = node
+                .out
+                .iter()
+                .filter(|&&p| end - self.pattern_lens[p as usize] >= from)
+                .min()
+            {
+                let plen = self.pattern_lens[pat as usize];
+                return Some(MultiMatch { pattern: pat as usize, start: end - plen, end });
+            }
+        }
+        None
+    }
+
+    /// All matches, sorted by (end, pattern index).
+    pub fn find_iter<'h>(&'h self, hay: &'h [u8]) -> impl Iterator<Item = MultiMatch> + 'h {
+        let mut state = 0u32;
+        let mut i = 0usize;
+        let mut pending: Vec<MultiMatch> = Vec::new();
+        std::iter::from_fn(move || loop {
+            if let Some(m) = pending.pop() {
+                return Some(m);
+            }
+            if i >= hay.len() {
+                return None;
+            }
+            state = self.step(state, hay[i]);
+            i += 1;
+            let node = &self.nodes[state as usize];
+            if !node.out.is_empty() {
+                let mut here: Vec<MultiMatch> = node
+                    .out
+                    .iter()
+                    .map(|&p| {
+                        let plen = self.pattern_lens[p as usize];
+                        MultiMatch { pattern: p as usize, start: i - plen, end: i }
+                    })
+                    .collect();
+                here.sort_by_key(|m| std::cmp::Reverse(m.pattern));
+                pending = here;
+            }
+        })
+    }
+
+    #[inline]
+    fn step(&self, mut state: u32, b: u8) -> u32 {
+        loop {
+            if let Some(n) = self.nodes[state as usize].child(b) {
+                return n;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.nodes[state as usize].fail;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn finds_all_matches_sorted_by_end() {
+        let pats: Vec<&[u8]> = vec![b"he", b"she", b"his", b"hers"];
+        let ac = AhoCorasick::new(&pats);
+        let hay = b"ushers";
+        let got: Vec<MultiMatch> = ac.find_iter(hay).collect();
+        assert_eq!(got, naive::find_all_multi(hay, &pats));
+    }
+
+    #[test]
+    fn first_match_is_minimal_end() {
+        let pats: Vec<&[u8]> = vec![b"<b", b"<c", b"</a"];
+        let ac = AhoCorasick::new(&pats);
+        let m = ac.find(b"<a><c><b/></c></a>").unwrap();
+        assert_eq!((m.pattern, m.start, m.end), (1, 3, 5));
+    }
+
+    #[test]
+    fn respects_from_offset() {
+        let pats: Vec<&[u8]> = vec![b"ab"];
+        let ac = AhoCorasick::new(&pats);
+        let m = ac.find_at(b"abab", 1, &mut NoMetrics).unwrap();
+        assert_eq!(m.start, 2);
+    }
+
+    #[test]
+    fn overlapping_patterns() {
+        let pats: Vec<&[u8]> = vec![b"aa", b"aaa"];
+        let ac = AhoCorasick::new(&pats);
+        let hay = b"aaaa";
+        let got: Vec<MultiMatch> = ac.find_iter(hay).collect();
+        assert_eq!(got, naive::find_all_multi(hay, &pats));
+    }
+
+    #[test]
+    fn single_pattern_degenerates_to_substring_search() {
+        let pats: Vec<&[u8]> = vec![b"abc"];
+        let ac = AhoCorasick::new(&pats);
+        assert_eq!(ac.find(b"zzabczz").map(|m| m.start), Some(2));
+        assert_eq!(ac.find(b"zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_panics() {
+        let _ = AhoCorasick::new(&[b"".as_slice()]);
+    }
+}

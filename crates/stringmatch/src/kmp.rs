@@ -1,0 +1,110 @@
+//! Knuth–Morris–Pratt single-keyword search (Knuth, Morris, Pratt 1977).
+//!
+//! Left-to-right, inspects every haystack character exactly once in the
+//! worst case but — unlike Boyer–Moore — can never *skip* characters. It is
+//! the canonical "one character at-a-time" algorithm the paper positions the
+//! skipping family against, so it serves as a baseline in the flat-string
+//! benchmarks.
+
+use crate::{Metrics, NoMetrics};
+
+/// A compiled KMP searcher for one pattern.
+#[derive(Debug, Clone)]
+pub struct Kmp {
+    pattern: Vec<u8>,
+    /// Failure function: `fail[i]` = length of the longest proper border of
+    /// `pattern[..=i]`.
+    fail: Vec<usize>,
+}
+
+impl Kmp {
+    /// Compile `pattern`. Panics on an empty pattern.
+    pub fn new(pattern: &[u8]) -> Self {
+        assert!(!pattern.is_empty(), "Kmp pattern must be non-empty");
+        let mut fail = vec![0usize; pattern.len()];
+        let mut k = 0;
+        for i in 1..pattern.len() {
+            while k > 0 && pattern[i] != pattern[k] {
+                k = fail[k - 1];
+            }
+            if pattern[i] == pattern[k] {
+                k += 1;
+            }
+            fail[i] = k;
+        }
+        Kmp { pattern: pattern.to_vec(), fail }
+    }
+
+    /// The compiled pattern.
+    pub fn pattern(&self) -> &[u8] {
+        &self.pattern
+    }
+
+    /// Leftmost occurrence, uninstrumented.
+    pub fn find(&self, hay: &[u8]) -> Option<usize> {
+        self.find_at(hay, 0, &mut NoMetrics)
+    }
+
+    /// Leftmost occurrence whose start is `>= from`.
+    pub fn find_at<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<usize> {
+        let pat = &self.pattern[..];
+        if from >= hay.len() {
+            return None;
+        }
+        let mut k = 0usize;
+        for (i, &b) in hay.iter().enumerate().skip(from) {
+            m.cmp(1);
+            while k > 0 && b != pat[k] {
+                k = self.fail[k - 1];
+                m.cmp(1);
+            }
+            if b == pat[k] {
+                k += 1;
+            }
+            if k == pat.len() {
+                return Some(i + 1 - pat.len());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn check(hay: &[u8], pat: &[u8]) {
+        let k = Kmp::new(pat);
+        assert_eq!(k.find(hay), naive::find(hay, pat), "hay={hay:?} pat={pat:?}");
+    }
+
+    #[test]
+    fn agrees_with_naive() {
+        check(b"hello world", b"world");
+        check(b"hello world", b"zzz");
+        check(b"aabaabaaab", b"aaab");
+        check(b"abababababab", b"bab");
+        check(b"aaaaaa", b"aaa");
+        check(b"", b"x");
+    }
+
+    #[test]
+    fn from_offset() {
+        let k = Kmp::new(b"ab");
+        assert_eq!(k.find_at(b"abab", 1, &mut NoMetrics), Some(2));
+        assert_eq!(k.find_at(b"abab", 3, &mut NoMetrics), None);
+    }
+
+    #[test]
+    fn failure_function_is_borders() {
+        let k = Kmp::new(b"abacabab");
+        assert_eq!(k.fail, vec![0, 0, 1, 0, 1, 2, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_panics() {
+        let _ = Kmp::new(b"");
+    }
+}

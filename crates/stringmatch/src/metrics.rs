@@ -1,0 +1,117 @@
+//! Instrumentation sinks for the searchers.
+//!
+//! The paper's evaluation reports `Char Comp.` (character comparisons as a
+//! percentage of the document size) and `∅ Shift Size` (the average forward
+//! shift). Searchers report those events through the [`Metrics`] trait; the
+//! [`NoMetrics`] sink compiles to nothing so production runs pay no cost.
+
+/// Receiver for search instrumentation events.
+///
+/// Implementations must be cheap; the searchers call these methods in their
+/// innermost loops.
+pub trait Metrics {
+    /// `n` characters of the haystack were compared against pattern
+    /// characters (or trie edges).
+    fn cmp(&mut self, n: u64);
+
+    /// The search window was shifted forward by `n` positions.
+    fn shift(&mut self, n: u64);
+}
+
+/// A sink that ignores all events. Fully inlined away by the optimizer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoMetrics;
+
+impl Metrics for NoMetrics {
+    #[inline(always)]
+    fn cmp(&mut self, _n: u64) {}
+
+    #[inline(always)]
+    fn shift(&mut self, _n: u64) {}
+}
+
+/// A sink that counts events, used to regenerate the paper's per-query
+/// statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counters {
+    /// Total number of character comparisons.
+    pub comparisons: u64,
+    /// Number of forward shifts performed.
+    pub shifts: u64,
+    /// Sum of the sizes of all forward shifts.
+    pub shift_total: u64,
+}
+
+impl Counters {
+    /// Average forward shift size (the paper's `∅ Shift Size`), or 0 when no
+    /// shift happened.
+    pub fn avg_shift(&self) -> f64 {
+        if self.shifts == 0 {
+            0.0
+        } else {
+            self.shift_total as f64 / self.shifts as f64
+        }
+    }
+
+    /// Fold another counter into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.comparisons += other.comparisons;
+        self.shifts += other.shifts;
+        self.shift_total += other.shift_total;
+    }
+}
+
+impl Metrics for Counters {
+    #[inline(always)]
+    fn cmp(&mut self, n: u64) {
+        self.comparisons += n;
+    }
+
+    #[inline(always)]
+    fn shift(&mut self, n: u64) {
+        self.shifts += 1;
+        self.shift_total += n;
+    }
+}
+
+impl Metrics for &mut Counters {
+    #[inline(always)]
+    fn cmp(&mut self, n: u64) {
+        (**self).cmp(n);
+    }
+
+    #[inline(always)]
+    fn shift(&mut self, n: u64) {
+        (**self).shift(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::default();
+        c.cmp(3);
+        c.shift(4);
+        c.shift(6);
+        assert_eq!(c.comparisons, 3);
+        assert_eq!(c.shifts, 2);
+        assert_eq!(c.shift_total, 10);
+        assert!((c.avg_shift() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_folds_all_fields() {
+        let mut a = Counters { comparisons: 1, shifts: 2, shift_total: 3 };
+        let b = Counters { comparisons: 10, shifts: 20, shift_total: 30 };
+        a.merge(&b);
+        assert_eq!(a, Counters { comparisons: 11, shifts: 22, shift_total: 33 });
+    }
+
+    #[test]
+    fn avg_shift_of_empty_is_zero() {
+        assert_eq!(Counters::default().avg_shift(), 0.0);
+    }
+}

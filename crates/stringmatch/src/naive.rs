@@ -1,0 +1,105 @@
+//! Naive one-character-at-a-time search, used as the correctness oracle for
+//! every other searcher in this crate and as the slowest baseline in the
+//! flat-string benchmarks.
+
+use crate::{Metrics, MultiMatch, NoMetrics};
+
+/// Find the leftmost occurrence of `pattern` in `hay[from..]` by checking
+/// every alignment. Returns the absolute start offset.
+pub fn find_at<M: Metrics>(hay: &[u8], pattern: &[u8], from: usize, m: &mut M) -> Option<usize> {
+    if pattern.is_empty() || from + pattern.len() > hay.len() {
+        return None;
+    }
+    let last = hay.len() - pattern.len();
+    let mut pos = from;
+    while pos <= last {
+        let mut i = 0;
+        while i < pattern.len() {
+            m.cmp(1);
+            if hay[pos + i] != pattern[i] {
+                break;
+            }
+            i += 1;
+        }
+        if i == pattern.len() {
+            return Some(pos);
+        }
+        m.shift(1);
+        pos += 1;
+    }
+    None
+}
+
+/// Uninstrumented convenience wrapper around [`find_at`].
+pub fn find(hay: &[u8], pattern: &[u8]) -> Option<usize> {
+    find_at(hay, pattern, 0, &mut NoMetrics)
+}
+
+/// All (possibly overlapping) occurrences of `pattern` in `hay`.
+pub fn find_all(hay: &[u8], pattern: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = find_at(hay, pattern, from, &mut NoMetrics) {
+        out.push(p);
+        from = p + 1;
+    }
+    out
+}
+
+/// All occurrences of every pattern of a set, sorted by (end, pattern index).
+///
+/// This is the oracle for [`crate::CommentzWalter`] and
+/// [`crate::AhoCorasick`] in the property tests.
+pub fn find_all_multi(hay: &[u8], patterns: &[&[u8]]) -> Vec<MultiMatch> {
+    let mut out = Vec::new();
+    for (idx, pat) in patterns.iter().enumerate() {
+        for start in find_all(hay, pat) {
+            out.push(MultiMatch { pattern: idx, start, end: start + pat.len() });
+        }
+    }
+    out.sort_by_key(|m| (m.end, m.pattern));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_leftmost() {
+        assert_eq!(find(b"abcabc", b"abc"), Some(0));
+        assert_eq!(find_at(b"abcabc", b"abc", 1, &mut NoMetrics), Some(3));
+    }
+
+    #[test]
+    fn missing_pattern() {
+        assert_eq!(find(b"abcabc", b"abd"), None);
+        assert_eq!(find(b"ab", b"abc"), None);
+        assert_eq!(find(b"", b"a"), None);
+    }
+
+    #[test]
+    fn empty_pattern_is_rejected() {
+        assert_eq!(find(b"abc", b""), None);
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        assert_eq!(find_all(b"aaaa", b"aa"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn multi_sorted_by_end() {
+        let pats: Vec<&[u8]> = vec![b"ab", b"b"];
+        let ms = find_all_multi(b"abab", &pats);
+        assert_eq!(
+            ms,
+            vec![
+                MultiMatch { pattern: 0, start: 0, end: 2 },
+                MultiMatch { pattern: 1, start: 1, end: 2 },
+                MultiMatch { pattern: 0, start: 2, end: 4 },
+                MultiMatch { pattern: 1, start: 3, end: 4 },
+            ]
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based differential tests: every searcher in the crate must agree
+//! with the naive oracle on arbitrary inputs, including adversarial small
+//! alphabets that maximize pattern self-overlap.
+
+use proptest::prelude::*;
+use smpx_stringmatch::{naive, AhoCorasick, BoyerMoore, CommentzWalter, Horspool, Kmp, MultiMatch};
+
+/// Small alphabets provoke overlapping occurrences and shift-table edge
+/// cases far more often than random bytes do.
+fn small_alpha_string(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..max_len)
+}
+
+fn small_alpha_pattern(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn boyer_moore_agrees_with_naive(
+        hay in small_alpha_string(200),
+        pat in small_alpha_pattern(8),
+        from in 0usize..64,
+    ) {
+        let bm = BoyerMoore::new(&pat);
+        let mut sink = smpx_stringmatch::NoMetrics;
+        prop_assert_eq!(
+            bm.find_at(&hay, from, &mut sink),
+            naive::find_at(&hay, &pat, from, &mut sink)
+        );
+    }
+
+    #[test]
+    fn horspool_agrees_with_naive(
+        hay in small_alpha_string(200),
+        pat in small_alpha_pattern(8),
+    ) {
+        let h = Horspool::new(&pat);
+        prop_assert_eq!(h.find(&hay), naive::find(&hay, &pat));
+    }
+
+    #[test]
+    fn kmp_agrees_with_naive(
+        hay in small_alpha_string(200),
+        pat in small_alpha_pattern(8),
+    ) {
+        let k = Kmp::new(&pat);
+        prop_assert_eq!(k.find(&hay), naive::find(&hay, &pat));
+    }
+
+    #[test]
+    fn boyer_moore_find_iter_is_all_occurrences(
+        hay in small_alpha_string(120),
+        pat in small_alpha_pattern(6),
+    ) {
+        let bm = BoyerMoore::new(&pat);
+        let got: Vec<usize> = bm.find_iter(&hay).collect();
+        prop_assert_eq!(got, naive::find_all(&hay, &pat));
+    }
+
+    #[test]
+    fn commentz_walter_finds_every_occurrence(
+        hay in small_alpha_string(160),
+        pats in proptest::collection::vec(small_alpha_pattern(6), 1..5),
+    ) {
+        let refs: Vec<&[u8]> = pats.iter().map(|p| p.as_slice()).collect();
+        let cw = CommentzWalter::new(&refs);
+        let got: Vec<MultiMatch> = cw.find_iter(&hay).collect();
+        let mut want = naive::find_all_multi(&hay, &refs);
+        // Duplicate patterns in the random set produce duplicate oracle
+        // entries with distinct indices; both sides keep them, so plain
+        // equality is the right check.
+        want.sort_by_key(|m| (m.end, m.pattern));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn aho_corasick_finds_every_occurrence(
+        hay in small_alpha_string(160),
+        pats in proptest::collection::vec(small_alpha_pattern(6), 1..5),
+    ) {
+        let refs: Vec<&[u8]> = pats.iter().map(|p| p.as_slice()).collect();
+        let ac = AhoCorasick::new(&refs);
+        let got: Vec<MultiMatch> = ac.find_iter(&hay).collect();
+        prop_assert_eq!(got, naive::find_all_multi(&hay, &refs));
+    }
+
+    #[test]
+    fn commentz_walter_agrees_with_aho_corasick_on_first_match(
+        hay in small_alpha_string(160),
+        pats in proptest::collection::vec(small_alpha_pattern(6), 1..5),
+    ) {
+        let refs: Vec<&[u8]> = pats.iter().map(|p| p.as_slice()).collect();
+        let cw = CommentzWalter::new(&refs);
+        let ac = AhoCorasick::new(&refs);
+        prop_assert_eq!(cw.find(&hay), ac.find(&hay));
+    }
+
+    #[test]
+    fn xmlish_keywords_over_xmlish_haystacks(
+        reps in 1usize..12,
+        pats_sel in proptest::collection::vec(0usize..6, 1..4),
+    ) {
+        // Build an XML-looking haystack and search for tag-prefix keywords,
+        // mirroring how the SMP runtime drives the searchers.
+        let vocab: [&[u8]; 6] = [b"<item", b"</item", b"<name", b"</name", b"<desc", b"</desc"];
+        let mut hay = Vec::new();
+        for i in 0..reps {
+            hay.extend_from_slice(b"<item id=\"x\"><name>n</name><desc>d</desc></item>");
+            if i % 3 == 0 {
+                hay.extend_from_slice(b"  text between items <");
+            }
+        }
+        let pats: Vec<&[u8]> = pats_sel.iter().map(|&i| vocab[i]).collect();
+        let cw = CommentzWalter::new(&pats);
+        let got: Vec<MultiMatch> = cw.find_iter(&hay).collect();
+        prop_assert_eq!(got, naive::find_all_multi(&hay, &pats));
+    }
+}

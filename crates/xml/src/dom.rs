@@ -1,0 +1,308 @@
+//! Arena-based DOM.
+//!
+//! The in-memory query engine (the evaluation's QizX stand-in) builds this
+//! tree; nodes live in a single `Vec` and are addressed by [`NodeId`]
+//! indices, which keeps the per-node overhead small and makes the memory
+//! accounting needed for the Fig. 7(a) OOM experiment straightforward
+//! ([`Document::heap_bytes`]).
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::unescape;
+use crate::tokenizer::{Attributes, Token, Tokenizer};
+
+/// Index of a node in a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The document root element.
+    pub const ROOT: NodeId = NodeId(0);
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One attribute: (name, unescaped value).
+pub type OwnedAttr = (Box<[u8]>, Box<[u8]>);
+
+/// Payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with its name and attributes (values unescaped).
+    Element {
+        /// Element name.
+        name: Box<[u8]>,
+        /// Attribute (name, value) pairs in document order.
+        attrs: Vec<OwnedAttr>,
+    },
+    /// A text node (entities resolved).
+    Text(Box<[u8]>),
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    first_child: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+}
+
+/// A parsed XML document; node 0 is the root element.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+}
+
+impl Document {
+    /// Parse `input` into a tree. Comments, PIs, DOCTYPE and pure-whitespace
+    /// text outside the root are dropped; CDATA becomes text.
+    pub fn parse(input: &[u8]) -> Result<Document, XmlError> {
+        let mut nodes: Vec<NodeData> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut last_child_of: Vec<Option<NodeId>> = Vec::new();
+        let mut root_seen = false;
+
+        let attach = |nodes: &mut Vec<NodeData>,
+                          last: &mut Vec<Option<NodeId>>,
+                          stack: &[NodeId],
+                          kind: NodeKind|
+         -> NodeId {
+            let id = NodeId(nodes.len() as u32);
+            let parent = stack.last().copied();
+            nodes.push(NodeData { kind, parent, first_child: None, next_sibling: None });
+            last.push(None);
+            if let Some(p) = parent {
+                match last[p.idx()] {
+                    None => nodes[p.idx()].first_child = Some(id),
+                    Some(prev) => nodes[prev.idx()].next_sibling = Some(id),
+                }
+                last[p.idx()] = Some(id);
+            }
+            id
+        };
+
+        for tok in Tokenizer::new(input) {
+            match tok? {
+                Token::StartTag { name, attrs, self_closing, start, .. } => {
+                    if stack.is_empty() {
+                        if root_seen {
+                            return Err(XmlError::new(XmlErrorKind::TrailingContent, start));
+                        }
+                        root_seen = true;
+                    }
+                    let attrs: Vec<OwnedAttr> = Attributes::new(attrs)
+                        .map(|(n, v)| {
+                            (n.to_vec().into_boxed_slice(), unescape(v).into_boxed_slice())
+                        })
+                        .collect();
+                    let kind =
+                        NodeKind::Element { name: name.to_vec().into_boxed_slice(), attrs };
+                    let id = attach(&mut nodes, &mut last_child_of, &stack, kind);
+                    if !self_closing {
+                        stack.push(id);
+                    }
+                }
+                Token::EndTag { name, start, .. } => match stack.pop() {
+                    Some(open) => {
+                        let open_name = match &nodes[open.idx()].kind {
+                            NodeKind::Element { name, .. } => &name[..],
+                            NodeKind::Text(_) => unreachable!("only elements are pushed"),
+                        };
+                        if open_name != name {
+                            return Err(XmlError::new(XmlErrorKind::MismatchedTag, start));
+                        }
+                    }
+                    None => return Err(XmlError::new(XmlErrorKind::MismatchedTag, start)),
+                },
+                Token::Text { text, start, .. } => {
+                    if stack.is_empty() {
+                        if text.iter().all(|&b| crate::names::is_xml_whitespace(b)) {
+                            continue;
+                        }
+                        return Err(XmlError::new(XmlErrorKind::TrailingContent, start));
+                    }
+                    let kind = NodeKind::Text(unescape(text).into_boxed_slice());
+                    attach(&mut nodes, &mut last_child_of, &stack, kind);
+                }
+                Token::Cdata { text, start, .. } => {
+                    if stack.is_empty() {
+                        return Err(XmlError::new(XmlErrorKind::TrailingContent, start));
+                    }
+                    let kind = NodeKind::Text(text.to_vec().into_boxed_slice());
+                    attach(&mut nodes, &mut last_child_of, &stack, kind);
+                }
+                Token::Comment { .. } | Token::Pi { .. } | Token::Doctype { .. } => {}
+            }
+        }
+        if !stack.is_empty() {
+            return Err(XmlError::new(XmlErrorKind::UnexpectedEof, input.len()));
+        }
+        if nodes.is_empty() {
+            return Err(XmlError::new(XmlErrorKind::NoRootElement, input.len()));
+        }
+        Ok(Document { nodes })
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Number of nodes (elements + text).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the arena is empty (cannot happen for parsed documents).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node payload.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.idx()].kind
+    }
+
+    /// Element name, or `None` for text nodes.
+    pub fn name(&self, id: NodeId) -> Option<&[u8]> {
+        match &self.nodes[id.idx()].kind {
+            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Attribute value by name, or `None`.
+    pub fn attr(&self, id: NodeId, attr_name: &[u8]) -> Option<&[u8]> {
+        match &self.nodes[id.idx()].kind {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(n, _)| &n[..] == attr_name)
+                .map(|(_, v)| &v[..]),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Parent node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.idx()].parent
+    }
+
+    /// Iterator over direct children in document order.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self.nodes[id.idx()].first_child;
+        std::iter::from_fn(move || {
+            let c = cur?;
+            cur = self.nodes[c.idx()].next_sibling;
+            Some(c)
+        })
+    }
+
+    /// Iterator over all descendants (excluding `id` itself), document order.
+    pub fn descendants(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut stack: Vec<NodeId> = self.children(id).collect();
+        stack.reverse();
+        std::iter::from_fn(move || {
+            let n = stack.pop()?;
+            let children: Vec<NodeId> = self.children(n).collect();
+            for c in children.into_iter().rev() {
+                stack.push(c);
+            }
+            Some(n)
+        })
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`.
+    pub fn text_content(&self, id: NodeId) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut ids = vec![id];
+        ids.extend(self.descendants(id));
+        for n in ids {
+            if let NodeKind::Text(t) = &self.nodes[n.idx()].kind {
+                out.extend_from_slice(t);
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes: arena entries plus owned name,
+    /// attribute and text buffers. Drives the byte-budget cap of the
+    /// in-memory engine (Fig. 7(a)).
+    pub fn heap_bytes(&self) -> usize {
+        let mut total = self.nodes.capacity() * std::mem::size_of::<NodeData>();
+        for n in &self.nodes {
+            match &n.kind {
+                NodeKind::Element { name, attrs } => {
+                    total += name.len();
+                    total += attrs.capacity() * std::mem::size_of::<OwnedAttr>();
+                    for (an, av) in attrs {
+                        total += an.len() + av.len();
+                    }
+                }
+                NodeKind::Text(t) => total += t.len(),
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &[u8] = br#"<site><item id="1"><name>TV</name>cheap</item><item id="2"/></site>"#;
+
+    #[test]
+    fn structure() {
+        let d = Document::parse(DOC).unwrap();
+        assert_eq!(d.name(d.root()), Some(&b"site"[..]));
+        let items: Vec<NodeId> = d.children(d.root()).collect();
+        assert_eq!(items.len(), 2);
+        assert_eq!(d.attr(items[0], b"id"), Some(&b"1"[..]));
+        assert_eq!(d.attr(items[1], b"id"), Some(&b"2"[..]));
+        assert_eq!(d.parent(items[0]), Some(d.root()));
+        assert_eq!(d.parent(d.root()), None);
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let d = Document::parse(DOC).unwrap();
+        let items: Vec<NodeId> = d.children(d.root()).collect();
+        assert_eq!(d.text_content(items[0]), b"TVcheap");
+        assert_eq!(d.text_content(d.root()), b"TVcheap");
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let d = Document::parse(b"<a><b><c/></b><d/></a>").unwrap();
+        let names: Vec<Vec<u8>> = d
+            .descendants(d.root())
+            .filter_map(|n| d.name(n).map(|x| x.to_vec()))
+            .collect();
+        assert_eq!(names, vec![b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn entities_unescaped_in_dom() {
+        let d = Document::parse(b"<a x=\"1&amp;2\">3&lt;4</a>").unwrap();
+        assert_eq!(d.attr(d.root(), b"x"), Some(&b"1&2"[..]));
+        assert_eq!(d.text_content(d.root()), b"3<4");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Document::parse(b"<a><b></a></b>").is_err());
+        assert!(Document::parse(b"<a/><b/>").is_err());
+        assert!(Document::parse(b"").is_err());
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let small = Document::parse(b"<a/>").unwrap();
+        let big = Document::parse(
+            format!("<a>{}</a>", "x".repeat(10_000)).as_bytes(),
+        )
+        .unwrap();
+        assert!(big.heap_bytes() > small.heap_bytes() + 9_000);
+    }
+}

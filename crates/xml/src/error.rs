@@ -1,0 +1,81 @@
+//! Error type shared by the tokenizer, DOM builder and well-formedness
+//! checker.
+
+use std::fmt;
+
+/// What went wrong while reading XML.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended inside a construct (tag, comment, CDATA, …).
+    UnexpectedEof,
+    /// A character that may not appear at this point.
+    UnexpectedChar(u8),
+    /// Tag or attribute name is empty or starts with an illegal byte.
+    BadName,
+    /// Attribute value not quoted, or quote never closed.
+    BadAttribute,
+    /// `</a>` closed an element that was not open (or names mismatch).
+    MismatchedTag,
+    /// Content after the document element, or more than one root.
+    TrailingContent,
+    /// Document contains no element at all.
+    NoRootElement,
+    /// `--` inside a comment, or comment not terminated by `-->`.
+    BadComment,
+    /// Unterminated or malformed processing instruction / CDATA / DOCTYPE.
+    BadMarkupDecl,
+}
+
+/// An error with the byte offset at which it was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmlError {
+    /// Classification of the failure.
+    pub kind: XmlErrorKind,
+    /// Byte offset into the input at which the error was detected.
+    pub pos: usize,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, pos: usize) -> Self {
+        XmlError { kind, pos }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedChar(c) => {
+                write!(f, "unexpected character {:?}", c as char)
+            }
+            XmlErrorKind::BadName => write!(f, "malformed XML name"),
+            XmlErrorKind::BadAttribute => write!(f, "malformed attribute"),
+            XmlErrorKind::MismatchedTag => write!(f, "mismatched closing tag"),
+            XmlErrorKind::TrailingContent => write!(f, "content after document element"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::BadComment => write!(f, "malformed comment"),
+            XmlErrorKind::BadMarkupDecl => write!(f, "malformed markup declaration"),
+        }?;
+        write!(f, " at byte {}", self.pos)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::new(XmlErrorKind::BadName, 42);
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("name"));
+    }
+
+    #[test]
+    fn display_char() {
+        let e = XmlError::new(XmlErrorKind::UnexpectedChar(b'<'), 0);
+        assert!(e.to_string().contains('<'));
+    }
+}

@@ -1,0 +1,117 @@
+//! Escaping and unescaping of XML character data.
+
+/// Append `text` to `out`, escaping `&`, `<`, `>`, `"` and `'`.
+pub fn escape_into(text: &[u8], out: &mut Vec<u8>) {
+    for &b in text {
+        match b {
+            b'&' => out.extend_from_slice(b"&amp;"),
+            b'<' => out.extend_from_slice(b"&lt;"),
+            b'>' => out.extend_from_slice(b"&gt;"),
+            b'"' => out.extend_from_slice(b"&quot;"),
+            b'\'' => out.extend_from_slice(b"&apos;"),
+            _ => out.push(b),
+        }
+    }
+}
+
+/// Escape `text` into a fresh buffer.
+pub fn escape_text(text: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(text.len());
+    escape_into(text, &mut out);
+    out
+}
+
+/// Append `text` to `out`, resolving the five predefined entities and
+/// decimal/hex character references. Unknown or malformed references are
+/// copied through verbatim (lenient, like most SAX consumers in recovery
+/// mode).
+pub fn unescape_into(text: &[u8], out: &mut Vec<u8>) {
+    let mut i = 0;
+    while i < text.len() {
+        if text[i] != b'&' {
+            out.push(text[i]);
+            i += 1;
+            continue;
+        }
+        let rest = &text[i..];
+        let semi = match rest.iter().take(12).position(|&b| b == b';') {
+            Some(s) => s,
+            None => {
+                out.push(b'&');
+                i += 1;
+                continue;
+            }
+        };
+        let entity = &rest[1..semi];
+        let replaced: Option<Vec<u8>> = match entity {
+            b"amp" => Some(b"&".to_vec()),
+            b"lt" => Some(b"<".to_vec()),
+            b"gt" => Some(b">".to_vec()),
+            b"quot" => Some(b"\"".to_vec()),
+            b"apos" => Some(b"'".to_vec()),
+            _ if entity.first() == Some(&b'#') => decode_char_ref(&entity[1..]),
+            _ => None,
+        };
+        match replaced {
+            Some(bytes) => {
+                out.extend_from_slice(&bytes);
+                i += semi + 1;
+            }
+            None => {
+                out.push(b'&');
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Unescape `text` into a fresh buffer.
+pub fn unescape(text: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(text.len());
+    unescape_into(text, &mut out);
+    out
+}
+
+fn decode_char_ref(body: &[u8]) -> Option<Vec<u8>> {
+    let (digits, radix) = match body.first() {
+        Some(&b'x') | Some(&b'X') => (&body[1..], 16),
+        _ => (body, 10),
+    };
+    let s = std::str::from_utf8(digits).ok()?;
+    let cp = u32::from_str_radix(s, radix).ok()?;
+    let ch = char::from_u32(cp)?;
+    let mut buf = [0u8; 4];
+    Some(ch.encode_utf8(&mut buf).as_bytes().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trip() {
+        let raw = b"a<b>&\"'c";
+        let esc = escape_text(raw);
+        assert_eq!(esc, b"a&lt;b&gt;&amp;&quot;&apos;c");
+        assert_eq!(unescape(&esc), raw);
+    }
+
+    #[test]
+    fn unescape_char_refs() {
+        assert_eq!(unescape(b"&#65;&#x42;"), b"AB");
+        assert_eq!(unescape(b"&#xE9;"), "é".as_bytes());
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(unescape(b"&nbsp;x"), b"&nbsp;x");
+        assert_eq!(unescape(b"& loose"), b"& loose");
+        assert_eq!(unescape(b"&"), b"&");
+    }
+
+    #[test]
+    fn plain_text_untouched() {
+        assert_eq!(unescape(b"hello world"), b"hello world");
+        assert_eq!(escape_text(b"hello world"), b"hello world");
+    }
+}

@@ -1,0 +1,48 @@
+//! Byte-oriented XML substrate: SAX-style tokenizer, arena DOM, serializer.
+//!
+//! The SMP prefilter itself never tokenizes its input — that is the point of
+//! the paper — but everything *around* it does:
+//!
+//! * the tokenizing baselines (the paper's Xerces and TBP comparators),
+//! * the token-level reference prefilter used as a correctness oracle,
+//! * the in-memory and streaming query engines of the evaluation,
+//! * validity checks for the data generators.
+//!
+//! The tokenizer is deliberately strict by default (tag-name syntax,
+//! attribute quoting, comment rules), mirroring Xerces' default
+//! well-formedness checking which the paper calls out when comparing
+//! throughput. A [`lenient`](Tokenizer::lenient) mode skips the per-character
+//! name checks, standing in for the cheaper SAX configuration of Fig. 7(c).
+//!
+//! # Example
+//!
+//! ```
+//! use smpx_xml::{Tokenizer, Token};
+//!
+//! let doc = br#"<site><item id="1">Palm Zire 71</item></site>"#;
+//! let names: Vec<String> = Tokenizer::new(doc)
+//!     .map(|t| t.unwrap())
+//!     .filter_map(|t| match t {
+//!         Token::StartTag { name, .. } => Some(String::from_utf8_lossy(name).into_owned()),
+//!         _ => None,
+//!     })
+//!     .collect();
+//! assert_eq!(names, ["site", "item"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dom;
+mod error;
+mod escape;
+mod names;
+mod serialize;
+mod tokenizer;
+
+pub use dom::{Document, NodeId, NodeKind, OwnedAttr};
+pub use error::{XmlError, XmlErrorKind};
+pub use escape::{escape_into, escape_text, unescape, unescape_into};
+pub use names::{is_name_byte, is_name_start_byte, is_xml_whitespace};
+pub use serialize::serialize;
+pub use tokenizer::{check_well_formed, Attributes, Token, Tokenizer};

@@ -1,0 +1,62 @@
+//! XML name character classes (ASCII-focused, permissive for non-ASCII).
+//!
+//! The SMP setting is schema-driven: every tag name that matters comes from
+//! a DTD, and the generators only emit ASCII names. We therefore implement
+//! the ASCII subset of the XML 1.0 name rules exactly and accept any byte ≥
+//! 0x80 as a name byte, which is a superset of the spec for multi-byte
+//! UTF-8 names — good enough for a well-formedness *checker* that must not
+//! reject valid documents.
+
+/// May `b` start an XML name?
+#[inline]
+pub fn is_name_start_byte(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+/// May `b` continue an XML name?
+#[inline]
+pub fn is_name_byte(b: u8) -> bool {
+    is_name_start_byte(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+/// XML whitespace (space, tab, CR, LF).
+#[inline]
+pub fn is_xml_whitespace(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\r' | b'\n')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_bytes() {
+        assert!(is_name_start_byte(b'a'));
+        assert!(is_name_start_byte(b'Z'));
+        assert!(is_name_start_byte(b'_'));
+        assert!(is_name_start_byte(b':'));
+        assert!(is_name_start_byte(0xC3)); // UTF-8 lead byte
+        assert!(!is_name_start_byte(b'1'));
+        assert!(!is_name_start_byte(b'-'));
+        assert!(!is_name_start_byte(b' '));
+    }
+
+    #[test]
+    fn continuation_bytes() {
+        assert!(is_name_byte(b'1'));
+        assert!(is_name_byte(b'-'));
+        assert!(is_name_byte(b'.'));
+        assert!(!is_name_byte(b'>'));
+        assert!(!is_name_byte(b'/'));
+        assert!(!is_name_byte(b'<'));
+    }
+
+    #[test]
+    fn whitespace() {
+        assert!(is_xml_whitespace(b' '));
+        assert!(is_xml_whitespace(b'\n'));
+        assert!(is_xml_whitespace(b'\t'));
+        assert!(is_xml_whitespace(b'\r'));
+        assert!(!is_xml_whitespace(b'x'));
+    }
+}

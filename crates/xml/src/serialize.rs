@@ -1,0 +1,75 @@
+//! DOM-to-bytes serialization.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape::escape_into;
+
+/// Serialize the subtree rooted at `id` into XML bytes. Text and attribute
+/// values are re-escaped; empty elements are written as bachelor tags.
+pub fn serialize(doc: &Document, id: NodeId) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_node(doc, id, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut Vec<u8>) {
+    match doc.kind(id) {
+        NodeKind::Text(t) => escape_into(t, out),
+        NodeKind::Element { name, attrs } => {
+            out.push(b'<');
+            out.extend_from_slice(name);
+            for (an, av) in attrs {
+                out.push(b' ');
+                out.extend_from_slice(an);
+                out.extend_from_slice(b"=\"");
+                escape_into(av, out);
+                out.push(b'"');
+            }
+            let mut children = doc.children(id).peekable();
+            if children.peek().is_none() {
+                out.extend_from_slice(b"/>");
+                return;
+            }
+            out.push(b'>');
+            for c in children {
+                write_node(doc, c, out);
+            }
+            out.extend_from_slice(b"</");
+            out.extend_from_slice(name);
+            out.push(b'>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_canonicalizes() {
+        let input = br#"<a x="1"><b>t</b><c/></a>"#;
+        let d = Document::parse(input).unwrap();
+        assert_eq!(serialize(&d, d.root()), input.to_vec());
+    }
+
+    #[test]
+    fn empty_element_becomes_bachelor() {
+        let d = Document::parse(b"<a><b></b></a>").unwrap();
+        assert_eq!(serialize(&d, d.root()), b"<a><b/></a>".to_vec());
+    }
+
+    #[test]
+    fn escaping_applied() {
+        let d = Document::parse(b"<a x=\"1&amp;2\">3&lt;4</a>").unwrap();
+        assert_eq!(serialize(&d, d.root()), b"<a x=\"1&amp;2\">3&lt;4</a>".to_vec());
+    }
+
+    #[test]
+    fn parse_serialize_parse_is_stable() {
+        let input = br#"<r><p a="&quot;q&quot;">x<y/>z</p></r>"#;
+        let d1 = Document::parse(input).unwrap();
+        let s1 = serialize(&d1, d1.root());
+        let d2 = Document::parse(&s1).unwrap();
+        let s2 = serialize(&d2, d2.root());
+        assert_eq!(s1, s2);
+    }
+}

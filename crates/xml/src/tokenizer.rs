@@ -1,0 +1,641 @@
+//! Pull-based SAX-style tokenizer.
+//!
+//! Yields borrowed tokens with absolute byte spans so that consumers (the
+//! reference prefilter, the TBP-style baseline) can copy raw input ranges —
+//! the same output discipline the SMP runtime uses, which makes outputs
+//! byte-comparable.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::names::{is_name_byte, is_name_start_byte, is_xml_whitespace};
+
+/// One XML token. All slices borrow from the tokenizer input; `start..end`
+/// is the absolute byte span of the whole token (for tags this includes the
+/// angle brackets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token<'a> {
+    /// `<name attrs>` or `<name attrs/>`.
+    StartTag {
+        /// Element name.
+        name: &'a [u8],
+        /// Raw bytes between the name and the closing `>` / `/>`.
+        attrs: &'a [u8],
+        /// True for a bachelor tag `<name/>`.
+        self_closing: bool,
+        /// Span start (at `<`).
+        start: usize,
+        /// Span end (one past `>`).
+        end: usize,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Element name.
+        name: &'a [u8],
+        /// Span start (at `<`).
+        start: usize,
+        /// Span end (one past `>`).
+        end: usize,
+    },
+    /// Character data between tags (entity references not resolved).
+    Text {
+        /// Raw text bytes.
+        text: &'a [u8],
+        /// Span start.
+        start: usize,
+        /// Span end.
+        end: usize,
+    },
+    /// `<!-- … -->`.
+    Comment {
+        /// Span start.
+        start: usize,
+        /// Span end.
+        end: usize,
+    },
+    /// `<? … ?>` (including the XML declaration).
+    Pi {
+        /// Span start.
+        start: usize,
+        /// Span end.
+        end: usize,
+    },
+    /// `<![CDATA[ … ]]>`.
+    Cdata {
+        /// The bytes between `<![CDATA[` and `]]>`.
+        text: &'a [u8],
+        /// Span start.
+        start: usize,
+        /// Span end.
+        end: usize,
+    },
+    /// `<!DOCTYPE … >` including an optional internal subset.
+    Doctype {
+        /// Span start.
+        start: usize,
+        /// Span end.
+        end: usize,
+    },
+}
+
+impl<'a> Token<'a> {
+    /// Absolute byte span of the token.
+    pub fn span(&self) -> std::ops::Range<usize> {
+        match *self {
+            Token::StartTag { start, end, .. }
+            | Token::EndTag { start, end, .. }
+            | Token::Text { start, end, .. }
+            | Token::Comment { start, end }
+            | Token::Pi { start, end }
+            | Token::Cdata { start, end, .. }
+            | Token::Doctype { start, end } => start..end,
+        }
+    }
+}
+
+/// Iterator over `name="value"` pairs in a start tag's raw attribute bytes.
+///
+/// Assumes the bytes already passed the tokenizer's strict scan; malformed
+/// input simply ends the iteration.
+#[derive(Debug, Clone)]
+pub struct Attributes<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Attributes<'a> {
+    /// Iterate over the `attrs` bytes of a [`Token::StartTag`].
+    pub fn new(attrs: &'a [u8]) -> Self {
+        Attributes { rest: attrs }
+    }
+}
+
+impl<'a> Iterator for Attributes<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut i = 0;
+        while i < self.rest.len() && is_xml_whitespace(self.rest[i]) {
+            i += 1;
+        }
+        if i >= self.rest.len() {
+            return None;
+        }
+        let name_start = i;
+        while i < self.rest.len() && is_name_byte(self.rest[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            return None;
+        }
+        let name = &self.rest[name_start..i];
+        while i < self.rest.len() && is_xml_whitespace(self.rest[i]) {
+            i += 1;
+        }
+        if i >= self.rest.len() || self.rest[i] != b'=' {
+            return None;
+        }
+        i += 1;
+        while i < self.rest.len() && is_xml_whitespace(self.rest[i]) {
+            i += 1;
+        }
+        if i >= self.rest.len() {
+            return None;
+        }
+        let quote = self.rest[i];
+        if quote != b'"' && quote != b'\'' {
+            return None;
+        }
+        i += 1;
+        let val_start = i;
+        while i < self.rest.len() && self.rest[i] != quote {
+            i += 1;
+        }
+        if i >= self.rest.len() {
+            return None;
+        }
+        let value = &self.rest[val_start..i];
+        self.rest = &self.rest[i + 1..];
+        Some((name, value))
+    }
+}
+
+/// Pull tokenizer over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Tokenizer<'a> {
+    input: &'a [u8],
+    pos: usize,
+    strict: bool,
+    failed: bool,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Strict tokenizer: validates names, attribute quoting, comment rules.
+    pub fn new(input: &'a [u8]) -> Self {
+        Tokenizer { input, pos: 0, strict: true, failed: false }
+    }
+
+    /// Lenient tokenizer: finds token boundaries (still respecting quoted
+    /// attribute values, which may contain `>`), but skips per-character
+    /// name and attribute validation.
+    pub fn lenient(input: &'a [u8]) -> Self {
+        Tokenizer { input, pos: 0, strict: false, failed: false }
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn err(&mut self, kind: XmlErrorKind, pos: usize) -> XmlError {
+        self.failed = true;
+        XmlError::new(kind, pos)
+    }
+
+    fn read_name(&mut self, mut i: usize) -> Result<(usize, usize), XmlError> {
+        let start = i;
+        if self.strict {
+            if i >= self.input.len() {
+                return Err(self.err(XmlErrorKind::UnexpectedEof, i));
+            }
+            if !is_name_start_byte(self.input[i]) {
+                return Err(self.err(XmlErrorKind::BadName, i));
+            }
+            i += 1;
+            while i < self.input.len() && is_name_byte(self.input[i]) {
+                i += 1;
+            }
+        } else {
+            while i < self.input.len()
+                && !is_xml_whitespace(self.input[i])
+                && self.input[i] != b'>'
+                && self.input[i] != b'/'
+            {
+                i += 1;
+            }
+            if i == start {
+                return Err(self.err(XmlErrorKind::BadName, i));
+            }
+        }
+        Ok((start, i))
+    }
+
+    /// Scan attribute bytes up to `>` or `/>`, respecting quotes (attribute
+    /// values may legally contain `>`). Returns (attrs_end,
+    /// tag_end_exclusive, self_closing). Strict attribute structure is
+    /// validated separately by [`validate_attrs`](Self::validate_attrs) to
+    /// keep this scan branch-light.
+    fn scan_attrs(&mut self, mut i: usize) -> Result<(usize, usize, bool), XmlError> {
+        loop {
+            if i >= self.input.len() {
+                return Err(self.err(XmlErrorKind::UnexpectedEof, i));
+            }
+            match self.input[i] {
+                b'>' => return Ok((i, i + 1, false)),
+                b'/' => {
+                    if i + 1 < self.input.len() && self.input[i + 1] == b'>' {
+                        return Ok((i, i + 2, true));
+                    }
+                    return Err(self.err(XmlErrorKind::UnexpectedChar(b'/'), i));
+                }
+                b'"' | b'\'' => {
+                    let quote = self.input[i];
+                    i += 1;
+                    while i < self.input.len() && self.input[i] != quote {
+                        i += 1;
+                    }
+                    if i >= self.input.len() {
+                        return Err(self.err(XmlErrorKind::BadAttribute, i));
+                    }
+                    i += 1;
+                }
+                b'<' => return Err(self.err(XmlErrorKind::UnexpectedChar(b'<'), i)),
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn validate_attrs(&mut self, attrs: &[u8], base: usize) -> Result<(), XmlError> {
+        let mut i = 0;
+        while i < attrs.len() {
+            if is_xml_whitespace(attrs[i]) {
+                i += 1;
+                continue;
+            }
+            let name_start = i;
+            if !is_name_start_byte(attrs[i]) {
+                return Err(self.err(XmlErrorKind::BadAttribute, base + i));
+            }
+            while i < attrs.len() && is_name_byte(attrs[i]) {
+                i += 1;
+            }
+            if i == name_start {
+                return Err(self.err(XmlErrorKind::BadAttribute, base + i));
+            }
+            while i < attrs.len() && is_xml_whitespace(attrs[i]) {
+                i += 1;
+            }
+            if i >= attrs.len() || attrs[i] != b'=' {
+                return Err(self.err(XmlErrorKind::BadAttribute, base + i));
+            }
+            i += 1;
+            while i < attrs.len() && is_xml_whitespace(attrs[i]) {
+                i += 1;
+            }
+            if i >= attrs.len() || (attrs[i] != b'"' && attrs[i] != b'\'') {
+                return Err(self.err(XmlErrorKind::BadAttribute, base + i));
+            }
+            let quote = attrs[i];
+            i += 1;
+            while i < attrs.len() && attrs[i] != quote {
+                if attrs[i] == b'<' {
+                    return Err(self.err(XmlErrorKind::BadAttribute, base + i));
+                }
+                i += 1;
+            }
+            if i >= attrs.len() {
+                return Err(self.err(XmlErrorKind::BadAttribute, base + i));
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    fn next_token(&mut self) -> Option<Result<Token<'a>, XmlError>> {
+        if self.failed || self.pos >= self.input.len() {
+            return None;
+        }
+        let start = self.pos;
+        if self.input[start] != b'<' {
+            // Text run.
+            let mut i = start;
+            while i < self.input.len() && self.input[i] != b'<' {
+                i += 1;
+            }
+            self.pos = i;
+            return Some(Ok(Token::Text { text: &self.input[start..i], start, end: i }));
+        }
+        // Markup.
+        let i = start + 1;
+        if i >= self.input.len() {
+            return Some(Err(self.err(XmlErrorKind::UnexpectedEof, i)));
+        }
+        match self.input[i] {
+            b'/' => {
+                let (ns, ne) = match self.read_name(i + 1) {
+                    Ok(v) => v,
+                    Err(e) => return Some(Err(e)),
+                };
+                let mut j = ne;
+                while j < self.input.len() && is_xml_whitespace(self.input[j]) {
+                    j += 1;
+                }
+                if j >= self.input.len() {
+                    return Some(Err(self.err(XmlErrorKind::UnexpectedEof, j)));
+                }
+                if self.input[j] != b'>' {
+                    return Some(Err(self.err(XmlErrorKind::UnexpectedChar(self.input[j]), j)));
+                }
+                self.pos = j + 1;
+                Some(Ok(Token::EndTag { name: &self.input[ns..ne], start, end: j + 1 }))
+            }
+            b'!' => self.markup_decl(start),
+            b'?' => {
+                // Processing instruction: scan for "?>".
+                let mut j = i + 1;
+                loop {
+                    if j + 1 >= self.input.len() {
+                        return Some(Err(self.err(XmlErrorKind::BadMarkupDecl, j)));
+                    }
+                    if self.input[j] == b'?' && self.input[j + 1] == b'>' {
+                        break;
+                    }
+                    j += 1;
+                }
+                self.pos = j + 2;
+                Some(Ok(Token::Pi { start, end: j + 2 }))
+            }
+            _ => {
+                let (ns, ne) = match self.read_name(i) {
+                    Ok(v) => v,
+                    Err(e) => return Some(Err(e)),
+                };
+                let (attrs_end, tag_end, self_closing) = match self.scan_attrs(ne) {
+                    Ok(v) => v,
+                    Err(e) => return Some(Err(e)),
+                };
+                let attrs = &self.input[ne..attrs_end];
+                if self.strict {
+                    if let Err(e) = self.validate_attrs(attrs, ne) {
+                        return Some(Err(e));
+                    }
+                }
+                self.pos = tag_end;
+                Some(Ok(Token::StartTag {
+                    name: &self.input[ns..ne],
+                    attrs,
+                    self_closing,
+                    start,
+                    end: tag_end,
+                }))
+            }
+        }
+    }
+
+    fn markup_decl(&mut self, start: usize) -> Option<Result<Token<'a>, XmlError>> {
+        let input = self.input;
+        let rest = &input[start..];
+        if rest.starts_with(b"<!--") {
+            // Comment; "--" is not allowed inside (strict only).
+            let mut j = start + 4;
+            while j + 2 <= input.len().saturating_sub(1) {
+                if input[j] == b'-' && input[j + 1] == b'-' {
+                    if input[j + 2] == b'>' {
+                        self.pos = j + 3;
+                        return Some(Ok(Token::Comment { start, end: j + 3 }));
+                    }
+                    if self.strict {
+                        return Some(Err(self.err(XmlErrorKind::BadComment, j)));
+                    }
+                }
+                j += 1;
+            }
+            return Some(Err(self.err(XmlErrorKind::BadComment, input.len())));
+        }
+        if rest.starts_with(b"<![CDATA[") {
+            let body_start = start + 9;
+            let mut j = body_start;
+            while j + 2 <= input.len().saturating_sub(1) {
+                if input[j] == b']' && input[j + 1] == b']' && input[j + 2] == b'>' {
+                    self.pos = j + 3;
+                    return Some(Ok(Token::Cdata {
+                        text: &input[body_start..j],
+                        start,
+                        end: j + 3,
+                    }));
+                }
+                j += 1;
+            }
+            return Some(Err(self.err(XmlErrorKind::BadMarkupDecl, input.len())));
+        }
+        if rest.len() >= 9 && rest[..9].eq_ignore_ascii_case(b"<!DOCTYPE") {
+            // Scan to the matching '>', skipping an internal subset [...].
+            let mut j = start + 9;
+            let mut in_subset = false;
+            loop {
+                if j >= input.len() {
+                    return Some(Err(self.err(XmlErrorKind::BadMarkupDecl, j)));
+                }
+                match input[j] {
+                    b'[' => in_subset = true,
+                    b']' => in_subset = false,
+                    b'>' if !in_subset => {
+                        self.pos = j + 1;
+                        return Some(Ok(Token::Doctype { start, end: j + 1 }));
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        Some(Err(self.err(XmlErrorKind::BadMarkupDecl, start)))
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Result<Token<'a>, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_token()
+    }
+}
+
+/// Check the input for well-formedness: every tag matched, exactly one root
+/// element, no content other than whitespace/comments/PIs outside it.
+///
+/// Returns the number of tokens read, so throughput baselines have a value
+/// that cannot be optimized away.
+pub fn check_well_formed(input: &[u8]) -> Result<usize, XmlError> {
+    let mut stack: Vec<&[u8]> = Vec::with_capacity(32);
+    let mut count = 0usize;
+    let mut seen_root = false;
+    for tok in Tokenizer::new(input) {
+        let tok = tok?;
+        count += 1;
+        match tok {
+            Token::StartTag { name, self_closing, start, .. } => {
+                if stack.is_empty() {
+                    if seen_root {
+                        return Err(XmlError::new(XmlErrorKind::TrailingContent, start));
+                    }
+                    seen_root = true;
+                }
+                if !self_closing {
+                    stack.push(name);
+                }
+            }
+            Token::EndTag { name, start, .. } => match stack.pop() {
+                Some(open) if open == name => {}
+                _ => return Err(XmlError::new(XmlErrorKind::MismatchedTag, start)),
+            },
+            Token::Text { text, start, .. } => {
+                if stack.is_empty() && !text.iter().all(|&b| is_xml_whitespace(b)) {
+                    return Err(XmlError::new(XmlErrorKind::TrailingContent, start));
+                }
+            }
+            Token::Cdata { start, .. } => {
+                if stack.is_empty() {
+                    return Err(XmlError::new(XmlErrorKind::TrailingContent, start));
+                }
+            }
+            Token::Comment { .. } | Token::Pi { .. } | Token::Doctype { .. } => {}
+        }
+    }
+    if !stack.is_empty() {
+        return Err(XmlError::new(XmlErrorKind::UnexpectedEof, input.len()));
+    }
+    if !seen_root {
+        return Err(XmlError::new(XmlErrorKind::NoRootElement, input.len()));
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &[u8]) -> Vec<Token<'_>> {
+        Tokenizer::new(input).map(|t| t.unwrap()).collect()
+    }
+
+    #[test]
+    fn basic_document() {
+        let t = toks(b"<a><b x=\"1\">hi</b><c/></a>");
+        assert_eq!(t.len(), 6);
+        match t[0] {
+            Token::StartTag { name, self_closing, start, end, .. } => {
+                assert_eq!(name, b"a");
+                assert!(!self_closing);
+                assert_eq!((start, end), (0, 3));
+            }
+            _ => panic!("expected start tag"),
+        }
+        match t[1] {
+            Token::StartTag { name, attrs, .. } => {
+                assert_eq!(name, b"b");
+                assert_eq!(attrs, b" x=\"1\"");
+            }
+            _ => panic!(),
+        }
+        match t[2] {
+            Token::Text { text, .. } => assert_eq!(text, b"hi"),
+            _ => panic!(),
+        }
+        match t[4] {
+            Token::StartTag { name, self_closing, .. } => {
+                assert_eq!(name, b"c");
+                assert!(self_closing);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn whitespace_in_tags() {
+        // The paper: "<t >" is valid syntax while "< t>" is not.
+        let t = toks(b"<t ></t >");
+        assert_eq!(t.len(), 2);
+        let bad: Vec<_> = Tokenizer::new(b"< t></t>").collect();
+        assert!(bad[0].is_err());
+    }
+
+    #[test]
+    fn attribute_value_containing_gt() {
+        let t = toks(b"<a x=\"1>2\">z</a>");
+        match t[0] {
+            Token::StartTag { attrs, end, .. } => {
+                assert_eq!(attrs, b" x=\"1>2\"");
+                assert_eq!(end, 11);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn comments_pis_cdata_doctype() {
+        let input = b"<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><!--c--><a><![CDATA[<x>]]></a>";
+        let t = toks(input);
+        assert!(matches!(t[0], Token::Pi { .. }));
+        assert!(matches!(t[1], Token::Doctype { .. }));
+        assert!(matches!(t[2], Token::Comment { .. }));
+        match t[4] {
+            Token::Cdata { text, .. } => assert_eq!(text, b"<x>"),
+            _ => panic!("{:?}", t[4]),
+        }
+    }
+
+    #[test]
+    fn double_dash_in_comment_rejected_strict() {
+        let r: Vec<_> = Tokenizer::new(b"<!-- a -- b --><a/>").collect();
+        assert!(r[0].is_err());
+        let l: Vec<_> = Tokenizer::lenient(b"<!-- a -- b --><a/>").map(|t| t.unwrap()).collect();
+        assert!(matches!(l[0], Token::Comment { .. }));
+    }
+
+    #[test]
+    fn attributes_iterator() {
+        let attrs = b" id=\"a1\"  class = 'x y'  empty=\"\"";
+        let got: Vec<(Vec<u8>, Vec<u8>)> = Attributes::new(attrs)
+            .map(|(n, v)| (n.to_vec(), v.to_vec()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (b"id".to_vec(), b"a1".to_vec()),
+                (b"class".to_vec(), b"x y".to_vec()),
+                (b"empty".to_vec(), b"".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn well_formed_accepts() {
+        assert!(check_well_formed(b"<a><b/>text</a>").is_ok());
+        assert!(check_well_formed(b"  <?xml?>  <a/>  <!--t-->  ").is_ok());
+    }
+
+    #[test]
+    fn well_formed_rejects() {
+        assert!(check_well_formed(b"<a><b></a></b>").is_err()); // crossing
+        assert!(check_well_formed(b"<a>").is_err()); // unclosed
+        assert!(check_well_formed(b"<a/><b/>").is_err()); // two roots
+        assert!(check_well_formed(b"x<a/>").is_err()); // leading text
+        assert!(check_well_formed(b"").is_err()); // no root
+        assert!(check_well_formed(b"<a></ a>").is_err()); // bad end-tag name
+    }
+
+    #[test]
+    fn spans_cover_input_exactly() {
+        let input = b"<a attr=\"v\"><b/>hello<!--c--></a>";
+        let mut covered = 0usize;
+        for t in Tokenizer::new(input) {
+            let sp = t.unwrap().span();
+            assert_eq!(sp.start, covered);
+            covered = sp.end;
+        }
+        assert_eq!(covered, input.len());
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(Tokenizer::new(b"<a").last().unwrap().is_err());
+        assert!(Tokenizer::new(b"<!-- x").last().unwrap().is_err());
+        assert!(Tokenizer::new(b"<![CDATA[ x").last().unwrap().is_err());
+        assert!(Tokenizer::new(b"<?pi").last().unwrap().is_err());
+        assert!(Tokenizer::new(b"<a x=\"1").last().unwrap().is_err());
+    }
+
+    #[test]
+    fn errors_fuse_the_iterator() {
+        let mut t = Tokenizer::new(b"<a x=>");
+        assert!(t.next().unwrap().is_err());
+        assert!(t.next().is_none());
+    }
+}

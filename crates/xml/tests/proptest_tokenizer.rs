@@ -1,0 +1,111 @@
+//! Property tests for the tokenizer and DOM.
+
+use proptest::prelude::*;
+use smpx_xml::{check_well_formed, serialize, Document, Token, Tokenizer};
+
+/// A small strategy for well-formed documents built top-down.
+fn arb_doc() -> impl Strategy<Value = String> {
+    // Element tree as nested vectors; names drawn from a prefix-happy pool.
+    fn node(depth: u32) -> BoxedStrategy<String> {
+        let name = prop_oneof![Just("a"), Just("ab"), Just("abc"), Just("x-y"), Just("n_1")];
+        let text = prop_oneof![
+            Just(String::new()),
+            Just("hello".to_string()),
+            Just("a &amp; b".to_string()),
+            Just("  spaced  ".to_string()),
+        ];
+        if depth == 0 {
+            (name, text)
+                .prop_map(|(n, t)| {
+                    if t.is_empty() {
+                        format!("<{n}/>")
+                    } else {
+                        format!("<{n}>{t}</{n}>")
+                    }
+                })
+                .boxed()
+        } else {
+            (
+                name,
+                prop_oneof![
+                    Just(String::new()),
+                    Just(" id=\"1\"".to_string()),
+                    Just(" a=\"x\" b=\"y&gt;z\"".to_string()),
+                ],
+                proptest::collection::vec(node(depth - 1), 0..3),
+                text,
+            )
+                .prop_map(|(n, attrs, kids, t)| {
+                    if kids.is_empty() && t.is_empty() {
+                        format!("<{n}{attrs}/>")
+                    } else {
+                        format!("<{n}{attrs}>{t}{}</{n}>", kids.concat())
+                    }
+                })
+                .boxed()
+        }
+    }
+    node(3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn token_spans_partition_the_input(doc in arb_doc()) {
+        let bytes = doc.as_bytes();
+        let mut covered = 0usize;
+        for t in Tokenizer::new(bytes) {
+            let t = t.expect("well-formed by construction");
+            let span = t.span();
+            prop_assert_eq!(span.start, covered, "gap before token");
+            covered = span.end;
+        }
+        prop_assert_eq!(covered, bytes.len(), "trailing gap");
+    }
+
+    #[test]
+    fn generated_docs_are_wellformed(doc in arb_doc()) {
+        prop_assert!(check_well_formed(doc.as_bytes()).is_ok(), "{}", doc);
+    }
+
+    #[test]
+    fn dom_round_trip_is_stable(doc in arb_doc()) {
+        let d1 = Document::parse(doc.as_bytes()).expect("parse");
+        let s1 = serialize(&d1, d1.root());
+        let d2 = Document::parse(&s1).expect("reparse");
+        let s2 = serialize(&d2, d2.root());
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn lenient_tokenizer_agrees_on_wellformed_input(doc in arb_doc()) {
+        let strict: Vec<String> = Tokenizer::new(doc.as_bytes())
+            .map(|t| format!("{:?}", t.unwrap()))
+            .collect();
+        let lenient: Vec<String> = Tokenizer::lenient(doc.as_bytes())
+            .map(|t| format!("{:?}", t.unwrap()))
+            .collect();
+        prop_assert_eq!(strict, lenient);
+    }
+
+    #[test]
+    fn tag_balance_invariant(doc in arb_doc()) {
+        // Start/End tags balance exactly; text never contains '<'.
+        let mut depth = 0i64;
+        for t in Tokenizer::new(doc.as_bytes()) {
+            match t.unwrap() {
+                Token::StartTag { self_closing: false, .. } => depth += 1,
+                Token::EndTag { .. } => {
+                    depth -= 1;
+                    prop_assert!(depth >= 0);
+                }
+                Token::Text { text, .. } => {
+                    prop_assert!(!text.contains(&b'<'));
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(depth, 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Shared helpers for the integration tests: seeded random non-recursive
+//! DTDs, random valid documents, and random projection path sets.
+//!
+//! Element names deliberately include prefix pairs (`a`/`ab`/`abc`) so the
+//! runtime's tag-name boundary check (the paper's `Abstract` vs
+//! `AbstractText` case) is exercised constantly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smpx_dtd::{ContentModel, Dtd, DtdAutomaton, Regex};
+use smpx_paths::PathSet;
+
+/// Name pool; element `i` may only contain elements with larger indices,
+/// which makes every generated DTD acyclic by construction.
+const NAMES: &[&str] = &["root", "a", "ab", "abc", "b", "c", "cd", "x", "y", "item", "it"];
+
+/// A deterministic random generator bundle.
+pub struct Rand {
+    pub rng: SmallRng,
+}
+
+impl Rand {
+    pub fn new(seed: u64) -> Rand {
+        Rand { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n.max(1))
+    }
+
+    pub fn chance(&mut self, pct: u32) -> bool {
+        self.rng.gen_range(0..100) < pct
+    }
+}
+
+/// Random non-recursive DTD over a prefix-happy name pool.
+pub fn random_dtd(r: &mut Rand) -> Dtd {
+    let n = 4 + r.below(NAMES.len() - 4);
+    let mut decls = String::new();
+    for (i, &name) in NAMES.iter().enumerate().take(n) {
+        let content = random_content(r, i + 1, n);
+        decls.push_str(&format!("<!ELEMENT {name} {content}>\n"));
+        if r.chance(25) {
+            let req = if r.chance(50) { "#REQUIRED" } else { "#IMPLIED" };
+            decls.push_str(&format!("<!ATTLIST {name} id CDATA {req}>\n"));
+        }
+    }
+    Dtd::parse(decls.as_bytes()).expect("generated DTD parses")
+}
+
+/// Random content model referencing only elements in `lo..hi`.
+fn random_content(r: &mut Rand, lo: usize, hi: usize) -> String {
+    if lo >= hi {
+        return "(#PCDATA)".to_string();
+    }
+    match r.below(10) {
+        0 | 1 => "(#PCDATA)".to_string(),
+        2 => "EMPTY".to_string(),
+        3 => {
+            // Mixed content.
+            let mut names = Vec::new();
+            for &candidate in &NAMES[lo..hi] {
+                if r.chance(40) {
+                    names.push(candidate);
+                }
+            }
+            if names.is_empty() {
+                "(#PCDATA)".to_string()
+            } else {
+                format!("(#PCDATA|{})*", names.join("|"))
+            }
+        }
+        _ => format!("({})", random_regex(r, lo, hi, 2)),
+    }
+}
+
+fn random_regex(r: &mut Rand, lo: usize, hi: usize, depth: usize) -> String {
+    let atom = |r: &mut Rand| NAMES[lo + r.below(hi - lo)].to_string();
+    let base = if depth == 0 || r.chance(50) {
+        atom(r)
+    } else if r.chance(50) {
+        let k = 2 + r.below(2);
+        let parts: Vec<String> = (0..k).map(|_| random_regex(r, lo, hi, depth - 1)).collect();
+        format!("({})", parts.join(","))
+    } else {
+        let k = 2 + r.below(2);
+        let parts: Vec<String> = (0..k).map(|_| random_regex(r, lo, hi, depth - 1)).collect();
+        format!("({})", parts.join("|"))
+    };
+    match r.below(5) {
+        0 => format!("{base}?"),
+        1 => format!("{base}*"),
+        2 => format!("{base}+"),
+        _ => base,
+    }
+}
+
+/// Random valid document for `dtd` (pretty plain text, no comments).
+pub fn random_doc(dtd: &Dtd, r: &mut Rand) -> Vec<u8> {
+    let mut out = Vec::new();
+    gen_element(dtd, dtd.root(), r, &mut out, 0);
+    out
+}
+
+fn gen_text(r: &mut Rand, out: &mut Vec<u8>) {
+    const WORDS: &[&str] = &["lorem", "ipsum", "tag", "ab", "abc", "less", "amp"];
+    let k = r.below(4);
+    for i in 0..k {
+        if i > 0 {
+            out.push(b' ');
+        }
+        out.extend_from_slice(WORDS[r.below(WORDS.len())].as_bytes());
+    }
+}
+
+fn gen_attrs(dtd: &Dtd, name: &str, r: &mut Rand, out: &mut Vec<u8>) {
+    for att in dtd.attrs(name) {
+        let required = matches!(att.default, smpx_dtd::AttDefault::Required);
+        if required || r.chance(40) {
+            out.extend_from_slice(
+                format!(" {}=\"v{}\"", att.name, r.below(100)).as_bytes(),
+            );
+        }
+    }
+}
+
+fn gen_element(dtd: &Dtd, name: &str, r: &mut Rand, out: &mut Vec<u8>, depth: usize) {
+    let content = dtd.content(name).clone();
+    // Sometimes serialize empty-able elements as bachelors.
+    let force_empty = depth > 8;
+    match content {
+        ContentModel::Empty => {
+            out.push(b'<');
+            out.extend_from_slice(name.as_bytes());
+            gen_attrs(dtd, name, r, out);
+            if r.chance(70) {
+                out.extend_from_slice(b"/>");
+            } else {
+                out.extend_from_slice(b">");
+                out.extend_from_slice(b"</");
+                out.extend_from_slice(name.as_bytes());
+                out.push(b'>');
+            }
+        }
+        ContentModel::Pcdata | ContentModel::Any => {
+            if r.chance(25) {
+                out.push(b'<');
+                out.extend_from_slice(name.as_bytes());
+                gen_attrs(dtd, name, r, out);
+                out.extend_from_slice(b"/>");
+                return;
+            }
+            out.push(b'<');
+            out.extend_from_slice(name.as_bytes());
+            gen_attrs(dtd, name, r, out);
+            out.push(b'>');
+            gen_text(r, out);
+            out.extend_from_slice(b"</");
+            out.extend_from_slice(name.as_bytes());
+            out.push(b'>');
+        }
+        ContentModel::Mixed(names) => {
+            out.push(b'<');
+            out.extend_from_slice(name.as_bytes());
+            gen_attrs(dtd, name, r, out);
+            out.push(b'>');
+            let k = if force_empty { 0 } else { r.below(4) };
+            gen_text(r, out);
+            for _ in 0..k {
+                let child = &names[r.below(names.len())];
+                gen_element(dtd, child, r, out, depth + 1);
+                gen_text(r, out);
+            }
+            out.extend_from_slice(b"</");
+            out.extend_from_slice(name.as_bytes());
+            out.push(b'>');
+        }
+        ContentModel::Children(re) => {
+            let seq = sample_regex(&re, r, force_empty);
+            if seq.is_empty() && r.chance(50) {
+                out.push(b'<');
+                out.extend_from_slice(name.as_bytes());
+                gen_attrs(dtd, name, r, out);
+                out.extend_from_slice(b"/>");
+                return;
+            }
+            out.push(b'<');
+            out.extend_from_slice(name.as_bytes());
+            gen_attrs(dtd, name, r, out);
+            out.push(b'>');
+            for child in seq {
+                gen_element(dtd, &child, r, out, depth + 1);
+            }
+            out.extend_from_slice(b"</");
+            out.extend_from_slice(name.as_bytes());
+            out.push(b'>');
+        }
+    }
+}
+
+/// Sample a random word of the content-model language.
+fn sample_regex(re: &Regex, r: &mut Rand, minimal: bool) -> Vec<String> {
+    match re {
+        Regex::Name(n) => vec![n.clone()],
+        Regex::Seq(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend(sample_regex(p, r, minimal));
+            }
+            out
+        }
+        Regex::Choice(parts) => {
+            if minimal {
+                // Pick the shortest-sampling alternative deterministically.
+                let mut best: Option<Vec<String>> = None;
+                for p in parts {
+                    let s = sample_regex(p, r, true);
+                    if best.as_ref().is_none_or(|b| s.len() < b.len()) {
+                        best = Some(s);
+                    }
+                }
+                best.unwrap_or_default()
+            } else {
+                sample_regex(&parts[r.below(parts.len())], r, minimal)
+            }
+        }
+        Regex::Opt(inner) => {
+            if !minimal && r.chance(50) {
+                sample_regex(inner, r, minimal)
+            } else {
+                Vec::new()
+            }
+        }
+        Regex::Star(inner) => {
+            let mut out = Vec::new();
+            if !minimal {
+                for _ in 0..r.below(3) {
+                    out.extend(sample_regex(inner, r, minimal));
+                }
+            }
+            out
+        }
+        Regex::Plus(inner) => {
+            let mut out = sample_regex(inner, r, minimal);
+            if !minimal {
+                for _ in 0..r.below(2) {
+                    out.extend(sample_regex(inner, r, minimal));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Random projection path set over the DTD's vocabulary (always includes
+/// `/*`).
+pub fn random_paths(dtd: &Dtd, r: &mut Rand) -> PathSet {
+    let mut texts: Vec<String> = vec!["/*".to_string()];
+    let n_paths = 1 + r.below(3);
+    for _ in 0..n_paths {
+        let mut path = String::new();
+        let mut cur = dtd.root().to_string();
+        path.push('/');
+        path.push_str(&cur);
+        let steps = 1 + r.below(3);
+        for _ in 0..steps {
+            let children: Vec<String> =
+                dtd.effective_child_names(&cur).into_iter().map(str::to_string).collect();
+            if children.is_empty() {
+                break;
+            }
+            let next = children[r.below(children.len())].clone();
+            path.push_str(if r.chance(25) { "//" } else { "/" });
+            path.push_str(&next);
+            cur = next;
+        }
+        if r.chance(50) {
+            path.push('#');
+        }
+        texts.push(path);
+    }
+    // Occasionally a pure descendant path.
+    if r.chance(40) {
+        let name = NAMES[r.below(NAMES.len())];
+        let flag = if r.chance(50) { "#" } else { "" };
+        texts.push(format!("//{name}{flag}"));
+    }
+    PathSet::parse(&texts).expect("generated paths parse")
+}
+
+/// Check a generated document is valid for its DTD (token-level).
+#[allow(dead_code)] // not every test target validates explicitly
+pub fn assert_valid(dtd: &Dtd, doc: &[u8]) {
+    let auto = DtdAutomaton::build(dtd).expect("automaton");
+    let mut tokens: Vec<(String, bool)> = Vec::new();
+    for t in smpx_xml::Tokenizer::new(doc) {
+        match t.expect("well-formed") {
+            smpx_xml::Token::StartTag { name, self_closing, .. } => {
+                let n = String::from_utf8_lossy(name).into_owned();
+                tokens.push((n.clone(), false));
+                if self_closing {
+                    tokens.push((n, true));
+                }
+            }
+            smpx_xml::Token::EndTag { name, .. } => {
+                tokens.push((String::from_utf8_lossy(name).into_owned(), true));
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        auto.accepts(&tokens),
+        "generated document must be DTD-valid:\n{}",
+        String::from_utf8_lossy(doc)
+    );
+}

@@ -1,0 +1,71 @@
+//! Multi-query prefiltering: one SMP pass serving a whole query workload
+//! (the publish/subscribe scenario of the paper's introduction — systems
+//! like XFilter/YFilter evaluate many queries at once; SMP supports this
+//! by projecting for the union of the queries' path sets).
+
+use smpx_core::Prefilter;
+use smpx_datagen::{xmark, GenOptions};
+use smpx_dtd::Dtd;
+use smpx_engine::InMemEngine;
+use smpx_paths::extract::extract_paths;
+use smpx_paths::xpath::XPath;
+use smpx_paths::PathSet;
+
+const QUERIES: &[&str] = &[
+    "/site/regions/australia/item/description",
+    "/site/people/person/name",
+    "/site/closed_auctions/closed_auction[price >= 40]/price",
+    "/site/open_auctions/open_auction/bidder[1]/increase/text()",
+    "/site/open_auctions/open_auction/bidder[last()]/increase/text()",
+];
+
+#[test]
+fn one_projection_serves_all_queries() {
+    let doc = xmark::generate(GenOptions::sized(256 * 1024));
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
+
+    // Union of all extracted path sets.
+    let mut union = PathSet::new(vec![]);
+    let parsed: Vec<XPath> = QUERIES.iter().map(|q| XPath::parse(q).unwrap()).collect();
+    for q in &parsed {
+        union = union.union(&extract_paths(q));
+    }
+    let mut pf = Prefilter::compile(&dtd, &union).unwrap();
+    let (projected, stats) = pf.filter_to_vec(&doc).unwrap();
+    assert!(projected.len() < doc.len());
+    assert!(stats.char_comp_pct() < 65.0, "still skipping: {:.1}%", stats.char_comp_pct());
+
+    // Every query of the workload answers identically on the projection.
+    let engine = InMemEngine::unlimited();
+    let orig = engine.load(&doc).unwrap();
+    let proj = engine.load(&projected).unwrap();
+    for (text, q) in QUERIES.iter().zip(&parsed) {
+        assert_eq!(orig.eval(q), proj.eval(q), "query {text}");
+    }
+}
+
+#[test]
+fn union_is_monotone() {
+    // The union projection is a superset of each individual projection.
+    let doc = xmark::generate(GenOptions::sized(128 * 1024));
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
+    let a = extract_paths(&XPath::parse(QUERIES[0]).unwrap());
+    let b = extract_paths(&XPath::parse(QUERIES[1]).unwrap());
+    let union = a.union(&b);
+
+    let size = |paths: &PathSet| {
+        let mut pf = Prefilter::compile(&dtd, paths).unwrap();
+        pf.filter_to_vec(&doc).unwrap().0.len()
+    };
+    let (sa, sb, su) = (size(&a), size(&b), size(&union));
+    assert!(su >= sa && su >= sb, "union {su} >= {sa}, {sb}");
+    assert!(su <= sa + sb, "union shares the structural skeleton");
+}
+
+#[test]
+fn union_dedups_paths() {
+    let a = PathSet::parse(&["/*", "/site/people/person/name#"]).unwrap();
+    let b = PathSet::parse(&["/*", "/site/people/person/name#", "//description"]).unwrap();
+    let u = a.union(&b);
+    assert_eq!(u.paths().len(), 3);
+}

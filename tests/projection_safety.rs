@@ -1,0 +1,121 @@
+//! Projection-safety (paper Def. 2 / Theorem 1): evaluating a query on the
+//! *projected* document must give the same results as on the original.
+//!
+//! We assert something stronger than the paper's top-level equality
+//! (Def. 1): byte-identical serialized result items, which holds because
+//! the extraction flags result and value paths with `#`.
+
+use smpx_core::Prefilter;
+use smpx_datagen::{medline, xmark, GenOptions};
+use smpx_dtd::Dtd;
+use smpx_engine::{InMemEngine, StreamEngine};
+use smpx_paths::extract::{extract_from_text, extract_paths};
+use smpx_paths::xpath::XPath;
+
+fn check_query(dtd: &Dtd, doc: &[u8], query_text: &str) {
+    let query = XPath::parse(query_text).expect("query parses");
+    let paths = extract_paths(&query);
+    let mut pf = Prefilter::compile(dtd, &paths).expect("compile");
+    let (projected, _) = pf.filter_to_vec(doc).expect("filter");
+
+    // In-memory engine agreement.
+    let engine = InMemEngine::unlimited();
+    let on_original = engine.load(doc).expect("load original").eval(&query);
+    let on_projected = engine.load(&projected).expect("load projected").eval(&query);
+    assert_eq!(
+        on_original, on_projected,
+        "in-memory results differ for {query_text} ({} vs {} items)",
+        on_original.len(),
+        on_projected.len()
+    );
+
+    // Streaming engine agreement.
+    let se = StreamEngine::new(query);
+    let s_original = se.eval(doc).expect("stream original").items;
+    let s_projected = se.eval(&projected).expect("stream projected").items;
+    assert_eq!(s_original, s_projected, "stream results differ for {query_text}");
+
+    // Cross-engine agreement on the original document.
+    assert_eq!(on_original, s_original, "engines disagree for {query_text}");
+}
+
+#[test]
+fn xmark_queries_are_projection_safe() {
+    let doc = xmark::generate(GenOptions::sized(256 * 1024));
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
+    for q in [
+        "/site/regions/australia/item/description",
+        "/site/regions/australia/item/name/text()",
+        "//australia//description",
+        r#"/site/people/person[@id="person3"]/name"#,
+        "/site/closed_auctions/closed_auction[price >= 40]/price",
+        r#"/site//item[contains(description,"gold")]/name"#,
+        "/site/open_auctions/open_auction/bidder/increase",
+        "/site/people/person[profile/age >= 30]/emailaddress",
+    ] {
+        check_query(&dtd, &doc, q);
+    }
+}
+
+#[test]
+fn medline_queries_are_projection_safe() {
+    let doc = medline::generate(GenOptions::sized(256 * 1024));
+    let dtd = Dtd::parse(medline::MEDLINE_DTD.as_bytes()).unwrap();
+    for q in [
+        "/MedlineCitationSet//CollectionTitle",
+        r#"/MedlineCitationSet//DataBank[DataBankName/text()="PDB"]/AccessionNumberList"#,
+        r#"/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject[LastName/text()="Hippocrates" or DatesAssociatedWithName="Oct2006"]/TitleAssociatedWithName"#,
+        r#"/MedlineCitationSet//CopyrightInformation[contains(text(),"NASA")]"#,
+        r#"/MedlineCitationSet/MedlineCitation[contains(MedlineJournalInfo//text(),"Sterilization")]/DateCompleted"#,
+    ] {
+        check_query(&dtd, &doc, q);
+    }
+}
+
+#[test]
+fn protein_queries_are_projection_safe() {
+    use smpx_datagen::protein;
+    let doc = protein::generate(GenOptions::sized(128 * 1024));
+    let dtd = Dtd::parse(protein::PROTEIN_DTD.as_bytes()).unwrap();
+    for q in [
+        "/ProteinDatabase/ProteinEntry/protein/name",
+        "//refinfo/authors/author/text()",
+        r#"/ProteinDatabase/ProteinEntry[contains(keywords,"kinase")]/summary"#,
+    ] {
+        check_query(&dtd, &doc, q);
+    }
+}
+
+/// The paper's motivating equality: query results on the Example 1 toy
+/// document and its projection are indistinguishable.
+#[test]
+fn example1_projection_safe() {
+    let dtd = Dtd::parse(
+        br#"<!DOCTYPE site [
+        <!ELEMENT site (regions)>
+        <!ELEMENT regions (africa, asia, australia)>
+        <!ELEMENT africa (item*)>
+        <!ELEMENT asia (item*)>
+        <!ELEMENT australia (item*)>
+        <!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+        <!ELEMENT incategory EMPTY>
+        <!ATTLIST incategory category ID #REQUIRED>
+        ]>"#,
+    )
+    .unwrap();
+    let doc: &[u8] = b"<site><regions><africa><item><location>United States</location><name>T V</name><payment>Creditcard</payment><description>15''LCD-FlatPanel</description><shipping>Within country</shipping><incategory category=\"3\"/></item></africa><asia/><australia><item ><location>Egypt</location><name>PDA</name><payment>Check</payment><description>Palm Zire 71</description><shipping/><incategory category=\"3\"/></item></australia></regions></site>";
+    check_query(&dtd, doc, "//australia//description");
+}
+
+/// Safety also holds for queries that select nothing.
+#[test]
+fn empty_result_queries() {
+    let doc = xmark::generate(GenOptions::sized(64 * 1024));
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
+    check_query(&dtd, &doc, r#"/site/people/person[@id="nosuch"]/name"#);
+    let paths = extract_from_text("/site/regions/africa/item/mailbox/mail/from").unwrap();
+    let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+    let (projected, _) = pf.filter_to_vec(&doc).unwrap();
+    // Projected document is well-formed even when tiny.
+    smpx_xml::check_well_formed(&projected).unwrap();
+}

@@ -1,0 +1,67 @@
+//! Property-based pipeline tests (proptest manages the case exploration;
+//! the generators are seeded from proptest-drawn integers so failures
+//! print a minimal reproducing seed).
+
+mod common;
+
+use common::{random_doc, random_dtd, random_paths, Rand};
+use proptest::prelude::*;
+use smpx_baselines::TokenProjector;
+use smpx_core::Prefilter;
+use smpx_engine::InMemEngine;
+use smpx_paths::xpath::XPath;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// The full pipeline invariant: SMP == oracle, output well-formed,
+    /// stream == slice for a proptest-chosen chunk size.
+    #[test]
+    fn pipeline_invariants(seed in 0u64..1_000_000, chunk in 2usize..512) {
+        let mut r = Rand::new(seed);
+        let dtd = random_dtd(&mut r);
+        let doc = random_doc(&dtd, &mut r);
+        let paths = random_paths(&dtd, &mut r);
+
+        let oracle = TokenProjector::new(&paths).project(&doc).expect("oracle");
+        let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
+        let (smp, _) = pf.filter_to_vec(&doc).expect("filter");
+        prop_assert_eq!(
+            &smp, &oracle,
+            "SMP vs oracle (seed {}, paths {})", seed, paths
+        );
+        if !smp.is_empty() {
+            prop_assert!(smpx_xml::check_well_formed(&smp).is_ok());
+        }
+        let mut streamed = Vec::new();
+        pf.filter_stream(&doc[..], &mut streamed, chunk).expect("stream");
+        prop_assert_eq!(&streamed, &smp, "stream vs slice (chunk {})", chunk);
+    }
+
+    /// Projection-safety on random instances for simple structural queries:
+    /// evaluating /root-level child paths gives identical results before
+    /// and after projection when the query's paths were projected.
+    #[test]
+    fn random_projection_safety(seed in 0u64..200_000) {
+        let mut r = Rand::new(seed);
+        let dtd = random_dtd(&mut r);
+        let doc = random_doc(&dtd, &mut r);
+
+        // Build a query from the DTD's actual structure: /root/child.
+        let children: Vec<String> =
+            dtd.effective_child_names(dtd.root()).into_iter().map(str::to_string).collect();
+        prop_assume!(!children.is_empty());
+        let child = &children[r.below(children.len())];
+        let query_text = format!("/{}/{}", dtd.root(), child);
+        let query = XPath::parse(&query_text).expect("query");
+        let paths = smpx_paths::extract::extract_paths(&query);
+
+        let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
+        let (projected, _) = pf.filter_to_vec(&doc).expect("filter");
+
+        let engine = InMemEngine::unlimited();
+        let a = engine.load(&doc).expect("orig").eval(&query);
+        let b = engine.load(&projected).expect("proj").eval(&query);
+        prop_assert_eq!(a, b, "projection-unsafe for {} (seed {})", query_text, seed);
+    }
+}
