@@ -64,7 +64,7 @@ mod tests {
     }
 
     #[test]
-    fn unrelated_tags_ignored(){
+    fn unrelated_tags_ignored() {
         let s = AcTagScanner::new(&["item"]);
         assert_eq!(s.count_tags(b"<site><name>item</name><item x=\"1\">i</item></site>"), 2);
     }

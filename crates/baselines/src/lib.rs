@@ -15,6 +15,22 @@
 //! * [`ac_scan`] — an Aho–Corasick all-tags scanner in the spirit of the
 //!   paper's related work \[21\]: finds every tag of a vocabulary while
 //!   touching every input character once.
+//!
+//! # Quick start
+//!
+//! ```
+//! use smpx_baselines::TokenProjector;
+//! use smpx_paths::extract;
+//!
+//! let paths = extract::extract_from_text("//item").unwrap();
+//! let projector = TokenProjector::new(&paths);
+//! let out = projector
+//!     .project(b"<site><item>keep</item><junk>drop</junk></site>")
+//!     .unwrap();
+//! let out = String::from_utf8(out).unwrap();
+//! assert!(out.contains("<item>keep</item>"));
+//! assert!(!out.contains("junk"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

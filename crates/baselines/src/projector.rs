@@ -141,8 +141,7 @@ impl TokenProjector {
         }
         let name_str = String::from_utf8_lossy(name).into_owned();
         let kind = {
-            let mut full: Vec<&str> =
-                frames[1..].iter().map(|f| f.name.as_str()).collect();
+            let mut full: Vec<&str> = frames[1..].iter().map(|f| f.name.as_str()).collect();
             full.push(&name_str);
             if self.rel.c2_leaf(&full) {
                 Kind::Subtree
@@ -172,19 +171,14 @@ mod tests {
 
     #[test]
     fn example2_matches_smp_semantics() {
-        let out = project(
-            &["/*", "/a/b#"],
-            b"<a><c><b>x</b></c><b>keep</b><c><b>y</b><b>z</b></c></a>",
-        );
+        let out =
+            project(&["/*", "/a/b#"], b"<a><c><b>x</b></c><b>keep</b><c><b>y</b><b>z</b></c></a>");
         assert_eq!(out, b"<a><b>keep</b></a>".to_vec());
     }
 
     #[test]
     fn subtree_copy_is_raw() {
-        let out = project(
-            &["/*", "//c#"],
-            b"<a><b>drop</b><c att=\"kept\"><b>in  c</b></c></a>",
-        );
+        let out = project(&["/*", "//c#"], b"<a><b>drop</b><c att=\"kept\"><b>in  c</b></c></a>");
         assert_eq!(out, b"<a><c att=\"kept\"><b>in  c</b></c></a>".to_vec());
     }
 
@@ -200,10 +194,7 @@ mod tests {
             &["/*", "/site/person", "/site/person/name#"],
             b"<site><person id=\"p1\" x=\"2\"><name>N</name><junk>j</junk></person></site>",
         );
-        assert_eq!(
-            out,
-            b"<site><person id=\"p1\" x=\"2\"><name>N</name></person></site>".to_vec()
-        );
+        assert_eq!(out, b"<site><person id=\"p1\" x=\"2\"><name>N</name></person></site>".to_vec());
     }
 
     #[test]
@@ -217,10 +208,7 @@ mod tests {
 
     #[test]
     fn bachelor_tags() {
-        let out = project(
-            &["/*", "/a/b#", "/a/k"],
-            b"<a><b/><k x=\"1\"/><z/></a>",
-        );
+        let out = project(&["/*", "/a/b#", "/a/k"], b"<a><b/><k x=\"1\"/><z/></a>");
         // b is #: raw; k is a complete named path: raw with atts; z: dropped.
         assert_eq!(out, b"<a><b/><k x=\"1\"/></a>".to_vec());
     }
@@ -238,6 +226,9 @@ mod tests {
     fn malformed_input_errors() {
         let ps = PathSet::parse(&["/*"]).unwrap();
         let p = TokenProjector::new(&ps);
-        assert!(p.project(b"<a><b></a></b>").is_err() || !p.project(b"<a><b></a></b>").unwrap().is_empty());
+        assert!(
+            p.project(b"<a><b></a></b>").is_err()
+                || !p.project(b"<a><b></a></b>").unwrap().is_empty()
+        );
     }
 }

@@ -15,6 +15,17 @@
 //!
 //! Document sizes default to laptop scale and are overridable with
 //! `SMPX_XMARK_MB`, `SMPX_MEDLINE_MB`, `SMPX_SWEEP_MAX_MB`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use smpx_bench::queries::{xmark_paths, XMARK_QUERIES};
+//!
+//! // The paper's XMark workload, ready to compile into a prefilter.
+//! let q = XMARK_QUERIES.iter().find(|q| q.id == "XM5").unwrap();
+//! let paths = xmark_paths(q);
+//! assert!(!paths.is_empty());
+//! ```
 
 #![forbid(unsafe_code)]
 

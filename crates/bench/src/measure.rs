@@ -61,10 +61,7 @@ pub fn fmt_mb(bytes: u64) -> String {
 
 /// Environment-variable override in MiB with a default.
 pub fn env_mb(var: &str, default_mb: usize) -> usize {
-    std::env::var(var)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(default_mb)
+    std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(default_mb)
         * 1024
         * 1024
 }

@@ -24,18 +24,9 @@ pub struct XmarkQuery {
 /// The Table I workload: XM1–XM14 and XM17–XM20 (XM15/XM16 touch the
 /// recursive description lists the paper excludes).
 pub const XMARK_QUERIES: &[XmarkQuery] = &[
-    XmarkQuery {
-        id: "XM1",
-        paths: &["/*", "/site/people/person", "/site/people/person/name#"],
-    },
-    XmarkQuery {
-        id: "XM2",
-        paths: &["/*", "/site/open_auctions/open_auction/bidder/increase#"],
-    },
-    XmarkQuery {
-        id: "XM3",
-        paths: &["/*", "/site/open_auctions/open_auction/bidder/increase#"],
-    },
+    XmarkQuery { id: "XM1", paths: &["/*", "/site/people/person", "/site/people/person/name#"] },
+    XmarkQuery { id: "XM2", paths: &["/*", "/site/open_auctions/open_auction/bidder/increase#"] },
+    XmarkQuery { id: "XM3", paths: &["/*", "/site/open_auctions/open_auction/bidder/increase#"] },
     XmarkQuery {
         id: "XM4",
         paths: &[
@@ -44,15 +35,9 @@ pub const XMARK_QUERIES: &[XmarkQuery] = &[
             "/site/open_auctions/open_auction/initial#",
         ],
     },
-    XmarkQuery {
-        id: "XM5",
-        paths: &["/*", "/site/closed_auctions/closed_auction/price#"],
-    },
+    XmarkQuery { id: "XM5", paths: &["/*", "/site/closed_auctions/closed_auction/price#"] },
     XmarkQuery { id: "XM6", paths: &["/*", "/site/regions//item"] },
-    XmarkQuery {
-        id: "XM7",
-        paths: &["/*", "//description", "//annotation", "//emailaddress"],
-    },
+    XmarkQuery { id: "XM7", paths: &["/*", "//description", "//annotation", "//emailaddress"] },
     XmarkQuery {
         id: "XM8",
         paths: &[
@@ -117,26 +102,17 @@ pub const XMARK_QUERIES: &[XmarkQuery] = &[
             "/site/regions/australia/item/description#",
         ],
     },
-    XmarkQuery {
-        id: "XM14",
-        paths: &["/*", "/site//item/name#", "/site//item/description#"],
-    },
+    XmarkQuery { id: "XM14", paths: &["/*", "/site//item/name#", "/site//item/description#"] },
     XmarkQuery {
         id: "XM17",
         paths: &["/*", "/site/people/person/name#", "/site/people/person/homepage#"],
     },
-    XmarkQuery {
-        id: "XM18",
-        paths: &["/*", "/site/open_auctions/open_auction/reserve#"],
-    },
+    XmarkQuery { id: "XM18", paths: &["/*", "/site/open_auctions/open_auction/reserve#"] },
     XmarkQuery {
         id: "XM19",
         paths: &["/*", "/site/regions//item/name#", "/site/regions//item/location#"],
     },
-    XmarkQuery {
-        id: "XM20",
-        paths: &["/*", "/site/people/person/profile", "/site/people/person"],
-    },
+    XmarkQuery { id: "XM20", paths: &["/*", "/site/people/person/profile", "/site/people/person"] },
 ];
 
 /// The Table III subset (queries benchmarked by both SMP and TBP).

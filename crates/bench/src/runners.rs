@@ -67,7 +67,8 @@ fn print_smp_header() {
 }
 
 fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
-    let (p_shift, p_jump, p_char) = paper.map_or((f64::NAN, f64::NAN, f64::NAN), |p| (p.1, p.2, p.3));
+    let (p_shift, p_jump, p_char) =
+        paper.map_or((f64::NAN, f64::NAN, f64::NAN), |p| (p.1, p.2, p.3));
     println!(
         "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2})",
         r.id,
@@ -141,7 +142,14 @@ pub fn run_table_protein() -> Vec<SmpRow> {
         ("P2", &["/*", "//refinfo/authors#"]),
         ("P3", &["/*", "/ProteinDatabase/ProteinEntry/sequence#"]),
         ("P4", &["/*", "//keyword"]),
-        ("P5", &["/*", "/ProteinDatabase/ProteinEntry/header/accession#", "/ProteinDatabase/ProteinEntry/summary#"]),
+        (
+            "P5",
+            &[
+                "/*",
+                "/ProteinDatabase/ProteinEntry/header/accession#",
+                "/ProteinDatabase/ProteinEntry/summary#",
+            ],
+        ),
     ];
     let mut rows = Vec::new();
     for (id, texts) in workloads {
@@ -168,7 +176,10 @@ pub struct Table3Row {
 /// SMP on the Table III query subset.
 pub fn run_table3() -> Vec<Table3Row> {
     let bytes = env_mb("SMPX_XMARK_MB", 32);
-    println!("== Table III: tokenizing projector (TBP stand-in) vs SMP, XMark-like ({}) ==", fmt_mb(bytes as u64));
+    println!(
+        "== Table III: tokenizing projector (TBP stand-in) vs SMP, XMark-like ({}) ==",
+        fmt_mb(bytes as u64)
+    );
     println!("   (paper: OCaml TBP ≥90x slower than C++ SMP; both ours are Rust,");
     println!("    so expect the language-independent share of the gap)");
     let doc = xmark::generate(GenOptions::sized(bytes));
@@ -229,7 +240,10 @@ pub struct Fig7aPoint {
 pub fn run_fig7a() -> Vec<Fig7aPoint> {
     let max = env_mb("SMPX_SWEEP_MAX_MB", 64);
     let budget = env_mb("SMPX_ENGINE_BUDGET_MB", 64);
-    println!("== Fig. 7(a): in-memory engine (QizX stand-in, {} DOM budget) ==", fmt_mb(budget as u64));
+    println!(
+        "== Fig. 7(a): in-memory engine (QizX stand-in, {} DOM budget) ==",
+        fmt_mb(budget as u64)
+    );
     let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("XMark DTD");
     let engine = InMemEngine::with_budget(budget);
     // Representative queries, as in the paper's plot (all queries shown
@@ -304,7 +318,10 @@ pub struct Fig7bRow {
 /// Fig. 7(b): streaming engine stand-alone vs pipelined behind SMP.
 pub fn run_fig7b() -> Vec<Fig7bRow> {
     let bytes = env_mb("SMPX_MEDLINE_MB", 32);
-    println!("== Fig. 7(b): streaming engine (SPEX stand-in), MEDLINE-like ({}) ==", fmt_mb(bytes as u64));
+    println!(
+        "== Fig. 7(b): streaming engine (SPEX stand-in), MEDLINE-like ({}) ==",
+        fmt_mb(bytes as u64)
+    );
     let doc = medline::generate(GenOptions::sized(bytes));
     let dtd = Dtd::parse(medline::MEDLINE_DTD.as_bytes()).expect("MEDLINE DTD");
     println!(
@@ -365,18 +382,8 @@ pub fn run_fig7c() -> Vec<Fig7cBar> {
     println!("== Fig. 7(c): SAX tokenization vs SMP throughput ({} each) ==", fmt_mb(bytes as u64));
     let mut bars = Vec::new();
     for (name, doc, dtd_text, queries) in [
-        (
-            "XMARK",
-            xmark::generate(GenOptions::sized(bytes)),
-            xmark::XMARK_DTD,
-            None,
-        ),
-        (
-            "MEDLINE",
-            medline::generate(GenOptions::sized(bytes)),
-            medline::MEDLINE_DTD,
-            Some(()),
-        ),
+        ("XMARK", xmark::generate(GenOptions::sized(bytes)), xmark::XMARK_DTD, None),
+        ("MEDLINE", medline::generate(GenOptions::sized(bytes)), medline::MEDLINE_DTD, Some(())),
     ] {
         let dtd = Dtd::parse(dtd_text.as_bytes()).expect("DTD");
 

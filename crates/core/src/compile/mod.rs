@@ -19,6 +19,7 @@ pub use tables::{Action, CompiledTables, Keyword, RtState};
 use crate::error::CoreError;
 use smpx_dtd::{Dtd, DtdAutomaton, MinLen};
 use smpx_paths::{PathSet, Relevance};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Run the full static analysis.
 ///
@@ -33,9 +34,49 @@ pub fn compile(dtd: &Dtd, paths: &PathSet) -> Result<CompiledTables, CoreError> 
     let auto = DtdAutomaton::build_allow_recursion(dtd)?;
     let minlen = MinLen::compute_allow_recursion(dtd)?;
     let rel = Relevance::new(paths);
-    let s = select::select_states(&auto, &rel);
-    let sub = subgraph::build_subgraph(&auto, &minlen, &s);
-    Ok(tables::determinize(&auto, &rel, &sub))
+    let mut s = select::select_states(&auto, &rel);
+    // Step (c) above analyses orientation hazards per NFA state, which is
+    // exact when the content models are 1-unambiguous (the XML spec's
+    // requirement, and the paper's assumption). For ambiguous models the
+    // subset construction can merge states and *combine* their frontier
+    // vocabularies, creating hazards no single member has: a keyword of one
+    // member may occur inside a region another member skips. Re-check on
+    // the determinized automaton and iterate to a fixpoint (S only grows,
+    // so this terminates).
+    loop {
+        let sub = subgraph::build_subgraph(&auto, &minlen, &s);
+        let (tables, subsets) = tables::determinize_with_subsets(&auto, &rel, &sub);
+        let mut to_add: BTreeSet<smpx_dtd::StateId> = BTreeSet::new();
+        // The skipped-closure depends only on (member, S) and members recur
+        // across subsets; memoize it per fixpoint iteration.
+        let mut reach_memo: BTreeMap<smpx_dtd::StateId, BTreeSet<smpx_dtd::StateId>> =
+            BTreeMap::new();
+        for (i, st) in tables.states.iter().enumerate() {
+            if st.keywords.is_empty() || st.balanced {
+                // Balanced states cross their subtree with a depth-counting
+                // scan instead of the frontier search.
+                continue;
+            }
+            let vocab: BTreeSet<(&str, bool)> =
+                st.keywords.iter().map(|k| (k.name.as_str(), k.close)).collect();
+            for &m in &subsets[i] {
+                let reach =
+                    reach_memo.entry(m).or_insert_with(|| select::reach_via_skipped(&auto, m, &s));
+                for &r in reach.iter() {
+                    if s.contains(&r) {
+                        continue;
+                    }
+                    if vocab.contains(&(auto.elem_name(r), auto.is_close(r))) {
+                        select::add_stopover(&auto, r, &s, &mut to_add);
+                    }
+                }
+            }
+        }
+        if to_add.is_empty() {
+            return Ok(tables);
+        }
+        s.extend(to_add);
+    }
 }
 
 #[cfg(test)]

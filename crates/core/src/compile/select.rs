@@ -56,11 +56,8 @@ fn step_a(auto: &DtdAutomaton, rel: &Relevance) -> BTreeSet<StateId> {
 /// Step (b): prune the interior of copy-on instances.
 fn step_b(auto: &DtdAutomaton, rel: &Relevance, s: &mut BTreeSet<StateId>) {
     // Collect the open states of #-matched instances that are in S.
-    let copy_on_opens: Vec<StateId> = s
-        .iter()
-        .copied()
-        .filter(|&q| !auto.is_close(q) && rel.c2_leaf(&auto.branch(q)))
-        .collect();
+    let copy_on_opens: Vec<StateId> =
+        s.iter().copied().filter(|&q| !auto.is_close(q) && rel.c2_leaf(&auto.branch(q))).collect();
     for q in copy_on_opens {
         // If q itself sits inside another copy-on instance it may already
         // have been removed; skip it then.
@@ -121,15 +118,7 @@ fn step_c(auto: &DtdAutomaton, s: &mut BTreeSet<StateId>) {
                 }
                 let lbl = (auto.elem_name(r).to_string(), auto.is_close(r));
                 if stop_labels.contains(&lbl) {
-                    if let Some(parent_open) = auto.parent(r) {
-                        if !s.contains(&parent_open) {
-                            to_add.insert(parent_open);
-                        }
-                        let parent_close = auto.dual(parent_open);
-                        if !s.contains(&parent_close) {
-                            to_add.insert(parent_close);
-                        }
-                    }
+                    add_stopover(auto, r, s, &mut to_add);
                 }
             }
         }
@@ -137,6 +126,29 @@ fn step_c(auto: &DtdAutomaton, s: &mut BTreeSet<StateId>) {
             return;
         }
         s.extend(to_add);
+    }
+}
+
+/// The orientation-stopover repair for hazard state `r`: select the dual
+/// pair of `r`'s enclosing instance (the runtime then stops over there and
+/// cannot stray into the hazard region). Shared by step (c) and the
+/// DFA-level fixpoint in `compile()`. Root-level states have no enclosing
+/// instance and need no repair: the root pair is in `S` whenever `S` is
+/// non-empty (prefix closure), so a root state is never a hazard.
+pub(crate) fn add_stopover(
+    auto: &DtdAutomaton,
+    r: StateId,
+    s: &BTreeSet<StateId>,
+    to_add: &mut BTreeSet<StateId>,
+) {
+    if let Some(parent_open) = auto.parent(r) {
+        if !s.contains(&parent_open) {
+            to_add.insert(parent_open);
+        }
+        let parent_close = auto.dual(parent_open);
+        if !s.contains(&parent_close) {
+            to_add.insert(parent_close);
+        }
     }
 }
 
@@ -206,12 +218,12 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "/a@a",      // q̂1
-                "/b@a.b",    // q̂2
-                "/c@a.c",    // q̂3 (added by step c)
-                "a@a",       // q1
-                "b@a.b",     // q2
-                "c@a.c",     // q3 (added by step c)
+                "/a@a",   // q̂1
+                "/b@a.b", // q̂2
+                "/c@a.c", // q̂3 (added by step c)
+                "a@a",    // q1
+                "b@a.b",  // q2
+                "c@a.c",  // q3 (added by step c)
             ]
         );
     }
@@ -259,10 +271,8 @@ mod tests {
     /// Nested copy-on: the outer # instance prunes inner selected states.
     #[test]
     fn nested_copy_on_prunes_inner() {
-        let dtd = Dtd::parse(
-            b"<!ELEMENT r (x*)> <!ELEMENT x (y*)> <!ELEMENT y (#PCDATA)>",
-        )
-        .unwrap();
+        let dtd =
+            Dtd::parse(b"<!ELEMENT r (x*)> <!ELEMENT x (y*)> <!ELEMENT y (#PCDATA)>").unwrap();
         let auto = DtdAutomaton::build(&dtd).unwrap();
         let rel = Relevance::new(&PathSet::parse(&["/*", "/r/x#", "//y#"]).unwrap());
         let s = select_states(&auto, &rel);
@@ -281,9 +291,8 @@ mod tests {
         // From <a> we can reach <b> (in S, stop), </a> (in S, stop), <c>
         // (skipped) and through c: its b's and </c>.
         assert!(reach.len() >= 6);
-        let b_under_c_open = reach
-            .iter()
-            .any(|&r| auto.elem_name(r) == "b" && auto.branch(r) == ["a", "c", "b"]);
+        let b_under_c_open =
+            reach.iter().any(|&r| auto.elem_name(r) == "b" && auto.branch(r) == ["a", "c", "b"]);
         assert!(b_under_c_open, "skipped scan must pass through c's interior");
     }
 }

@@ -34,11 +34,7 @@ pub struct Subgraph {
 
 /// Build `D|S` from the DTD-automaton, the minimal-length table and the
 /// selected set `S`.
-pub fn build_subgraph(
-    auto: &DtdAutomaton,
-    minlen: &MinLen,
-    s: &BTreeSet<StateId>,
-) -> Subgraph {
+pub fn build_subgraph(auto: &DtdAutomaton, minlen: &MinLen, s: &BTreeSet<StateId>) -> Subgraph {
     let mut trans: BTreeMap<StateId, Vec<(StateId, u32)>> = BTreeMap::new();
     let mut finals: BTreeSet<StateId> = BTreeSet::new();
     let doc_final = auto.final_state();
@@ -78,12 +74,12 @@ fn dijkstra_gaps(
     let mut heap: BinaryHeap<Reverse<(u64, StateId)>> = BinaryHeap::new();
 
     let relax = |u: Option<StateId>,
-                     base: u64,
-                     v: StateId,
-                     dist: &mut BTreeMap<StateId, u64>,
-                     best: &mut BTreeMap<StateId, u32>,
-                     heap: &mut BinaryHeap<Reverse<(u64, StateId)>>,
-                     reaches_end: &mut bool| {
+                 base: u64,
+                 v: StateId,
+                 dist: &mut BTreeMap<StateId, u64>,
+                 best: &mut BTreeMap<StateId, u32>,
+                 heap: &mut BinaryHeap<Reverse<(u64, StateId)>>,
+                 reaches_end: &mut bool| {
         if s.contains(&v) {
             let g = base.min(u32::MAX as u64) as u32;
             match best.get(&v) {
@@ -125,12 +121,7 @@ fn dijkstra_gaps(
 
 /// Minimal characters the skipped token of state `v` adds to the gap, given
 /// it is entered from `u`.
-fn skipped_token_cost(
-    auto: &DtdAutomaton,
-    minlen: &MinLen,
-    u: Option<StateId>,
-    v: StateId,
-) -> u64 {
+fn skipped_token_cost(auto: &DtdAutomaton, minlen: &MinLen, u: Option<StateId>, v: StateId) -> u64 {
     let name = auto.elem_name(v);
     if auto.is_close(v) {
         // Direct open→close of the same *skipped* instance: the pair can be

@@ -48,12 +48,8 @@ impl Action {
         match (self, other) {
             (CopyOn, _) | (_, CopyOn) => CopyOn,
             (CopyOff, _) | (_, CopyOff) => CopyOff,
-            (CopyTag { with_atts: a }, CopyTag { with_atts: b }) => {
-                CopyTag { with_atts: a || b }
-            }
-            (CopyTag { with_atts }, Nop) | (Nop, CopyTag { with_atts }) => {
-                CopyTag { with_atts }
-            }
+            (CopyTag { with_atts: a }, CopyTag { with_atts: b }) => CopyTag { with_atts: a || b },
+            (CopyTag { with_atts }, Nop) | (Nop, CopyTag { with_atts }) => CopyTag { with_atts },
             (Nop, Nop) => Nop,
         }
     }
@@ -156,12 +152,16 @@ fn member_action(auto: &DtdAutomaton, rel: &Relevance, q: StateId) -> Action {
     Action::Nop
 }
 
-/// Subset construction over `D|S`, producing the runtime tables.
-pub fn determinize(
+/// Subset construction over `D|S`, producing the runtime tables along with
+/// each runtime-DFA state's member set — the compile driver re-checks
+/// orientation hazards on the merged states (see `compile()`), which the
+/// per-NFA-state step (c) cannot see when an ambiguous content model makes
+/// `D` nondeterministic.
+pub(crate) fn determinize_with_subsets(
     auto: &DtdAutomaton,
     rel: &Relevance,
     sub: &Subgraph,
-) -> CompiledTables {
+) -> (CompiledTables, Vec<Vec<StateId>>) {
     let mut subsets: Vec<Vec<StateId>> = vec![vec![StateId::Q0]];
     let mut index: BTreeMap<Vec<StateId>, u32> = BTreeMap::new();
     index.insert(subsets[0].clone(), 0);
@@ -224,9 +224,8 @@ pub fn determinize(
             .filter(|&&m| m != StateId::Q0)
             .map(|&m| member_action(auto, rel, m))
             .fold(Action::Nop, Action::join);
-        let balanced = members
-            .iter()
-            .any(|&m| m != StateId::Q0 && auto.is_opaque(m) && !auto.is_close(m));
+        let balanced =
+            members.iter().any(|&m| m != StateId::Q0 && auto.is_opaque(m) && !auto.is_close(m));
 
         states.push(RtState {
             label,
@@ -239,12 +238,9 @@ pub fn determinize(
         work += 1;
     }
 
-    let max_kw_len = states
-        .iter()
-        .flat_map(|s| s.keywords.iter().map(|k| k.bytes.len()))
-        .max()
-        .unwrap_or(1);
-    CompiledTables { states, max_kw_len }
+    let max_kw_len =
+        states.iter().flat_map(|s| s.keywords.iter().map(|k| k.bytes.len())).max().unwrap_or(1);
+    (CompiledTables { states, max_kw_len }, subsets)
 }
 
 #[cfg(test)]

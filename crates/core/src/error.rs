@@ -37,7 +37,10 @@ impl fmt::Display for CoreError {
             CoreError::NoPaths => write!(f, "empty projection path set"),
             CoreError::UnexpectedToken { name, close, pos } => {
                 let slash = if *close { "/" } else { "" };
-                write!(f, "unexpected token <{slash}{name}> at byte {pos} (document invalid w.r.t. DTD?)")
+                write!(
+                    f,
+                    "unexpected token <{slash}{name}> at byte {pos} (document invalid w.r.t. DTD?)"
+                )
             }
             CoreError::UnexpectedEof { context } => {
                 write!(f, "unexpected end of input while {context}")

@@ -12,19 +12,13 @@ use smpx_stringmatch::{BoyerMoore, CommentzWalter, Metrics};
 /// Anything the input layer can drive a windowed search with.
 pub(crate) trait Searcher {
     /// First occurrence in `hay` at or after `from`: (keyword index, start).
-    fn search_in<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M)
-        -> Option<(usize, usize)>;
+    fn search_in<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<(usize, usize)>;
     /// Longest pattern length (stream-refill overlap).
     fn longest(&self) -> usize;
 }
 
 impl Searcher for CommentzWalter {
-    fn search_in<M: Metrics>(
-        &self,
-        hay: &[u8],
-        from: usize,
-        m: &mut M,
-    ) -> Option<(usize, usize)> {
+    fn search_in<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<(usize, usize)> {
         self.find_at(hay, from, m).map(|mm| (mm.pattern, mm.start))
     }
 
@@ -34,12 +28,7 @@ impl Searcher for CommentzWalter {
 }
 
 impl Searcher for StateMatcher {
-    fn search_in<M: Metrics>(
-        &self,
-        hay: &[u8],
-        from: usize,
-        m: &mut M,
-    ) -> Option<(usize, usize)> {
+    fn search_in<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<(usize, usize)> {
         self.find_in(hay, from, m)
     }
 
@@ -67,8 +56,7 @@ impl StateMatcher {
             0 => StateMatcher::Empty,
             1 => StateMatcher::Bm(Box::new(BoyerMoore::new(&state.keywords[0].bytes))),
             _ => {
-                let pats: Vec<&[u8]> =
-                    state.keywords.iter().map(|k| k.bytes.as_slice()).collect();
+                let pats: Vec<&[u8]> = state.keywords.iter().map(|k| k.bytes.as_slice()).collect();
                 StateMatcher::Cw(Box::new(CommentzWalter::new(&pats)))
             }
         }
@@ -106,9 +94,7 @@ impl StateMatcher {
         match self {
             StateMatcher::Empty => 1,
             StateMatcher::Bm(bm) => bm.pattern().len(),
-            StateMatcher::Cw(cw) => {
-                cw.patterns().iter().map(Vec::len).max().unwrap_or(1)
-            }
+            StateMatcher::Cw(cw) => cw.patterns().iter().map(Vec::len).max().unwrap_or(1),
         }
     }
 

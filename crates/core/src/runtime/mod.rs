@@ -81,12 +81,7 @@ impl Prefilter {
     /// (the paper's `Mem` column, minus the I/O window).
     pub fn memory_bytes(&self) -> usize {
         self.tables.table_bytes()
-            + self
-                .matchers
-                .iter()
-                .flatten()
-                .map(StateMatcher::memory_bytes)
-                .sum::<usize>()
+            + self.matchers.iter().flatten().map(StateMatcher::memory_bytes).sum::<usize>()
     }
 
     /// Prefilter an in-memory document, returning the projected bytes and
@@ -172,8 +167,7 @@ impl Prefilter {
                 let open_target = target;
                 let close_target = {
                     let open_state = &self.tables.states[open_target as usize];
-                    let open_label =
-                        open_state.label.clone().expect("labeled state");
+                    let open_label = open_state.label.clone().expect("labeled state");
                     open_state
                         .keywords
                         .iter()
@@ -192,8 +186,7 @@ impl Prefilter {
                 // Recursion extension: cross the opaque subtree with a
                 // balanced depth-counting scan for <e / </e.
                 self.apply_action(input, target, start, end, false)?;
-                let (close_start, close_end) =
-                    self.balanced_scan(target, input, end, m, stats)?;
+                let (close_start, close_end) = self.balanced_scan(target, input, end, m, stats)?;
                 let close_target = {
                     let open_state = &self.tables.states[target as usize];
                     let open_label = open_state.label.clone().expect("labeled state");
@@ -246,17 +239,14 @@ impl Prefilter {
         if self.balanced_matchers[open_state as usize].is_none() {
             let open_pat = format!("<{name}").into_bytes();
             let close_pat = format!("</{name}").into_bytes();
-            self.balanced_matchers[open_state as usize] = Some(
-                smpx_stringmatch::CommentzWalter::new(&[open_pat, close_pat]),
-            );
+            self.balanced_matchers[open_state as usize] =
+                Some(smpx_stringmatch::CommentzWalter::new(&[open_pat, close_pat]));
         }
         let mut cursor = from;
         let mut depth = 1u32;
         loop {
             let hit = {
-                let cw = self.balanced_matchers[open_state as usize]
-                    .as_ref()
-                    .expect("just built");
+                let cw = self.balanced_matchers[open_state as usize].as_ref().expect("just built");
                 input.find(cw, cursor, m)?
             };
             let Some((kw, start)) = hit else {
@@ -426,14 +416,9 @@ impl Prefilter {
             input.emit_range(start, end)?;
             return Ok(());
         }
-        if matches!(open_act, Action::CopyTag { .. })
-            || matches!(close_act, Action::CopyTag { .. })
+        if matches!(open_act, Action::CopyTag { .. }) || matches!(close_act, Action::CopyTag { .. })
         {
-            let name = &self.tables.states[open_target as usize]
-                .label
-                .as_ref()
-                .expect("labeled")
-                .0;
+            let name = &self.tables.states[open_target as usize].label.as_ref().expect("labeled").0;
             let mut buf = Vec::with_capacity(name.len() + 3);
             buf.push(b'<');
             buf.extend_from_slice(name.as_bytes());

@@ -20,6 +20,20 @@
 //! DTD-automaton) and contain no comments, CDATA or processing
 //! instructions beyond the XML declaration — matching the corpora the
 //! paper ran on.
+//!
+//! # Quick start
+//!
+//! ```
+//! use smpx_datagen::{xmark, GenOptions};
+//!
+//! let doc = xmark::generate(GenOptions::sized(16 * 1024));
+//! // Deterministic: the same options reproduce the same bytes.
+//! assert_eq!(doc, xmark::generate(GenOptions::sized(16 * 1024)));
+//! // Different seeds give different documents of the same shape.
+//! let other = xmark::generate(GenOptions::sized(16 * 1024).with_seed(7));
+//! assert_ne!(doc, other);
+//! assert!(doc.windows(5).any(|w| w == b"<site"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -79,11 +79,8 @@ pub const MEDLINE_DTD: &str = r#"<!DOCTYPE MedlineCitationSet [
 
 /// Generate a MEDLINE-like document of roughly `opts.target_bytes` bytes.
 pub fn generate(opts: GenOptions) -> Vec<u8> {
-    let mut g = TextGen::new(
-        opts.seed,
-        vec!["NASA", "Sterilization", "PDB", "SWISSPROT", "GENBANK"],
-        80,
-    );
+    let mut g =
+        TextGen::new(opts.seed, vec!["NASA", "Sterilization", "PDB", "SWISSPROT", "GENBANK"], 80);
     let mut b = XmlBuilder::new();
     let target = opts.target_bytes.max(4096);
     let mut pmid = 10_000_000u64;
@@ -235,10 +232,7 @@ fn citation(b: &mut XmlBuilder, g: &mut TextGen, pmid: &mut u64) {
                 b.leaf("ForeName", g.word());
             }
             if g.chance(50) {
-                b.leaf(
-                    "DatesAssociatedWithName",
-                    if g.chance(15) { "Oct2006" } else { "Jan2001" },
-                );
+                b.leaf("DatesAssociatedWithName", if g.chance(15) { "Oct2006" } else { "Jan2001" });
             }
             if g.chance(60) {
                 b.leaf("TitleAssociatedWithName", &g.sentence(2, 6));

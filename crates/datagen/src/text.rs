@@ -12,15 +12,14 @@ use rand::{Rng, SeedableRng};
 /// Base vocabulary (from the Shakespeare word list the original XMark
 /// generator samples).
 const WORDS: &[&str] = &[
-    "abandon", "bargain", "cattle", "destroy", "enough", "fortune", "gentle", "honour",
-    "instant", "journey", "kindness", "labour", "marriage", "natural", "obtain", "passion",
-    "quarrel", "reason", "silver", "temper", "unfold", "virtue", "wonder", "yonder",
-    "against", "banish", "command", "danger", "embrace", "feather", "garden", "heaven",
-    "inform", "justice", "kingdom", "letter", "mother", "nothing", "office", "prayer",
-    "quality", "remember", "soldier", "thunder", "uncle", "valiant", "weather", "youth",
-    "brother", "counsel", "daughter", "evening", "father", "glory", "hunger", "island",
-    "jealous", "knight", "lantern", "mercy", "needle", "orchard", "palace", "quiet",
-    "river", "sorrow", "tongue", "urgent", "vessel", "window", "yellow", "zeal",
+    "abandon", "bargain", "cattle", "destroy", "enough", "fortune", "gentle", "honour", "instant",
+    "journey", "kindness", "labour", "marriage", "natural", "obtain", "passion", "quarrel",
+    "reason", "silver", "temper", "unfold", "virtue", "wonder", "yonder", "against", "banish",
+    "command", "danger", "embrace", "feather", "garden", "heaven", "inform", "justice", "kingdom",
+    "letter", "mother", "nothing", "office", "prayer", "quality", "remember", "soldier", "thunder",
+    "uncle", "valiant", "weather", "youth", "brother", "counsel", "daughter", "evening", "father",
+    "glory", "hunger", "island", "jealous", "knight", "lantern", "mercy", "needle", "orchard",
+    "palace", "quiet", "river", "sorrow", "tongue", "urgent", "vessel", "window", "yellow", "zeal",
 ];
 
 /// A seeded text generator.

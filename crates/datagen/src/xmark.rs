@@ -259,7 +259,16 @@ fn person(b: &mut XmlBuilder, g: &mut TextGen, ids: &mut Ids) {
         b.leaf("homepage", &format!("http://www.{}.example/~{}", g.word(), g.word()));
     }
     if g.chance(25) {
-        b.leaf("creditcard", &format!("{} {} {} {}", g.number(1000, 9999), g.number(1000, 9999), g.number(1000, 9999), g.number(1000, 9999)));
+        b.leaf(
+            "creditcard",
+            &format!(
+                "{} {} {} {}",
+                g.number(1000, 9999),
+                g.number(1000, 9999),
+                g.number(1000, 9999),
+                g.number(1000, 9999)
+            ),
+        );
     }
     if g.chance(70) {
         let income = g.number(9876, 99999);
@@ -302,7 +311,10 @@ fn open_auction(b: &mut XmlBuilder, g: &mut TextGen, ids: &mut Ids) {
     for _ in 0..g.below(4) {
         b.open("bidder");
         b.leaf("date", &g.date());
-        b.leaf("time", &format!("{:02}:{:02}:{:02}", g.number(0, 23), g.number(0, 59), g.number(0, 59)));
+        b.leaf(
+            "time",
+            &format!("{:02}:{:02}:{:02}", g.number(0, 23), g.number(0, 59), g.number(0, 59)),
+        );
         let p = format!("person{}", g.below(ids.person.max(1)));
         b.bachelor("personref", &[("person", &p)]);
         b.leaf("increase", &format!("{}.{:02}", g.number(1, 50), g.number(0, 99)));
@@ -419,8 +431,15 @@ mod tests {
     fn contains_all_query_relevant_sections() {
         let doc = String::from_utf8(generate(GenOptions::sized(60_000))).unwrap();
         for tag in [
-            "<australia>", "<europe>", "<people>", "<person id=", "<open_auctions>",
-            "<closed_auction>", "<description>", "<incategory category=", "<profile income=",
+            "<australia>",
+            "<europe>",
+            "<people>",
+            "<person id=",
+            "<open_auctions>",
+            "<closed_auction>",
+            "<description>",
+            "<incategory category=",
+            "<profile income=",
         ] {
             assert!(doc.contains(tag), "missing {tag}");
         }

@@ -98,11 +98,7 @@ impl DtdAutomaton {
         });
         let (open_root, close_root) = b.expand(dtd.root(), None)?;
         b.states[0].trans.push(open_root);
-        Ok(DtdAutomaton {
-            elem_names: b.elem_names,
-            states: b.states,
-            final_state: close_root,
-        })
+        Ok(DtdAutomaton { elem_names: b.elem_names, states: b.states, final_state: close_root })
     }
 
     /// Total number of states, `q0` included.
@@ -261,7 +257,11 @@ impl<'d> Builder<'d> {
     }
 
     /// Expand one element instance; returns its (open, close) states.
-    fn expand(&mut self, elem: &str, parent: Option<StateId>) -> Result<(StateId, StateId), DtdError> {
+    fn expand(
+        &mut self,
+        elem: &str,
+        parent: Option<StateId>,
+    ) -> Result<(StateId, StateId), DtdError> {
         let e = self.intern(elem);
         let opaque = self.recursive.contains(elem);
         let open = self.new_state(e, false, parent, opaque)?;
@@ -281,12 +281,8 @@ impl<'d> Builder<'d> {
                 self.states[open.idx()].trans.push(close);
             }
             ContentModel::Any => {
-                let names: Vec<String> = self
-                    .dtd
-                    .effective_child_names(elem)
-                    .into_iter()
-                    .map(str::to_string)
-                    .collect();
+                let names: Vec<String> =
+                    self.dtd.effective_child_names(elem).into_iter().map(str::to_string).collect();
                 self.expand_star_of_choices(&names, open, close)?;
             }
             ContentModel::Mixed(names) => {
@@ -470,12 +466,8 @@ mod tests {
 
     #[test]
     fn recursive_dtd_rejected() {
-        let dtd =
-            Dtd::parse(b"<!ELEMENT a (b)> <!ELEMENT b (a?)>").unwrap();
-        assert!(matches!(
-            DtdAutomaton::build(&dtd),
-            Err(DtdError::Recursive { .. })
-        ));
+        let dtd = Dtd::parse(b"<!ELEMENT a (b)> <!ELEMENT b (a?)>").unwrap();
+        assert!(matches!(DtdAutomaton::build(&dtd), Err(DtdError::Recursive { .. })));
     }
 
     #[test]
@@ -487,8 +479,9 @@ mod tests {
 
     #[test]
     fn mixed_content_accepts_any_interleaving() {
-        let dtd = Dtd::parse(b"<!ELEMENT p (#PCDATA|em|b)*> <!ELEMENT em EMPTY> <!ELEMENT b EMPTY>")
-            .unwrap();
+        let dtd =
+            Dtd::parse(b"<!ELEMENT p (#PCDATA|em|b)*> <!ELEMENT em EMPTY> <!ELEMENT b EMPTY>")
+                .unwrap();
         let auto = DtdAutomaton::build(&dtd).unwrap();
         assert!(auto.accepts(&tokens("<p> </p>")));
         assert!(auto.accepts(&tokens("<p> <em> </em> <b> </b> <em> </em> </p>")));

@@ -64,12 +64,8 @@ impl Glushkov {
         if seq.is_empty() {
             return self.nullable;
         }
-        let mut current: BTreeSet<usize> = self
-            .first
-            .iter()
-            .copied()
-            .filter(|&p| self.labels[p] == seq[0].as_ref())
-            .collect();
+        let mut current: BTreeSet<usize> =
+            self.first.iter().copied().filter(|&p| self.labels[p] == seq[0].as_ref()).collect();
         for s in &seq[1..] {
             if current.is_empty() {
                 return false;
@@ -191,10 +187,7 @@ mod tests {
     #[test]
     fn choice_star_from_example2() {
         // (b|c)* — the paper's element `a` content.
-        let g = Glushkov::build(&Regex::Star(Box::new(Regex::Choice(vec![
-            name("b"),
-            name("c"),
-        ]))));
+        let g = Glushkov::build(&Regex::Star(Box::new(Regex::Choice(vec![name("b"), name("c")]))));
         assert!(g.nullable);
         assert!(g.matches::<&str>(&[]));
         assert!(g.matches(&["b", "c", "c", "b"]));
@@ -207,10 +200,7 @@ mod tests {
     #[test]
     fn seq_with_optional_from_example2() {
         // (b, b?) — the paper's element `c` content.
-        let g = Glushkov::build(&Regex::Seq(vec![
-            name("b"),
-            Regex::Opt(Box::new(name("b"))),
-        ]));
+        let g = Glushkov::build(&Regex::Seq(vec![name("b"), Regex::Opt(Box::new(name("b")))]));
         assert!(!g.nullable);
         assert!(g.matches(&["b"]));
         assert!(g.matches(&["b", "b"]));
@@ -231,10 +221,7 @@ mod tests {
     #[test]
     fn nullable_prefix_extends_first() {
         // (a?, b): first = {a, b}.
-        let g = Glushkov::build(&Regex::Seq(vec![
-            Regex::Opt(Box::new(name("a"))),
-            name("b"),
-        ]));
+        let g = Glushkov::build(&Regex::Seq(vec![Regex::Opt(Box::new(name("a"))), name("b")]));
         assert_eq!(g.first, vec![0, 1]);
         assert!(g.matches(&["b"]));
         assert!(g.matches(&["a", "b"]));

@@ -55,11 +55,8 @@ impl MinLen {
         let mut names: Vec<String> = dtd.elements().map(|e| e.name.clone()).collect();
         let mut i = 0;
         while i < names.len() {
-            let children: Vec<String> = dtd
-                .effective_child_names(&names[i])
-                .into_iter()
-                .map(str::to_string)
-                .collect();
+            let children: Vec<String> =
+                dtd.effective_child_names(&names[i]).into_iter().map(str::to_string).collect();
             for c in children {
                 if !names.contains(&c) {
                     names.push(c);
@@ -185,11 +182,7 @@ fn required_attrs_min(dtd: &Dtd, elem: &str) -> usize {
 fn min_attr_value_len(ty: &str) -> usize {
     let ty = ty.trim();
     if let Some(body) = ty.strip_prefix('(').and_then(|t| t.strip_suffix(')')) {
-        return body
-            .split('|')
-            .map(|tok| tok.trim().len())
-            .min()
-            .unwrap_or(0);
+        return body.split('|').map(|tok| tok.trim().len()).min().unwrap_or(0);
     }
     0
 }
@@ -272,10 +265,8 @@ mod tests {
 
     #[test]
     fn enumerated_required_attr_counts_shortest_token() {
-        let dtd = Dtd::parse(
-            br#"<!ELEMENT e EMPTY> <!ATTLIST e kind (alpha|hi|gamma) #REQUIRED>"#,
-        )
-        .unwrap();
+        let dtd = Dtd::parse(br#"<!ELEMENT e EMPTY> <!ATTLIST e kind (alpha|hi|gamma) #REQUIRED>"#)
+            .unwrap();
         let ml = MinLen::compute(&dtd).unwrap();
         // ` kind="hi"` = 1 + 4 + 1 + 2 + 2 = 10.
         assert_eq!(ml.attrs("e"), 10);
@@ -283,10 +274,8 @@ mod tests {
 
     #[test]
     fn optional_attrs_do_not_count() {
-        let dtd = Dtd::parse(
-            br#"<!ELEMENT e EMPTY> <!ATTLIST e a CDATA #IMPLIED b CDATA "dflt">"#,
-        )
-        .unwrap();
+        let dtd = Dtd::parse(br#"<!ELEMENT e EMPTY> <!ATTLIST e a CDATA #IMPLIED b CDATA "dflt">"#)
+            .unwrap();
         let ml = MinLen::compute(&dtd).unwrap();
         assert_eq!(ml.attrs("e"), 0);
         assert_eq!(ml.bachelor("e"), Some(4));

@@ -142,10 +142,7 @@ pub struct Dtd {
 impl Dtd {
     /// Assemble a DTD from parts (used by the parser and by tests/property
     /// generators).
-    pub fn from_parts(
-        root: String,
-        decls: Vec<ElementDecl>,
-    ) -> Result<Dtd, DtdError> {
+    pub fn from_parts(root: String, decls: Vec<ElementDecl>) -> Result<Dtd, DtdError> {
         if decls.is_empty() {
             return Err(DtdError::Empty);
         }
@@ -227,8 +224,7 @@ impl Dtd {
         for &e in &names {
             // DFS from e's children; e is recursive iff it reaches itself.
             let mut seen: BTreeSet<&str> = BTreeSet::new();
-            let mut stack: Vec<&str> =
-                self.effective_child_names(e).into_iter().collect();
+            let mut stack: Vec<&str> = self.effective_child_names(e).into_iter().collect();
             let mut hit = false;
             while let Some(c) = stack.pop() {
                 if c == e {
@@ -255,8 +251,7 @@ impl Dtd {
             Black,
         }
         let names: Vec<&str> = self.elements.keys().map(String::as_str).collect();
-        let index: BTreeMap<&str, usize> =
-            names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let index: BTreeMap<&str, usize> = names.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let mut marks = vec![Mark::White; names.len()];
 
         // Iterative DFS with a grey/black coloring.
@@ -306,8 +301,9 @@ mod tests {
         assert!(Opt(Box::new(Name("a".into()))).nullable());
         assert!(Star(Box::new(Name("a".into()))).nullable());
         assert!(!Plus(Box::new(Name("a".into()))).nullable());
-        assert!(Seq(vec![Opt(Box::new(Name("a".into()))), Star(Box::new(Name("b".into())))])
-            .nullable());
+        assert!(
+            Seq(vec![Opt(Box::new(Name("a".into()))), Star(Box::new(Name("b".into())))]).nullable()
+        );
         assert!(!Seq(vec![Opt(Box::new(Name("a".into()))), Name("b".into())]).nullable());
         assert!(Choice(vec![Name("a".into()), Star(Box::new(Name("b".into())))]).nullable());
     }
@@ -338,11 +334,9 @@ mod tests {
 
     #[test]
     fn self_recursion_detected() {
-        let dtd = Dtd::from_parts(
-            "a".into(),
-            vec![decl("a", ContentModel::Mixed(vec!["a".into()]))],
-        )
-        .unwrap();
+        let dtd =
+            Dtd::from_parts("a".into(), vec![decl("a", ContentModel::Mixed(vec!["a".into()]))])
+                .unwrap();
         assert!(dtd.is_recursive());
     }
 
@@ -351,15 +345,21 @@ mod tests {
         let dtd = Dtd::from_parts(
             "a".into(),
             vec![
-                decl("a", ContentModel::Children(Regex::Star(Box::new(Regex::Choice(vec![
-                    Regex::Name("b".into()),
-                    Regex::Name("c".into()),
-                ]))))),
+                decl(
+                    "a",
+                    ContentModel::Children(Regex::Star(Box::new(Regex::Choice(vec![
+                        Regex::Name("b".into()),
+                        Regex::Name("c".into()),
+                    ])))),
+                ),
                 decl("b", ContentModel::Pcdata),
-                decl("c", ContentModel::Children(Regex::Seq(vec![
-                    Regex::Name("b".into()),
-                    Regex::Opt(Box::new(Regex::Name("b".into()))),
-                ]))),
+                decl(
+                    "c",
+                    ContentModel::Children(Regex::Seq(vec![
+                        Regex::Name("b".into()),
+                        Regex::Opt(Box::new(Regex::Name("b".into()))),
+                    ])),
+                ),
             ],
         )
         .unwrap();
@@ -372,8 +372,9 @@ mod tests {
         assert!(ContentModel::Pcdata.can_be_empty());
         assert!(ContentModel::Mixed(vec!["a".into()]).can_be_empty());
         assert!(!ContentModel::Children(Regex::Name("a".into())).can_be_empty());
-        assert!(ContentModel::Children(Regex::Star(Box::new(Regex::Name("a".into()))))
-            .can_be_empty());
+        assert!(
+            ContentModel::Children(Regex::Star(Box::new(Regex::Name("a".into())))).can_be_empty()
+        );
     }
 
     #[test]
@@ -382,11 +383,7 @@ mod tests {
         e.attrs = vec![
             AttDef { name: "id".into(), ty: "ID".into(), default: AttDefault::Required },
             AttDef { name: "x".into(), ty: "CDATA".into(), default: AttDefault::Implied },
-            AttDef {
-                name: "y".into(),
-                ty: "CDATA".into(),
-                default: AttDefault::Fixed("v".into()),
-            },
+            AttDef { name: "y".into(), ty: "CDATA".into(), default: AttDefault::Fixed("v".into()) },
         ];
         let dtd = Dtd::from_parts("a".into(), vec![e]).unwrap();
         let req: Vec<&str> = dtd.required_attrs("a").collect();

@@ -400,10 +400,7 @@ mod tests {
     #[test]
     fn mixed_content() {
         let dtd = Dtd::parse(b"<!ELEMENT p (#PCDATA | em | strong)*>").unwrap();
-        assert_eq!(
-            *dtd.content("p"),
-            ContentModel::Mixed(vec!["em".into(), "strong".into()])
-        );
+        assert_eq!(*dtd.content("p"), ContentModel::Mixed(vec!["em".into(), "strong".into()]));
         assert!(dtd.content("p").allows_text());
     }
 
@@ -441,10 +438,7 @@ mod tests {
 
     #[test]
     fn attlist_for_undeclared_element_is_kept() {
-        let dtd = Dtd::parse(
-            b"<!ELEMENT r (ghost)> <!ATTLIST ghost g CDATA #REQUIRED>",
-        )
-        .unwrap();
+        let dtd = Dtd::parse(b"<!ELEMENT r (ghost)> <!ATTLIST ghost g CDATA #REQUIRED>").unwrap();
         assert_eq!(dtd.required_attrs("ghost").count(), 1);
     }
 

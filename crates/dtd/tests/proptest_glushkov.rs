@@ -20,9 +20,8 @@ fn matches_ast(re: &Regex, word: &[usize]) -> bool {
                 // One iteration of a nullable inner matches ε.
                 matches_ast(inner, &[])
             } else {
-                (1..=word.len()).any(|i| {
-                    matches_ast(inner, &word[..i]) && star_matches(inner, &word[i..])
-                })
+                (1..=word.len())
+                    .any(|i| matches_ast(inner, &word[..i]) && star_matches(inner, &word[i..]))
             }
         }
     }
@@ -32,8 +31,7 @@ fn star_matches(inner: &Regex, word: &[usize]) -> bool {
     if word.is_empty() {
         return true;
     }
-    (1..=word.len())
-        .any(|i| matches_ast(inner, &word[..i]) && star_matches(inner, &word[i..]))
+    (1..=word.len()).any(|i| matches_ast(inner, &word[..i]) && star_matches(inner, &word[i..]))
 }
 
 fn seq_matches(parts: &[Regex], word: &[usize]) -> bool {

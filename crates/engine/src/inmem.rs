@@ -165,10 +165,7 @@ impl LoadedDoc {
                 }
             }
             XExpr::Last => matched.last().copied().into_iter().collect(),
-            other => matched
-                .into_iter()
-                .filter(|&n| self.truthy(other, n))
-                .collect(),
+            other => matched.into_iter().filter(|&n| self.truthy(other, n)).collect(),
         }
     }
 
@@ -189,9 +186,9 @@ impl LoadedDoc {
                 let hay = self.string_values(a, ctx);
                 let needles = self.string_values(b, ctx);
                 hay.iter().any(|h| {
-                    needles.iter().any(|n| {
-                        h.windows(n.len().max(1)).any(|w| w == &n[..]) || n.is_empty()
-                    })
+                    needles
+                        .iter()
+                        .any(|n| h.windows(n.len().max(1)).any(|w| w == &n[..]) || n.is_empty())
                 })
             }
             XExpr::Cmp(a, op, b) => self.compare(a, *op, b, ctx),
@@ -332,15 +329,15 @@ mod tests {
             vec!["<name>Alice</name>", "<name>Bob</name>"]
         );
         assert_eq!(eval(DOC, "//name/text()"), vec!["Alice", "Bob", "Palm"]);
-        assert_eq!(eval(DOC, "//australia//description"), vec!["<description>gold watch</description>"]);
+        assert_eq!(
+            eval(DOC, "//australia//description"),
+            vec!["<description>gold watch</description>"]
+        );
     }
 
     #[test]
     fn attribute_predicate() {
-        assert_eq!(
-            eval(DOC, r#"/site/people/person[@id="p1"]/name"#),
-            vec!["<name>Bob</name>"]
-        );
+        assert_eq!(eval(DOC, r#"/site/people/person[@id="p1"]/name"#), vec!["<name>Bob</name>"]);
         assert_eq!(eval(DOC, r#"/site/people/person[@id="zz"]/name"#), Vec::<String>::new());
     }
 
@@ -354,14 +351,8 @@ mod tests {
 
     #[test]
     fn numeric_predicate() {
-        assert_eq!(
-            eval(DOC, "/site/people/person[age >= 40]/name"),
-            vec!["<name>Bob</name>"]
-        );
-        assert_eq!(
-            eval(DOC, "/site/people/person[age < 40]/name"),
-            vec!["<name>Alice</name>"]
-        );
+        assert_eq!(eval(DOC, "/site/people/person[age >= 40]/name"), vec!["<name>Bob</name>"]);
+        assert_eq!(eval(DOC, "/site/people/person[age < 40]/name"), vec!["<name>Alice</name>"]);
     }
 
     #[test]
@@ -386,8 +377,10 @@ mod tests {
 
     #[test]
     fn count_and_empty() {
-        assert_eq!(eval(DOC, "/site[count(people/person) >= 2]/regions/australia/item/name"),
-            vec!["<name>Palm</name>"]);
+        assert_eq!(
+            eval(DOC, "/site[count(people/person) >= 2]/regions/australia/item/name"),
+            vec!["<name>Palm</name>"]
+        );
         assert_eq!(eval(DOC, "/site/people/person[empty(homepage)]/name").len(), 2);
     }
 

@@ -14,6 +14,20 @@
 //! return results as serialized byte items, so their agreement — and
 //! projection-safety (Def. 2: equal results on original and projected
 //! documents) — can be asserted byte-for-byte in tests.
+//!
+//! # Quick start
+//!
+//! ```
+//! use smpx_engine::InMemEngine;
+//! use smpx_paths::xpath::XPath;
+//!
+//! let engine = InMemEngine::unlimited();
+//! let query = XPath::parse("/site/item").unwrap();
+//! let doc = b"<site><item>a</item><item>b</item><other/></site>";
+//! let items = engine.load(doc).unwrap().eval(&query);
+//! assert_eq!(items.len(), 2);
+//! assert_eq!(items[0], b"<item>a</item>".to_vec());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

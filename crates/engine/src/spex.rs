@@ -133,10 +133,7 @@ struct Run<'q> {
 
 impl<'q> Run<'q> {
     fn new(query: &'q XPath) -> Run<'q> {
-        let wants_text = matches!(
-            query.steps.last().map(|s| &s.test),
-            Some(XNodeTest::Text)
-        );
+        let wants_text = matches!(query.steps.last().map(|s| &s.test), Some(XNodeTest::Text));
         let elem_steps = query.steps.len() - usize::from(wants_text);
         Run {
             query,
@@ -255,9 +252,8 @@ impl<'q> Run<'q> {
                 match pred {
                     XExpr::Number(n) => {
                         let want = *n as usize;
-                        let ok = *n >= 1.0
-                            && (*n - want as f64).abs() < f64::EPSILON
-                            && my_pos == want;
+                        let ok =
+                            *n >= 1.0 && (*n - want as f64).abs() < f64::EPSILON && my_pos == want;
                         self.preds.push(PredInstance {
                             collectors: Vec::new(),
                             step_idx: i - 1,
@@ -276,11 +272,11 @@ impl<'q> Run<'q> {
                         });
                         let id = self.preds.len() - 1;
                         frame.anchored.push(id);
-                        self.stack
-                            .last_mut()
-                            .expect("parent frame")
-                            .pending_last
-                            .push((id, i - 1, my_pos));
+                        self.stack.last_mut().expect("parent frame").pending_last.push((
+                            id,
+                            i - 1,
+                            my_pos,
+                        ));
                         continue;
                     }
                     _ => {}
@@ -293,12 +289,8 @@ impl<'q> Run<'q> {
                 for coll in &mut collectors {
                     coll.seed_attrs(attrs);
                 }
-                let inst = PredInstance {
-                    collectors,
-                    step_idx: i - 1,
-                    pred_idx: pidx,
-                    outcome: None,
-                };
+                let inst =
+                    PredInstance { collectors, step_idx: i - 1, pred_idx: pidx, outcome: None };
                 self.preds.push(inst);
                 frame.anchored.push(self.preds.len() - 1);
             }
@@ -322,11 +314,8 @@ impl<'q> Run<'q> {
 
     /// All unresolved predicate instances on the (new) ancestor chain.
     fn open_deps(&self, new_frame: &Frame) -> Vec<usize> {
-        let mut deps: Vec<usize> = self
-            .stack
-            .iter()
-            .flat_map(|f| f.anchored.iter().copied())
-            .collect();
+        let mut deps: Vec<usize> =
+            self.stack.iter().flat_map(|f| f.anchored.iter().copied()).collect();
         deps.extend(new_frame.anchored.iter().copied());
         deps
     }
@@ -351,11 +340,7 @@ impl<'q> Run<'q> {
                     true
                 };
                 if matched {
-                    let deps = self
-                        .stack
-                        .iter()
-                        .flat_map(|f| f.anchored.iter().copied())
-                        .collect();
+                    let deps = self.stack.iter().flat_map(|f| f.anchored.iter().copied()).collect();
                     self.candidates.push(Candidate {
                         bytes: text.to_vec(),
                         deps,
@@ -366,11 +351,7 @@ impl<'q> Run<'q> {
             } else if self.query.steps[self.elem_steps].axis == Axis::Descendant
                 && self.stack.iter().any(|f| f.states.contains(&self.elem_steps))
             {
-                let deps = self
-                    .stack
-                    .iter()
-                    .flat_map(|f| f.anchored.iter().copied())
-                    .collect();
+                let deps = self.stack.iter().flat_map(|f| f.anchored.iter().copied()).collect();
                 self.candidates.push(Candidate {
                     bytes: text.to_vec(),
                     deps,
@@ -427,9 +408,7 @@ impl<'q> Run<'q> {
         let preds = &self.preds;
         self.candidates
             .drain(..)
-            .filter(|c| {
-                c.deps.iter().all(|&pi| preds[pi].outcome.unwrap_or(false))
-            })
+            .filter(|c| c.deps.iter().all(|&pi| preds[pi].outcome.unwrap_or(false)))
             .map(|c| c.bytes)
             .collect()
     }
@@ -508,16 +487,13 @@ fn eval_pred(e: &XExpr, colls: &[Collector], cursor: &mut usize) -> bool {
             let hay = pred_values(a, colls, cursor);
             let needles = pred_values(b, colls, cursor);
             hay.iter().any(|h| {
-                needles
-                    .iter()
-                    .any(|n| n.is_empty() || h.windows(n.len()).any(|w| w == &n[..]))
+                needles.iter().any(|n| n.is_empty() || h.windows(n.len()).any(|w| w == &n[..]))
             })
         }
         XExpr::Last => true, // bare last() is positional, handled at open
         XExpr::Cmp(a, op, b) => {
-            let numeric =
-                matches!(**a, XExpr::Number(_) | XExpr::Count(_))
-                    || matches!(**b, XExpr::Number(_) | XExpr::Count(_));
+            let numeric = matches!(**a, XExpr::Number(_) | XExpr::Count(_))
+                || matches!(**b, XExpr::Number(_) | XExpr::Count(_));
             if numeric {
                 let l = pred_numbers(a, colls, cursor);
                 let r = pred_numbers(b, colls, cursor);
@@ -613,7 +589,9 @@ impl Collector {
 
     /// Attribute collection at the anchor itself (`[@id="x"]`).
     fn seed_attrs(&mut self, attrs: &[u8]) {
-        if let Some((Axis::Child, CollTest::Attr(want))) = self.steps.first().map(|s| (s.0, s.1.clone())) {
+        if let Some((Axis::Child, CollTest::Attr(want))) =
+            self.steps.first().map(|s| (s.0, s.1.clone()))
+        {
             if self.steps.len() == 1 {
                 for (n, v) in smpx_xml::Attributes::new(attrs) {
                     if n == want.as_bytes() {
@@ -672,9 +650,7 @@ impl Collector {
                 let top = self.stack.last().expect("stack");
                 let live = match axis {
                     Axis::Child => top.contains(&(n - 1)),
-                    Axis::Descendant => {
-                        self.stack.iter().any(|s| s.contains(&(n - 1)))
-                    }
+                    Axis::Descendant => self.stack.iter().any(|s| s.contains(&(n - 1))),
                 };
                 if live {
                     self.values.push(smpx_xml::unescape(text));
@@ -760,10 +736,7 @@ mod tests {
             eval(r#"/site/people/person[name/text()="Alice"]/age"#, DOC),
             vec!["<age>30</age>"]
         );
-        assert_eq!(
-            eval(r#"/site/people/person[age >= 40]/name"#, DOC),
-            vec!["<name>Bob</name>"]
-        );
+        assert_eq!(eval(r#"/site/people/person[age >= 40]/name"#, DOC), vec!["<name>Bob</name>"]);
     }
 
     #[test]
@@ -777,10 +750,7 @@ mod tests {
 
     #[test]
     fn or_and_not() {
-        assert_eq!(
-            eval(r#"/site/people/person[name="Alice" or name="Bob"]/age"#, DOC).len(),
-            2
-        );
+        assert_eq!(eval(r#"/site/people/person[name="Alice" or name="Bob"]/age"#, DOC).len(), 2);
         assert_eq!(
             eval(r#"/site/people/person[not(name="Alice")]/name"#, DOC),
             vec!["<name>Bob</name>"]

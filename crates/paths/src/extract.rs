@@ -131,10 +131,7 @@ fn add_rel_path(rel: &XRelPath, prefix: &mut Vec<Step>, out: &mut PathSet, value
         }
     }
     if !attr_only && !prefix.is_empty() {
-        out.insert(ProjectionPath {
-            steps: prefix.clone(),
-            subtree: value_used || ends_in_text,
-        });
+        out.insert(ProjectionPath { steps: prefix.clone(), subtree: value_used || ends_in_text });
     }
     for _ in 0..pushed {
         prefix.pop();
@@ -195,7 +192,9 @@ mod tests {
     #[test]
     fn m2_predicate_text_compare() {
         assert_eq!(
-            paths_of(r#"/MedlineCitationSet//DataBank[DataBankName/text()="PDB"]/AccessionNumberList"#),
+            paths_of(
+                r#"/MedlineCitationSet//DataBank[DataBankName/text()="PDB"]/AccessionNumberList"#
+            ),
             vec![
                 "/*",
                 "/MedlineCitationSet//DataBank/AccessionNumberList#",
@@ -252,10 +251,7 @@ mod tests {
 
     #[test]
     fn existence_predicate_unflagged() {
-        assert_eq!(
-            paths_of("/a/b[c]/d"),
-            vec!["/*", "/a/b/c", "/a/b/d#"]
-        );
+        assert_eq!(paths_of("/a/b[c]/d"), vec!["/*", "/a/b/c", "/a/b/d#"]);
     }
 
     #[test]
@@ -268,10 +264,7 @@ mod tests {
     fn numeric_compare_flags_value_path() {
         assert_eq!(
             paths_of("/site/closed_auctions/closed_auction[price >= 40]/price"),
-            vec![
-                "/*",
-                "/site/closed_auctions/closed_auction/price#",
-            ]
+            vec!["/*", "/site/closed_auctions/closed_auction/price#",]
         );
     }
 

@@ -102,9 +102,7 @@ impl ProjectionPath {
                 NameTest::Wildcard
             } else {
                 if !name.chars().all(|c| c.is_alphanumeric() || "_-.:".contains(c)) {
-                    return Err(ParsePathError {
-                        msg: format!("bad name {name:?} in {text:?}"),
-                    });
+                    return Err(ParsePathError { msg: format!("bad name {name:?} in {text:?}") });
                 }
                 NameTest::Name(name.to_string())
             };
@@ -159,10 +157,8 @@ impl ProjectionPath {
     /// All proper prefixes of this path (including the empty path), without
     /// the `#` flag — the ingredients of the `P+` closure.
     pub fn prefixes(&self) -> impl Iterator<Item = ProjectionPath> + '_ {
-        (0..self.steps.len()).map(move |i| ProjectionPath {
-            steps: self.steps[..i].to_vec(),
-            subtree: false,
-        })
+        (0..self.steps.len())
+            .map(move |i| ProjectionPath { steps: self.steps[..i].to_vec(), subtree: false })
     }
 }
 

@@ -71,8 +71,7 @@ impl Relevance {
     /// `/*`-preserved root).
     pub fn c1_exact<S: AsRef<str>>(&self, branch: &[S]) -> bool {
         self.original.iter().any(|p| {
-            p.last_step().is_some_and(|s| matches!(s.test, NameTest::Name(_)))
-                && p.matches(branch)
+            p.last_step().is_some_and(|s| matches!(s.test, NameTest::Name(_))) && p.matches(branch)
         })
     }
 

@@ -316,8 +316,7 @@ impl<'a> P<'a> {
                 let start = self.i;
                 while let Some(c) = self.peek() {
                     if c == q {
-                        let lit =
-                            String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+                        let lit = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
                         self.i += 1;
                         return Ok(XExpr::Literal(lit));
                     }
@@ -331,9 +330,7 @@ impl<'a> P<'a> {
                     self.i += 1;
                 }
                 let text = std::str::from_utf8(&self.s[start..self.i]).unwrap();
-                let n: f64 = text
-                    .parse()
-                    .map_err(|_| self.err("bad number literal"))?;
+                let n: f64 = text.parse().map_err(|_| self.err("bad number literal"))?;
                 Ok(XExpr::Number(n))
             }
             Some(b'(') => {
@@ -447,10 +444,9 @@ mod tests {
 
     #[test]
     fn m4_contains_on_text() {
-        let x = XPath::parse(
-            r#"/MedlineCitationSet//CopyrightInformation[contains(text(),"NASA")]"#,
-        )
-        .unwrap();
+        let x =
+            XPath::parse(r#"/MedlineCitationSet//CopyrightInformation[contains(text(),"NASA")]"#)
+                .unwrap();
         match &x.steps[1].predicates[0] {
             XExpr::Contains(a, b) => {
                 match &**a {

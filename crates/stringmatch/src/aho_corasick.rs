@@ -21,10 +21,7 @@ struct Node {
 
 impl Node {
     fn child(&self, b: u8) -> Option<u32> {
-        self.edges
-            .binary_search_by_key(&b, |&(c, _)| c)
-            .ok()
-            .map(|i| self.edges[i].1)
+        self.edges.binary_search_by_key(&b, |&(c, _)| c).ok().map(|i| self.edges[i].1)
     }
 }
 
@@ -115,11 +112,8 @@ impl AhoCorasick {
             let end = i + 1;
             // Report the smallest pattern index among those ending here whose
             // occurrence lies fully within hay[from..], for determinism.
-            if let Some(&pat) = node
-                .out
-                .iter()
-                .filter(|&&p| end - self.pattern_lens[p as usize] >= from)
-                .min()
+            if let Some(&pat) =
+                node.out.iter().filter(|&&p| end - self.pattern_lens[p as usize] >= from).min()
             {
                 let plen = self.pattern_lens[pat as usize];
                 return Some(MultiMatch { pattern: pat as usize, start: end - plen, end });

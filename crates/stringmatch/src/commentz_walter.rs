@@ -49,10 +49,7 @@ struct Node {
 
 impl Node {
     fn child(&self, b: u8) -> Option<u32> {
-        self.edges
-            .binary_search_by_key(&b, |&(c, _)| c)
-            .ok()
-            .map(|i| self.edges[i].1)
+        self.edges.binary_search_by_key(&b, |&(c, _)| c).ok().map(|i| self.edges[i].1)
     }
 }
 
@@ -279,7 +276,11 @@ impl CommentzWalter {
                     let node = &self.nodes[v as usize];
                     for &p in &node.out {
                         let plen = self.patterns[p as usize].len();
-                        all.push(MultiMatch { pattern: p as usize, start: e + 1 - plen, end: e + 1 });
+                        all.push(MultiMatch {
+                            pattern: p as usize,
+                            start: e + 1 - plen,
+                            end: e + 1,
+                        });
                     }
                     if node.edges.is_empty() {
                         shift = (node.gs as usize).max(1);

@@ -64,9 +64,9 @@ impl Document {
         let mut root_seen = false;
 
         let attach = |nodes: &mut Vec<NodeData>,
-                          last: &mut Vec<Option<NodeId>>,
-                          stack: &[NodeId],
-                          kind: NodeKind|
+                      last: &mut Vec<Option<NodeId>>,
+                      stack: &[NodeId],
+                      kind: NodeKind|
          -> NodeId {
             let id = NodeId(nodes.len() as u32);
             let parent = stack.last().copied();
@@ -96,8 +96,7 @@ impl Document {
                             (n.to_vec().into_boxed_slice(), unescape(v).into_boxed_slice())
                         })
                         .collect();
-                    let kind =
-                        NodeKind::Element { name: name.to_vec().into_boxed_slice(), attrs };
+                    let kind = NodeKind::Element { name: name.to_vec().into_boxed_slice(), attrs };
                     let id = attach(&mut nodes, &mut last_child_of, &stack, kind);
                     if !self_closing {
                         stack.push(id);
@@ -175,10 +174,9 @@ impl Document {
     /// Attribute value by name, or `None`.
     pub fn attr(&self, id: NodeId, attr_name: &[u8]) -> Option<&[u8]> {
         match &self.nodes[id.idx()].kind {
-            NodeKind::Element { attrs, .. } => attrs
-                .iter()
-                .find(|(n, _)| &n[..] == attr_name)
-                .map(|(_, v)| &v[..]),
+            NodeKind::Element { attrs, .. } => {
+                attrs.iter().find(|(n, _)| &n[..] == attr_name).map(|(_, v)| &v[..])
+            }
             NodeKind::Text(_) => None,
         }
     }
@@ -275,10 +273,8 @@ mod tests {
     #[test]
     fn descendants_in_document_order() {
         let d = Document::parse(b"<a><b><c/></b><d/></a>").unwrap();
-        let names: Vec<Vec<u8>> = d
-            .descendants(d.root())
-            .filter_map(|n| d.name(n).map(|x| x.to_vec()))
-            .collect();
+        let names: Vec<Vec<u8>> =
+            d.descendants(d.root()).filter_map(|n| d.name(n).map(|x| x.to_vec())).collect();
         assert_eq!(names, vec![b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
     }
 
@@ -299,10 +295,7 @@ mod tests {
     #[test]
     fn heap_bytes_grows_with_content() {
         let small = Document::parse(b"<a/>").unwrap();
-        let big = Document::parse(
-            format!("<a>{}</a>", "x".repeat(10_000)).as_bytes(),
-        )
-        .unwrap();
+        let big = Document::parse(format!("<a>{}</a>", "x".repeat(10_000)).as_bytes()).unwrap();
         assert!(big.heap_bytes() > small.heap_bytes() + 9_000);
     }
 }

@@ -582,9 +582,8 @@ mod tests {
     #[test]
     fn attributes_iterator() {
         let attrs = b" id=\"a1\"  class = 'x y'  empty=\"\"";
-        let got: Vec<(Vec<u8>, Vec<u8>)> = Attributes::new(attrs)
-            .map(|(n, v)| (n.to_vec(), v.to_vec()))
-            .collect();
+        let got: Vec<(Vec<u8>, Vec<u8>)> =
+            Attributes::new(attrs).map(|(n, v)| (n.to_vec(), v.to_vec())).collect();
         assert_eq!(
             got,
             vec![

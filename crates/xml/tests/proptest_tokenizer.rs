@@ -16,13 +16,15 @@ fn arb_doc() -> impl Strategy<Value = String> {
         ];
         if depth == 0 {
             (name, text)
-                .prop_map(|(n, t)| {
-                    if t.is_empty() {
-                        format!("<{n}/>")
-                    } else {
-                        format!("<{n}>{t}</{n}>")
-                    }
-                })
+                .prop_map(
+                    |(n, t)| {
+                        if t.is_empty() {
+                            format!("<{n}/>")
+                        } else {
+                            format!("<{n}>{t}</{n}>")
+                        }
+                    },
+                )
                 .boxed()
         } else {
             (

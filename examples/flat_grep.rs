@@ -11,8 +11,7 @@ use smpx::stringmatch::{naive, AhoCorasick, BoyerMoore, CommentzWalter, Counters
 
 fn main() {
     // A megabyte of text with a needle near the end.
-    let mut hay = b"lorem ipsum dolor sit amet consectetur adipiscing elit "
-        .repeat(20_000);
+    let mut hay = b"lorem ipsum dolor sit amet consectetur adipiscing elit ".repeat(20_000);
     hay.extend_from_slice(b"and the conference this year is ICDE two thousand eight.");
 
     let pat = b"ICDE";

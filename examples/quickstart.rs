@@ -49,7 +49,10 @@ fn main() {
     println!("\noutput  ({} bytes):\n{}", projected.len(), String::from_utf8_lossy(&projected));
 
     // 3. The headline number: how little of the input was inspected.
-    println!("\ncharacters inspected: {:.1}%  (paper: ~22% on this example)", stats.char_comp_pct());
+    println!(
+        "\ncharacters inspected: {:.1}%  (paper: ~22% on this example)",
+        stats.char_comp_pct()
+    );
     println!("average forward shift: {:.2} chars", stats.avg_shift());
     println!("initial-jump characters: {}", stats.initial_jump_chars);
     println!("false keyword matches rejected: {}", stats.false_matches);

@@ -117,9 +117,7 @@ fn gen_attrs(dtd: &Dtd, name: &str, r: &mut Rand, out: &mut Vec<u8>) {
     for att in dtd.attrs(name) {
         let required = matches!(att.default, smpx_dtd::AttDefault::Required);
         if required || r.chance(40) {
-            out.extend_from_slice(
-                format!(" {}=\"v{}\"", att.name, r.below(100)).as_bytes(),
-            );
+            out.extend_from_slice(format!(" {}=\"v{}\"", att.name, r.below(100)).as_bytes());
         }
     }
 }

@@ -21,9 +21,7 @@ fn check_seed(seed: u64) {
     assert_valid(&dtd, &doc);
     let paths = random_paths(&dtd, &mut r);
 
-    let oracle = TokenProjector::new(&paths)
-        .project(&doc)
-        .expect("oracle projects");
+    let oracle = TokenProjector::new(&paths).project(&doc).expect("oracle projects");
     let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
     let (smp, stats) = pf.filter_to_vec(&doc).expect("filter");
 
@@ -89,7 +87,8 @@ fn stream_equals_slice_on_random_inputs() {
             let mut out = Vec::new();
             pf.filter_stream(&doc[..], &mut out, chunk).expect("stream");
             assert_eq!(
-                out, slice_out,
+                out,
+                slice_out,
                 "seed {seed} chunk {chunk}\ndoc: {}",
                 String::from_utf8_lossy(&doc)
             );

@@ -15,16 +15,13 @@ fn check_dataset(name: &str, dtd_text: &str, doc: &[u8], path_sets: &[&[&str]]) 
     let dtd = Dtd::parse(dtd_text.as_bytes()).unwrap();
     for (i, texts) in path_sets.iter().enumerate() {
         let paths = PathSet::parse(texts).unwrap();
-        let mut pf = Prefilter::compile(&dtd, &paths)
-            .unwrap_or_else(|e| panic!("{name}[{i}] compile: {e}"));
+        let mut pf =
+            Prefilter::compile(&dtd, &paths).unwrap_or_else(|e| panic!("{name}[{i}] compile: {e}"));
         let (out, stats) = pf.filter_to_vec(doc).unwrap();
 
         // Oracle equality.
         let oracle = TokenProjector::new(&paths).project(doc).unwrap();
-        assert_eq!(
-            out, oracle,
-            "{name}[{i}]: SMP and oracle disagree (paths {paths})"
-        );
+        assert_eq!(out, oracle, "{name}[{i}]: SMP and oracle disagree (paths {paths})");
 
         // Well-formed output.
         if !out.is_empty() {
@@ -59,7 +56,11 @@ fn xmark_end_to_end() {
         xmark::XMARK_DTD,
         &doc,
         &[
-            &["/*", "/site/regions/australia/item/name#", "/site/regions/australia/item/description#"],
+            &[
+                "/*",
+                "/site/regions/australia/item/name#",
+                "/site/regions/australia/item/description#",
+            ],
             &["/*", "/site//item/name#", "/site//item/description#"],
             &["/*", "/site/regions//item"],
             &["/*", "//description", "//annotation", "//emailaddress"],
@@ -78,9 +79,17 @@ fn medline_end_to_end() {
         &doc,
         &[
             &["/*", "/MedlineCitationSet//CollectionTitle#"],
-            &["/*", "/MedlineCitationSet//DataBank/DataBankName#", "/MedlineCitationSet//DataBank/AccessionNumberList#"],
+            &[
+                "/*",
+                "/MedlineCitationSet//DataBank/DataBankName#",
+                "/MedlineCitationSet//DataBank/AccessionNumberList#",
+            ],
             &["/*", "/MedlineCitationSet//CopyrightInformation#"],
-            &["/*", "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo#", "/MedlineCitationSet/MedlineCitation/DateCompleted#"],
+            &[
+                "/*",
+                "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo#",
+                "/MedlineCitationSet/MedlineCitation/DateCompleted#",
+            ],
         ],
     );
 }
@@ -134,8 +143,5 @@ fn char_comp_ratio_is_scale_invariant() {
     }
     let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = ratios.iter().cloned().fold(0.0, f64::max);
-    assert!(
-        max - min < 6.0,
-        "the paper observes tiny deviations across sizes; got {ratios:?}"
-    );
+    assert!(max - min < 6.0, "the paper observes tiny deviations across sizes; got {ratios:?}");
 }

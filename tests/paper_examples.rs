@@ -39,11 +39,7 @@ fn example1_full_trace() {
         String::from_utf8_lossy(&out),
         "<site><australia><description>Palm Zire 71</description></australia></site>"
     );
-    assert!(
-        stats.char_comp_pct() < 30.0,
-        "paper reports ~22%, got {:.1}%",
-        stats.char_comp_pct()
-    );
+    assert!(stats.char_comp_pct() < 30.0, "paper reports ~22%, got {:.1}%", stats.char_comp_pct());
     // The 25-character initial jump after <site> (Example 1) plus further
     // jumps must show up.
     assert!(stats.initial_jump_chars >= 25);
@@ -144,10 +140,7 @@ fn example12_copy_through() {
         .all(|s| s.label.as_deref_pair().is_none_or(|(n, _)| n != "b")));
     let doc = b"<a><b>skip</b><c><b>keep raw  </b><b/></c></a>";
     let (out, _) = pf.filter_to_vec(doc).unwrap();
-    assert_eq!(
-        String::from_utf8_lossy(&out),
-        "<a><c><b>keep raw  </b><b/></c></a>"
-    );
+    assert_eq!(String::from_utf8_lossy(&out), "<a><c><b>keep raw  </b><b/></c></a>");
 }
 
 /// The paper's Medline prefix-tag case (Sec. II, special case ()):
@@ -181,10 +174,7 @@ fn m1_absent_element() {
     let paths = extract_from_text("/MedlineCitationSet//CollectionTitle").unwrap();
     let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
     let (out, stats) = pf.filter_to_vec(&doc).unwrap();
-    assert_eq!(
-        String::from_utf8_lossy(&out),
-        "<MedlineCitationSet></MedlineCitationSet>"
-    );
+    assert_eq!(String::from_utf8_lossy(&out), "<MedlineCitationSet></MedlineCitationSet>");
     // The scan still skips most of the input (paper: 8.37% inspected).
     assert!(stats.char_comp_pct() < 35.0);
 }

@@ -23,7 +23,8 @@ fn check_query(dtd: &Dtd, doc: &[u8], query_text: &str) {
     let on_original = engine.load(doc).expect("load original").eval(&query);
     let on_projected = engine.load(&projected).expect("load projected").eval(&query);
     assert_eq!(
-        on_original, on_projected,
+        on_original,
+        on_projected,
         "in-memory results differ for {query_text} ({} vs {} items)",
         on_original.len(),
         on_projected.len()

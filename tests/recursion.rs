@@ -70,10 +70,8 @@ fn tag_only_interest_keeps_tag_skips_interior() {
 fn bachelorish_and_empty_recursives() {
     // x always needs a b child in this DTD, so use a DTD where x? can be
     // truly empty and appear as a bachelor.
-    let dtd = Dtd::parse(b"<!ELEMENT r (x|t)*> <!ELEMENT x (x?) > <!ELEMENT t (#PCDATA)>")
-        .unwrap();
-    let mut p =
-        Prefilter::compile(&dtd, &PathSet::parse(&["/*", "/r/t#"]).unwrap()).unwrap();
+    let dtd = Dtd::parse(b"<!ELEMENT r (x|t)*> <!ELEMENT x (x?) > <!ELEMENT t (#PCDATA)>").unwrap();
+    let mut p = Prefilter::compile(&dtd, &PathSet::parse(&["/*", "/r/t#"]).unwrap()).unwrap();
     let doc = b"<r><x/><x><x/></x><t>keep</t><x><x><x/></x></x></r>";
     let (out, _) = p.filter_to_vec(doc).unwrap();
     assert_eq!(String::from_utf8_lossy(&out), "<r><t>keep</t></r>");
@@ -137,8 +135,7 @@ fn projection_safety_on_recursive_documents() {
 #[test]
 fn deeply_nested_recursion() {
     // 200 levels of nesting: the balanced counter must not lose track.
-    let dtd = Dtd::parse(b"<!ELEMENT r (x|t)*> <!ELEMENT x (x?) > <!ELEMENT t (#PCDATA)>")
-        .unwrap();
+    let dtd = Dtd::parse(b"<!ELEMENT r (x|t)*> <!ELEMENT x (x?) > <!ELEMENT t (#PCDATA)>").unwrap();
     let mut doc = Vec::from(&b"<r>"[..]);
     for _ in 0..200 {
         doc.extend_from_slice(b"<x>");
@@ -147,8 +144,7 @@ fn deeply_nested_recursion() {
         doc.extend_from_slice(b"</x>");
     }
     doc.extend_from_slice(b"<t>payload</t></r>");
-    let mut p =
-        Prefilter::compile(&dtd, &PathSet::parse(&["/*", "/r/t#"]).unwrap()).unwrap();
+    let mut p = Prefilter::compile(&dtd, &PathSet::parse(&["/*", "/r/t#"]).unwrap()).unwrap();
     let (out, stats) = p.filter_to_vec(&doc).unwrap();
     assert_eq!(String::from_utf8_lossy(&out), "<r><t>payload</t></r>");
     assert!(stats.tokens_matched >= 400, "every x tag is counted");
@@ -156,8 +152,7 @@ fn deeply_nested_recursion() {
 
 #[test]
 fn recursive_root_element() {
-    let dtd =
-        Dtd::parse(b"<!ELEMENT x (x?, t)> <!ELEMENT t (#PCDATA)>").unwrap();
+    let dtd = Dtd::parse(b"<!ELEMENT x (x?, t)> <!ELEMENT t (#PCDATA)>").unwrap();
     // Query below the recursive root: whole document preserved.
     let mut p = Prefilter::compile(&dtd, &PathSet::parse(&["/*", "//t#"]).unwrap()).unwrap();
     let doc = b"<x><x><t>inner</t></x><t>outer</t></x>";

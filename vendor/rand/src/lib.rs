@@ -1,0 +1,148 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! an API-compatible stand-in: [`rngs::SmallRng`] is a SplitMix64 generator
+//! (deterministic, seedable, not cryptographic — exactly what the
+//! data generators and tests need), and [`Rng::gen_range`] supports
+//! half-open and inclusive integer ranges. Swap the `[workspace.dependencies]`
+//! path entry for the registry crate when building online; no call sites
+//! change.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Seedable generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random value generation (shim of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (integer `Range` / `RangeInclusive`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 random mantissa bits give a uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Range types [`Rng::gen_range`] accepts (shim of `rand::distributions::uniform::SampleRange`).
+///
+/// Blanket-implemented over [`SampleUniform`] — one impl per range shape, so
+/// unsuffixed integer literals infer their type from context exactly like
+/// with the real crate.
+pub trait SampleRange<T> {
+    /// Sample uniformly from `self` using `rng`.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Integer types uniformly sampleable by the shim
+/// (shim of `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Widen to `i128` (all supported ints fit).
+    fn to_i128(self) -> i128;
+    /// Narrow from `i128` (caller guarantees the value is in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end.to_i128() - self.start.to_i128()) as u128;
+        T::from_i128(self.start.to_i128() + (rng.next_u64() as u128 % span) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = (hi.to_i128() - lo.to_i128()) as u128 + 1;
+        T::from_i128(lo.to_i128() + (rng.next_u64() as u128 % span) as i128)
+    }
+}
+
+/// Concrete generators (shim of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic PRNG (SplitMix64), standing in for
+    /// `rand::rngs::SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: u32 = r.gen_range(1..=12);
+            assert!((1..=12).contains(&y));
+            let z: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&z));
+        }
+    }
+}
