@@ -16,10 +16,12 @@ use smpx_datagen::{xmark, GenOptions};
 use smpx_dtd::Dtd;
 use smpx_stringmatch::{BoyerMoore, CommentzWalter, Horspool};
 
-const DOC_BYTES: usize = 2 << 20;
+fn doc_bytes() -> usize {
+    smpx_bench::measure::bench_doc_bytes(2 << 20)
+}
 
 fn bench_skip_vs_scan(c: &mut Criterion) {
-    let doc = xmark::generate(GenOptions::sized(DOC_BYTES));
+    let doc = xmark::generate(GenOptions::sized(doc_bytes()));
     let vocab = ["description", "annotation", "emailaddress"];
     let mut g = c.benchmark_group("ablation/skip_vs_scan");
     g.throughput(Throughput::Bytes(doc.len() as u64));
@@ -37,7 +39,7 @@ fn bench_skip_vs_scan(c: &mut Criterion) {
 }
 
 fn bench_lazy_vs_eager_tables(c: &mut Criterion) {
-    let doc = xmark::generate(GenOptions::sized(DOC_BYTES));
+    let doc = xmark::generate(GenOptions::sized(doc_bytes()));
     let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
     let q = XMARK_QUERIES.iter().find(|q| q.id == "XM10").unwrap(); // most states
     let paths = xmark_paths(q);
@@ -59,7 +61,7 @@ fn bench_lazy_vs_eager_tables(c: &mut Criterion) {
 }
 
 fn bench_bm_vs_horspool(c: &mut Criterion) {
-    let doc = xmark::generate(GenOptions::sized(DOC_BYTES));
+    let doc = xmark::generate(GenOptions::sized(doc_bytes()));
     let pat: &[u8] = b"</closed_auctions";
     let mut g = c.benchmark_group("ablation/bm_vs_horspool");
     g.throughput(Throughput::Bytes(doc.len() as u64));
@@ -78,7 +80,7 @@ fn bench_initial_jumps(c: &mut Criterion) {
     // XM13 profits from jumping over the mandatory item prefix
     // (location, quantity, name, payment) when scanning for <description>.
     // "Off" is simulated by zeroing the jump table.
-    let doc = xmark::generate(GenOptions::sized(DOC_BYTES));
+    let doc = xmark::generate(GenOptions::sized(doc_bytes()));
     let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
     let q = XMARK_QUERIES.iter().find(|q| q.id == "XM13").unwrap();
     let paths = xmark_paths(q);

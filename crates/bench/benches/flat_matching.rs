@@ -4,13 +4,20 @@
 //! one-character-at-a-time algorithms on keyword search. These benches
 //! compare all five searchers on the same haystacks, plus the naive
 //! baseline, for short (tag-like) and long keywords.
+//!
+//! The `flat/absent` and `flat/xmark_scan` groups additionally pit the
+//! vectorized skip-scan against the classic scalar loops (`*_scalar`
+//! entries call `find_at_scalar` directly); the committed
+//! `BENCH_baseline.json` (run under `SMPX_NO_SIMD=1`) vs `BENCH_simd.json`
+//! pair tracks the same comparison across process modes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smpx_bench::measure::bench_doc_bytes;
 use smpx_datagen::{xmark, GenOptions};
-use smpx_stringmatch::{naive, AhoCorasick, BoyerMoore, CommentzWalter, Horspool, Kmp};
+use smpx_stringmatch::{naive, AhoCorasick, BoyerMoore, CommentzWalter, Horspool, Kmp, NoMetrics};
 
 fn haystack() -> Vec<u8> {
-    xmark::generate(GenOptions::sized(1 << 20))
+    xmark::generate(GenOptions::sized(bench_doc_bytes(1 << 20)))
 }
 
 fn bench_single_keyword(c: &mut Criterion) {
@@ -53,10 +60,86 @@ fn bench_multi_keyword(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_absent_alphabet(c: &mut Criterion) {
+    // The skip-scan's best case: no haystack byte occurs in the pattern,
+    // so the vector scan consumes the whole input without a single
+    // candidate. The `*_scalar` twins run the classic shift loops on the
+    // same input for an in-process ablation.
+    let hay = vec![b'x'; bench_doc_bytes(1 << 20)];
+    let pat: &[u8] = b"keyword!";
+    let mut g = c.benchmark_group("flat/absent");
+    g.throughput(Throughput::Bytes(hay.len() as u64));
+    g.bench_function("boyer_moore", |b| {
+        let m = BoyerMoore::new(pat);
+        b.iter(|| m.find(&hay).is_none())
+    });
+    g.bench_function("boyer_moore_scalar", |b| {
+        let m = BoyerMoore::new(pat);
+        b.iter(|| m.find_at_scalar(&hay, 0, &mut NoMetrics).is_none())
+    });
+    g.bench_function("horspool", |b| {
+        let m = Horspool::new(pat);
+        b.iter(|| m.find(&hay).is_none())
+    });
+    g.bench_function("horspool_scalar", |b| {
+        let m = Horspool::new(pat);
+        b.iter(|| m.find_at_scalar(&hay, 0, &mut NoMetrics).is_none())
+    });
+    g.finish();
+}
+
+/// Count every occurrence by repeated `find_at`, the way the SMP runtime
+/// drives the searcher between tokens.
+fn count_cw(m: &CommentzWalter, hay: &[u8], scalar: bool) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    loop {
+        let hit = if scalar {
+            m.find_at_scalar(hay, from, &mut NoMetrics)
+        } else {
+            m.find_at(hay, from, &mut NoMetrics)
+        };
+        match hit {
+            Some(mm) => {
+                n += 1;
+                from = mm.start + 1;
+            }
+            None => return n,
+        }
+    }
+}
+
+fn bench_xmark_scan(c: &mut Criterion) {
+    // A realistic frontier vocabulary over generated XMark: candidate
+    // density is set by the document's tag mix, not an adversarial input.
+    let hay = haystack();
+    let pats: Vec<&[u8]> = vec![b"<description", b"<annotation", b"<emailaddress"];
+    let mut g = c.benchmark_group("flat/xmark_scan");
+    g.throughput(Throughput::Bytes(hay.len() as u64));
+    g.bench_function("commentz_walter", |b| {
+        let m = CommentzWalter::new(&pats);
+        b.iter(|| count_cw(&m, &hay, false))
+    });
+    g.bench_function("commentz_walter_scalar", |b| {
+        let m = CommentzWalter::new(&pats);
+        b.iter(|| count_cw(&m, &hay, true))
+    });
+    let single: &[u8] = b"<closed_auctions";
+    g.bench_function("boyer_moore", |b| {
+        let m = BoyerMoore::new(single);
+        b.iter(|| m.find(&hay).expect("present"))
+    });
+    g.bench_function("boyer_moore_scalar", |b| {
+        let m = BoyerMoore::new(single);
+        b.iter(|| m.find_at_scalar(&hay, 0, &mut NoMetrics).expect("present"))
+    });
+    g.finish();
+}
+
 fn bench_keyword_length_sweep(c: &mut Criterion) {
     // Skipping pays off more with longer keywords: ∅ shift grows with the
     // pattern (the paper's MEDLINE-vs-XMark observation).
-    let hay = vec![b'x'; 1 << 20];
+    let hay = vec![b'x'; bench_doc_bytes(1 << 20)];
     let mut g = c.benchmark_group("flat/length_sweep");
     g.throughput(Throughput::Bytes(hay.len() as u64));
     for len in [4usize, 8, 16, 32] {
@@ -76,6 +159,7 @@ fn bench_keyword_length_sweep(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15);
-    targets = bench_single_keyword, bench_multi_keyword, bench_keyword_length_sweep
+    targets = bench_single_keyword, bench_multi_keyword, bench_absent_alphabet,
+        bench_xmark_scan, bench_keyword_length_sweep
 }
 criterion_main!(benches);

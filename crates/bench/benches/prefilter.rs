@@ -8,10 +8,12 @@ use smpx_core::Prefilter;
 use smpx_datagen::{medline, xmark, GenOptions};
 use smpx_dtd::Dtd;
 
-const DOC_BYTES: usize = 2 << 20;
+fn doc_bytes() -> usize {
+    smpx_bench::measure::bench_doc_bytes(2 << 20)
+}
 
 fn bench_xmark(c: &mut Criterion) {
-    let doc = xmark::generate(GenOptions::sized(DOC_BYTES));
+    let doc = xmark::generate(GenOptions::sized(doc_bytes()));
     let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
     let mut g = c.benchmark_group("prefilter/xmark");
     g.throughput(Throughput::Bytes(doc.len() as u64));
@@ -32,7 +34,7 @@ fn bench_xmark(c: &mut Criterion) {
 }
 
 fn bench_medline(c: &mut Criterion) {
-    let doc = medline::generate(GenOptions::sized(DOC_BYTES));
+    let doc = medline::generate(GenOptions::sized(doc_bytes()));
     let dtd = Dtd::parse(medline::MEDLINE_DTD.as_bytes()).unwrap();
     let mut g = c.benchmark_group("prefilter/medline");
     g.throughput(Throughput::Bytes(doc.len() as u64));
@@ -49,7 +51,7 @@ fn bench_medline(c: &mut Criterion) {
 fn bench_streaming(c: &mut Criterion) {
     // Slice vs chunked-stream runtime on the same input (the window
     // management overhead of the paper's single-pass mode).
-    let doc = xmark::generate(GenOptions::sized(DOC_BYTES));
+    let doc = xmark::generate(GenOptions::sized(doc_bytes()));
     let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
     let q = XMARK_QUERIES.iter().find(|q| q.id == "XM13").unwrap();
     let paths = xmark_paths(q);

@@ -8,7 +8,9 @@ use smpx_core::Prefilter;
 use smpx_datagen::{medline, xmark, GenOptions};
 use smpx_dtd::Dtd;
 
-const DOC_BYTES: usize = 2 << 20;
+fn doc_bytes() -> usize {
+    smpx_bench::measure::bench_doc_bytes(2 << 20)
+}
 
 fn bench_dataset(
     c: &mut Criterion,
@@ -35,7 +37,7 @@ fn bench_xmark(c: &mut Criterion) {
     bench_dataset(
         c,
         "xmark",
-        xmark::generate(GenOptions::sized(DOC_BYTES)),
+        xmark::generate(GenOptions::sized(doc_bytes())),
         xmark::XMARK_DTD,
         (q.id, xmark_paths(q)),
     );
@@ -46,7 +48,7 @@ fn bench_medline(c: &mut Criterion) {
     bench_dataset(
         c,
         "medline",
-        medline::generate(GenOptions::sized(DOC_BYTES)),
+        medline::generate(GenOptions::sized(doc_bytes())),
         medline::MEDLINE_DTD,
         (q.id, medline_paths(q)),
     );

@@ -66,6 +66,17 @@ pub fn env_mb(var: &str, default_mb: usize) -> usize {
         * 1024
 }
 
+/// Document size for the criterion bench targets: `SMPX_BENCH_KB` (in KiB)
+/// overrides `default_bytes`. The CI bench-smoke job sets a tiny size so
+/// every per-PR run stays fast while still exercising the full bench
+/// matrix and emitting the JSON perf artifact.
+pub fn bench_doc_bytes(default_bytes: usize) -> usize {
+    std::env::var("SMPX_BENCH_KB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(default_bytes, |kb| kb.max(1) * 1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

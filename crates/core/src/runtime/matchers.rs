@@ -98,23 +98,15 @@ impl StateMatcher {
         }
     }
 
-    /// Approximate heap size of the lookup tables (the paper's `Mem`
-    /// column counts these).
+    /// Heap size of the lookup tables (the paper's `Mem` column counts
+    /// these): the boxed searcher struct (shift/`d1` tables are inline
+    /// arrays) plus the exact heap allocations it owns — no estimates, so
+    /// the number tracks the real `Node`/table layout as it evolves.
     pub fn memory_bytes(&self) -> usize {
         match self {
             StateMatcher::Empty => 0,
-            StateMatcher::Bm(bm) => {
-                // bad-char table + good-suffix table + pattern copy.
-                256 * std::mem::size_of::<usize>()
-                    + bm.pattern().len() * (1 + std::mem::size_of::<usize>())
-            }
-            StateMatcher::Cw(cw) => {
-                let nodes: usize = cw.patterns().iter().map(|p| p.len() + 1).sum();
-                // trie nodes (edges, gs, tail) + d1 table + patterns.
-                nodes * 48
-                    + 256 * std::mem::size_of::<u32>()
-                    + cw.patterns().iter().map(|p| p.len()).sum::<usize>()
-            }
+            StateMatcher::Bm(bm) => std::mem::size_of::<BoyerMoore>() + bm.heap_bytes(),
+            StateMatcher::Cw(cw) => std::mem::size_of::<CommentzWalter>() + cw.heap_bytes(),
         }
     }
 }
@@ -183,5 +175,18 @@ mod tests {
         assert!(StateMatcher::build(&state(&["<item"])).memory_bytes() > 256);
         assert!(StateMatcher::build(&state(&["<a", "</a"])).memory_bytes() > 1024);
         assert_eq!(StateMatcher::build(&state(&[])).memory_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_tracks_real_layout() {
+        // Computed from the live struct layout, not a per-node constant:
+        // a bigger vocabulary must cost measurably more, and every matcher
+        // costs at least its boxed struct.
+        let small = StateMatcher::build(&state(&["<a", "</a"]));
+        let big = StateMatcher::build(&state(&["<alpha", "</alpha", "<beta", "</beta"]));
+        assert!(big.memory_bytes() > small.memory_bytes());
+        assert!(small.memory_bytes() >= std::mem::size_of::<CommentzWalter>());
+        let bm = StateMatcher::build(&state(&["<item"]));
+        assert!(bm.memory_bytes() >= std::mem::size_of::<BoyerMoore>());
     }
 }

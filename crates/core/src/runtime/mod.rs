@@ -92,6 +92,7 @@ impl Prefilter {
         let mut stats = RunStats { input_bytes: doc.len() as u64, ..RunStats::default() };
         self.run(&mut input, &mut counters, &mut stats)?;
         stats.chars_compared += counters.comparisons;
+        stats.bytes_scanned = counters.scanned;
         stats.shifts = counters.shifts;
         stats.shift_total = counters.shift_total;
         stats.output_bytes = input.emitted();
@@ -110,6 +111,7 @@ impl Prefilter {
         let mut stats = RunStats::default();
         self.run(&mut input, &mut counters, &mut stats)?;
         stats.chars_compared += counters.comparisons;
+        stats.bytes_scanned = counters.scanned;
         stats.shifts = counters.shifts;
         stats.shift_total = counters.shift_total;
         stats.output_bytes = input.emitted();

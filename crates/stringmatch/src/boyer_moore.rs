@@ -6,8 +6,17 @@
 //! good suffix* rule; both shift tables are precomputed at construction,
 //! which is what allows the runtime to build them lazily per automaton state
 //! and reuse them for the rest of the run.
+//!
+//! On top of the classic shift loop sits a vectorized candidate filter
+//! ([`crate::memscan`]): the two rarest pattern bytes (under a static XML
+//! byte-frequency table) are located by a hardware byte scan, and the
+//! right-to-left verification plus shift tables run only at the alignments
+//! the scan proposes. `SMPX_NO_SIMD=1` (or
+//! [`memscan::force_accel`](crate::memscan::force_accel)) restores the
+//! classic loop, which [`BoyerMoore::find_at_scalar`] also exposes
+//! directly.
 
-use crate::{Metrics, NoMetrics};
+use crate::{memscan, Metrics, NoMetrics};
 
 /// A compiled Boyer–Moore searcher for one pattern.
 #[derive(Debug, Clone)]
@@ -20,6 +29,9 @@ pub struct BoyerMoore {
     /// mismatch occurs at pattern index `j` (all of `pattern[j+1..]`
     /// matched).
     good_suffix: Vec<usize>,
+    /// The two rarest pattern bytes (rarest first) with their offsets, for
+    /// the vectorized candidate scan; `None` for single-byte patterns.
+    rare: Option<((u8, usize), (u8, usize))>,
 }
 
 impl BoyerMoore {
@@ -33,7 +45,8 @@ impl BoyerMoore {
             bad_char[b as usize] = i;
         }
         let good_suffix = build_good_suffix(pattern);
-        BoyerMoore { pattern: pattern.to_vec(), bad_char, good_suffix }
+        let rare = memscan::rare_byte_pair(pattern);
+        BoyerMoore { pattern: pattern.to_vec(), bad_char, good_suffix, rare }
     }
 
     /// The compiled pattern.
@@ -47,8 +60,24 @@ impl BoyerMoore {
     }
 
     /// Leftmost occurrence whose start is `>= from`, reporting character
-    /// comparisons and shifts to `m`. Returns the absolute start offset.
+    /// comparisons, shifts and vector-scanned bytes to `m`. Returns the
+    /// absolute start offset.
+    ///
+    /// Uses the vectorized rare-byte candidate scan unless `SMPX_NO_SIMD=1`
+    /// forces the classic loop ([`find_at_scalar`](Self::find_at_scalar)).
     pub fn find_at<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<usize> {
+        if memscan::accel_enabled() {
+            self.find_at_accel(hay, from, m)
+        } else {
+            self.find_at_scalar(hay, from, m)
+        }
+    }
+
+    /// The classic Boyer–Moore shift loop, one byte compared per iteration.
+    /// This is the `SMPX_NO_SIMD=1` fallback and the ablation baseline the
+    /// benches compare the vectorized path against; both return identical
+    /// results on every input (property-tested).
+    pub fn find_at_scalar<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<usize> {
         let pat = &self.pattern[..];
         let plen = pat.len();
         if from >= hay.len() || hay.len() - from < plen {
@@ -80,6 +109,19 @@ impl BoyerMoore {
         None
     }
 
+    /// Vectorized path ([`memscan::rare_pair_find`]): jump between
+    /// candidate alignments proposed by the rare-byte scan, verify right to
+    /// left, shift by the classic tables on a verification mismatch. Only
+    /// alignments where the two rarest pattern bytes match are ever
+    /// verified, so agreement with the scalar loop is structural: both
+    /// visit candidate alignments left to right and the scan never skips
+    /// an alignment the full pattern could match.
+    fn find_at_accel<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<usize> {
+        memscan::rare_pair_find(hay, from, &self.pattern, self.rare, m, |hay, pos, j| {
+            self.bad_char_shift(j, hay[pos + j]).max(self.good_suffix[j])
+        })
+    }
+
     /// All (possibly overlapping) occurrences.
     pub fn find_iter<'h>(&'h self, hay: &'h [u8]) -> impl Iterator<Item = usize> + 'h {
         let mut from = 0;
@@ -88,6 +130,14 @@ impl BoyerMoore {
             from = hit + 1;
             Some(hit)
         })
+    }
+
+    /// Exact heap bytes owned by the compiled searcher: the pattern copy
+    /// and the good-suffix table. The bad-character table lives inline in
+    /// the struct (callers owning a `Box<BoyerMoore>` add
+    /// `size_of::<BoyerMoore>()`).
+    pub fn heap_bytes(&self) -> usize {
+        self.pattern.capacity() + self.good_suffix.capacity() * std::mem::size_of::<usize>()
     }
 
     /// Bad-character shift when `pattern[idx]` mismatched haystack byte `c`.

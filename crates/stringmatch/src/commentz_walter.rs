@@ -32,7 +32,17 @@
 //! property tests in `tests/proptest_matchers.rs` verify the full occurrence
 //! set against Aho–Corasick and naive oracles.
 
-use crate::{Metrics, MultiMatch, NoMetrics};
+//! # Vectorized fast path
+//!
+//! Every SMP frontier keyword starts with `<`, so whenever all patterns
+//! share their first byte the searcher vector-scans ([`crate::memscan`])
+//! for that byte before entering the reversed-pattern trie: windows that
+//! cannot contain a pattern start are skipped without any trie walk.
+//! `SMPX_NO_SIMD=1` (or [`memscan::force_accel`](crate::memscan::force_accel))
+//! disables the fast path; [`CommentzWalter::find_at_scalar`] exposes the
+//! pure windowed loop directly.
+
+use crate::{memscan, Metrics, MultiMatch, NoMetrics};
 
 #[derive(Debug, Clone, Default)]
 struct Node {
@@ -53,6 +63,27 @@ impl Node {
     }
 }
 
+/// Node of the *forward* pattern trie used by the accelerated fast path
+/// (built only when all patterns share their first byte). The root
+/// represents the state after consuming that shared byte.
+#[derive(Debug, Clone)]
+struct FwdNode {
+    /// Sorted outgoing edges (byte, target).
+    edges: Vec<(u8, u32)>,
+    /// Smallest index of a pattern ending at this node (`u32::MAX` none).
+    out: u32,
+}
+
+impl FwdNode {
+    fn new() -> FwdNode {
+        FwdNode { edges: Vec::new(), out: u32::MAX }
+    }
+
+    fn child(&self, b: u8) -> Option<u32> {
+        self.edges.binary_search_by_key(&b, |&(c, _)| c).ok().map(|i| self.edges[i].1)
+    }
+}
+
 /// A compiled Commentz–Walter searcher over a pattern set.
 #[derive(Debug, Clone)]
 pub struct CommentzWalter {
@@ -60,9 +91,37 @@ pub struct CommentzWalter {
     patterns: Vec<Vec<u8>>,
     /// Length of the shortest pattern (window size).
     lmin: usize,
+    /// Length of the longest pattern (bounds how far an occurrence start
+    /// can trail its detection window).
+    lmax: usize,
     /// `d1[c]`: minimal distance ≥ 1 of byte `c` from the right end of any
     /// pattern, capped at `lmin`.
     d1: [u32; 256],
+    /// When every pattern starts with the same byte (always `<` for SMP
+    /// frontier vocabularies), the vectorized prefix fast path scans for it.
+    common_first: Option<u8>,
+    /// Forward trie over the patterns minus their shared first byte
+    /// (empty unless `common_first` is set): the fast path verifies all
+    /// patterns at a candidate with one walk, comparing each haystack
+    /// byte at most once.
+    fwd_nodes: Vec<FwdNode>,
+}
+
+/// Locate the next shared-prefix byte for the fast path. A short scalar
+/// peek covers the dense-markup common case (the next tag is a handful of
+/// bytes away) without paying the vector-call overhead; the vector scan
+/// takes over for long tag-free text runs, where it shines.
+#[inline]
+fn next_first_byte(hay: &[u8], from: usize, b: u8) -> Option<usize> {
+    const PEEK: usize = 16;
+    let end = hay.len().min(from + PEEK);
+    if let Some(p) = hay[from..end].iter().position(|&x| x == b) {
+        return Some(from + p);
+    }
+    if end == hay.len() {
+        return None;
+    }
+    memscan::find_byte(hay, end, b)
 }
 
 impl CommentzWalter {
@@ -74,6 +133,9 @@ impl CommentzWalter {
             assert!(!p.is_empty(), "CommentzWalter patterns must be non-empty");
         }
         let lmin = patterns.iter().map(|p| p.len()).min().unwrap();
+        let lmax = patterns.iter().map(|p| p.len()).max().unwrap();
+        let first = patterns[0][0];
+        let common_first = patterns.iter().all(|p| p[0] == first).then_some(first);
 
         // Trie over reversed patterns.
         let mut nodes = vec![Node { gs: lmin as u32, tail: lmin as u32, ..Node::default() }];
@@ -144,7 +206,31 @@ impl CommentzWalter {
             }
         }
 
-        CommentzWalter { nodes, patterns, lmin, d1 }
+        // Forward trie for the shared-prefix fast path.
+        let mut fwd_nodes = Vec::new();
+        if common_first.is_some() {
+            fwd_nodes.push(FwdNode::new());
+            for (idx, pat) in patterns.iter().enumerate() {
+                let mut cur = 0u32;
+                for &b in &pat[1..] {
+                    cur = match fwd_nodes[cur as usize].child(b) {
+                        Some(n) => n,
+                        None => {
+                            let n = fwd_nodes.len() as u32;
+                            fwd_nodes.push(FwdNode::new());
+                            let edges = &mut fwd_nodes[cur as usize].edges;
+                            let at = edges.partition_point(|&(c, _)| c < b);
+                            edges.insert(at, (b, n));
+                            n
+                        }
+                    };
+                }
+                let out = &mut fwd_nodes[cur as usize].out;
+                *out = (*out).min(idx as u32);
+            }
+        }
+
+        CommentzWalter { nodes, patterns, lmin, lmax, d1, common_first, fwd_nodes }
     }
 
     /// The pattern set, in construction order.
@@ -169,7 +255,117 @@ impl CommentzWalter {
     /// defined by the *end* offset of the occurrence. For the token
     /// keywords SMP uses (each containing exactly one `<`) occurrences can
     /// never overlap, so first-by-end coincides with first-by-start.
+    ///
+    /// Uses the vectorized prefix fast path when all patterns share their
+    /// first byte, unless `SMPX_NO_SIMD=1` forces the pure windowed loop
+    /// ([`find_at_scalar`](Self::find_at_scalar)).
     pub fn find_at<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<MultiMatch> {
+        if memscan::accel_enabled() {
+            self.find_at_accel(hay, from, m)
+        } else {
+            self.find_at_scalar(hay, from, m)
+        }
+    }
+
+    /// Accelerated search. When every pattern shares its first byte (`<`
+    /// for SMP vocabularies), occurrences can only start at positions of
+    /// that byte — so instead of sliding windows through the trie, hop
+    /// from prefix byte to prefix byte with the vector scan and verify the
+    /// patterns forward at each stop. The result is the global minimum by
+    /// `(end, pattern index)` among occurrences starting `>= from`, which
+    /// is exactly what the windowed loop computes: the window loop returns
+    /// the first *window* (= smallest end) with a detection and breaks
+    /// ties by pattern index.
+    fn find_at_accel<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<MultiMatch> {
+        let lmin = self.lmin;
+        if from >= hay.len() || hay.len() - from < lmin {
+            return None;
+        }
+        let Some(b) = self.common_first else {
+            // No shared prefix byte: nothing for the vector unit to key on.
+            return self.find_at_scalar(hay, from, m);
+        };
+        // Last position where even the shortest pattern still fits.
+        let last_start = hay.len() - lmin;
+        let mut cursor = from;
+        let mut best: Option<MultiMatch> = None;
+        loop {
+            if cursor > last_start {
+                break;
+            }
+            if let Some(bst) = best {
+                // Any later occurrence ends at `start + plen >= start +
+                // lmin`; once that exceeds the best end (ties included),
+                // the best can no longer be beaten.
+                if cursor + lmin > bst.end {
+                    break;
+                }
+            }
+            let Some(s) = next_first_byte(hay, cursor, b) else {
+                m.scanned((hay.len() - cursor) as u64);
+                if best.is_none() {
+                    m.shift((last_start + 1 - cursor) as u64);
+                }
+                break;
+            };
+            m.scanned((s + 1 - cursor) as u64);
+            if s > last_start {
+                if best.is_none() {
+                    m.shift((last_start + 1 - cursor) as u64);
+                }
+                break;
+            }
+            if let Some(bst) = best {
+                if s + lmin > bst.end {
+                    break;
+                }
+            }
+            if s > cursor {
+                m.shift((s - cursor) as u64);
+            }
+            // One forward-trie walk verifies every pattern at `s`; each
+            // haystack byte is compared at most once (byte 0 is the shared
+            // prefix byte the scan already confirmed and accounted for).
+            // The shallowest accepting node is the smallest end at `s`;
+            // deeper matches only end later, so the walk can stop there.
+            let mut v = 0u32;
+            let mut depth = 1usize;
+            loop {
+                let node = &self.fwd_nodes[v as usize];
+                if node.out != u32::MAX {
+                    let end = s + depth;
+                    let idx = node.out as usize;
+                    if best.is_none_or(|bst| (end, idx) < (bst.end, bst.pattern)) {
+                        best = Some(MultiMatch { pattern: idx, start: s, end });
+                    }
+                    break;
+                }
+                if s + depth >= hay.len() {
+                    break;
+                }
+                m.cmp(1);
+                match node.child(hay[s + depth]) {
+                    Some(n) => {
+                        v = n;
+                        depth += 1;
+                    }
+                    None => break,
+                }
+            }
+            cursor = s + 1;
+        }
+        best
+    }
+
+    /// The pure Commentz–Walter windowed loop without the vectorized
+    /// prefix fast path (`SMPX_NO_SIMD=1` fallback and ablation baseline);
+    /// result-identical to [`find_at`](Self::find_at).
+    pub fn find_at_scalar<M: Metrics>(
+        &self,
+        hay: &[u8],
+        from: usize,
+        m: &mut M,
+    ) -> Option<MultiMatch> {
         let lmin = self.lmin;
         if from >= hay.len() || hay.len() - from < lmin {
             return None;
@@ -191,7 +387,10 @@ impl CommentzWalter {
     /// All matches, sorted by (end, pattern index).
     pub fn find_iter<'h>(&'h self, hay: &'h [u8]) -> impl Iterator<Item = MultiMatch> + 'h {
         let lmin = self.lmin;
+        let span = self.lmax - lmin;
+        let accel = if memscan::accel_enabled() { self.common_first } else { None };
         let mut pos = 0usize;
+        let mut known_first: Option<usize> = None;
         let mut pending: Vec<MultiMatch> = Vec::new();
         std::iter::from_fn(move || loop {
             if let Some(mm) = pending.pop() {
@@ -200,12 +399,53 @@ impl CommentzWalter {
             if hay.len() < lmin || pos > hay.len() - lmin {
                 return None;
             }
+            if let Some(b) = accel {
+                // Same fast-forward as `find_at`, minus the `from` floor.
+                let lo = pos.saturating_sub(span);
+                let lt = match known_first {
+                    Some(p) if p >= lo => p,
+                    _ => next_first_byte(hay, lo, b)?,
+                };
+                known_first = Some(lt);
+                if lt > pos {
+                    if lt > hay.len() - lmin {
+                        return None;
+                    }
+                    pos = lt;
+                }
+            }
             let e = pos + lmin - 1;
             let (all, shift) = self.scan_window_all(hay, e);
             pending = all;
             pending.sort_by_key(|mm| std::cmp::Reverse(mm.pattern));
             pos += shift;
         })
+    }
+
+    /// Exact heap bytes owned by the compiled searcher: the trie node
+    /// vector plus every node's edge/out vectors and the pattern copies.
+    /// The fixed-size `d1` table lives inline in the struct and is not
+    /// counted here (callers owning a `Box<CommentzWalter>` add
+    /// `size_of::<CommentzWalter>()`).
+    pub fn heap_bytes(&self) -> usize {
+        let nodes = self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.edges.capacity() * std::mem::size_of::<(u8, u32)>()
+                        + n.out.capacity() * std::mem::size_of::<u32>()
+                })
+                .sum::<usize>();
+        let patterns = self.patterns.capacity() * std::mem::size_of::<Vec<u8>>()
+            + self.patterns.iter().map(|p| p.capacity()).sum::<usize>();
+        let fwd = self.fwd_nodes.capacity() * std::mem::size_of::<FwdNode>()
+            + self
+                .fwd_nodes
+                .iter()
+                .map(|n| n.edges.capacity() * std::mem::size_of::<(u8, u32)>())
+                .sum::<usize>();
+        nodes + patterns + fwd
     }
 
     /// Backward trie walk at window end `e`; returns the best reportable

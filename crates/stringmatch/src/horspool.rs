@@ -6,7 +6,7 @@
 //! from the bad-character rule on XML inputs, so Horspool is expected to be
 //! close to full BM there (the `ablations` bench quantifies this).
 
-use crate::{Metrics, NoMetrics};
+use crate::{memscan, Metrics, NoMetrics};
 
 /// A compiled Horspool searcher for one pattern.
 #[derive(Debug, Clone)]
@@ -14,6 +14,8 @@ pub struct Horspool {
     pattern: Vec<u8>,
     /// Shift keyed by the haystack byte under the last pattern position.
     shift: [usize; 256],
+    /// Rare-byte pair for the vectorized candidate scan (rarest first).
+    rare: Option<((u8, usize), (u8, usize))>,
 }
 
 impl Horspool {
@@ -25,7 +27,7 @@ impl Horspool {
         for (i, &b) in pattern.iter().enumerate().take(m - 1) {
             shift[b as usize] = m - 1 - i;
         }
-        Horspool { pattern: pattern.to_vec(), shift }
+        Horspool { pattern: pattern.to_vec(), shift, rare: memscan::rare_byte_pair(pattern) }
     }
 
     /// The compiled pattern.
@@ -39,7 +41,20 @@ impl Horspool {
     }
 
     /// Leftmost occurrence whose start is `>= from`.
+    ///
+    /// Uses the vectorized rare-byte candidate scan unless `SMPX_NO_SIMD=1`
+    /// forces the classic loop ([`find_at_scalar`](Self::find_at_scalar)).
     pub fn find_at<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<usize> {
+        if memscan::accel_enabled() {
+            self.find_at_accel(hay, from, m)
+        } else {
+            self.find_at_scalar(hay, from, m)
+        }
+    }
+
+    /// The classic Horspool loop (`SMPX_NO_SIMD=1` fallback and ablation
+    /// baseline); result-identical to [`find_at`](Self::find_at).
+    pub fn find_at_scalar<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<usize> {
         let pat = &self.pattern[..];
         let plen = pat.len();
         if from >= hay.len() || hay.len() - from < plen {
@@ -64,6 +79,17 @@ impl Horspool {
             pos += s;
         }
         None
+    }
+
+    /// Vectorized path ([`memscan::rare_pair_find`]): rare-byte candidate
+    /// scan, right-to-left verify, bad-character shift on mismatch — the
+    /// same shared loop as the Boyer–Moore twin, differing only in the
+    /// shift rule.
+    fn find_at_accel<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<usize> {
+        let plen = self.pattern.len();
+        memscan::rare_pair_find(hay, from, &self.pattern, self.rare, m, |hay, pos, _| {
+            self.shift[hay[pos + plen - 1] as usize]
+        })
     }
 }
 

@@ -1,0 +1,564 @@
+//! Vectorized byte scanning — the skip-scan substrate of the searchers.
+//!
+//! The paper's searchers win by *skipping* characters, but a scalar shift
+//! loop still pays one branch and one bounds check per alignment. This
+//! module turns the skip into a hardware scan: [`find_byte`] locates the
+//! next occurrence of a single byte (`memchr`-style) and
+//! [`find_byte_offset_pair`] locates the next alignment at which two
+//! pattern bytes match at their respective offsets (`memchr2`-style rare
+//! byte search with offset confirmation, as in `memchr::memmem`).
+//!
+//! Three implementations are provided and selected once per process:
+//!
+//! * **SWAR** — portable `u64` word-at-a-time zero-byte detection
+//!   (Mycroft's trick), 8 bytes per iteration, no `unsafe`, works on every
+//!   target. This is the default off `x86_64`.
+//! * **SSE2** — 16 bytes per iteration via `_mm_cmpeq_epi8` /
+//!   `_mm_movemask_epi8`. Part of the `x86_64` baseline ISA, so it needs no
+//!   runtime detection there.
+//! * **AVX2** — 32 bytes per iteration, used when
+//!   `is_x86_feature_detected!("avx2")` reports support at runtime.
+//!
+//! Setting `SMPX_NO_SIMD=1` in the environment forces the SWAR path (the
+//! searchers additionally fall back to their classic scalar shift loops;
+//! see [`accel_enabled`]). The choice is cached in an atomic after the
+//! first query; [`force_kind`] overrides it for benchmarks.
+//!
+//! # Safety
+//!
+//! This is the only module in the crate that uses `unsafe`: the SSE2/AVX2
+//! loads. Every unsafe block reads 16/32 bytes from within a slice whose
+//! bounds have been checked immediately before the load; the pointers are
+//! unaligned-load (`loadu`) so no alignment invariant is required.
+
+#![allow(unsafe_code)]
+#![warn(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which scanning implementation the process is using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanKind {
+    /// Portable `u64` word-at-a-time (no `std::arch`).
+    Swar,
+    /// 16-byte SSE2 vectors (`x86_64` baseline ISA).
+    Sse2,
+    /// 32-byte AVX2 vectors (runtime-detected).
+    Avx2,
+}
+
+/// 0 = undecided, 1 = Swar, 2 = Sse2, 3 = Avx2.
+static KIND: AtomicU8 = AtomicU8::new(0);
+/// 0 = undecided, 1 = accelerated, 2 = scalar-forced (`SMPX_NO_SIMD=1`).
+static ACCEL: AtomicU8 = AtomicU8::new(0);
+
+fn detect_kind() -> ScanKind {
+    if std::env::var_os("SMPX_NO_SIMD").is_some_and(|v| v == "1") {
+        return ScanKind::Swar;
+    }
+    native_kind()
+}
+
+#[cfg(target_arch = "x86_64")]
+fn native_kind() -> ScanKind {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        ScanKind::Avx2
+    } else {
+        ScanKind::Sse2
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn native_kind() -> ScanKind {
+    ScanKind::Swar
+}
+
+/// The active scanning implementation (detected once, then cached).
+pub fn kind() -> ScanKind {
+    match KIND.load(Ordering::Relaxed) {
+        1 => ScanKind::Swar,
+        2 => ScanKind::Sse2,
+        3 => ScanKind::Avx2,
+        _ => {
+            let k = detect_kind();
+            KIND.store(encode(k), Ordering::Relaxed);
+            k
+        }
+    }
+}
+
+/// Override the scanning implementation for this process (benchmark and
+/// test escape hatch; normal code never calls this). Forcing
+/// [`ScanKind::Avx2`] on a CPU without AVX2 is rejected (falls back to
+/// detection).
+pub fn force_kind(k: ScanKind) {
+    #[cfg(target_arch = "x86_64")]
+    let ok = k != ScanKind::Avx2 || std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let ok = k == ScanKind::Swar;
+    if ok {
+        KIND.store(encode(k), Ordering::Relaxed);
+    }
+}
+
+fn encode(k: ScanKind) -> u8 {
+    match k {
+        ScanKind::Swar => 1,
+        ScanKind::Sse2 => 2,
+        ScanKind::Avx2 => 3,
+    }
+}
+
+/// Is the vectorized skip-scan enabled for the searchers?
+///
+/// `SMPX_NO_SIMD=1` disables it, restoring the classic scalar shift loops
+/// byte for byte (the CI fallback leg runs the whole suite this way).
+/// Cached after the first call.
+pub fn accel_enabled() -> bool {
+    match ACCEL.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var_os("SMPX_NO_SIMD").is_none_or(|v| v != "1");
+            ACCEL.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Force the searcher acceleration on or off for this process (test/bench
+/// escape hatch, same effect as `SMPX_NO_SIMD`).
+pub fn force_accel(on: bool) {
+    ACCEL.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Position of the first occurrence of `needle` in `hay[from..]`, as an
+/// absolute offset. Dispatches to the active [`ScanKind`].
+#[inline]
+pub fn find_byte(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    match kind() {
+        ScanKind::Swar => find_byte_swar(hay, from, needle),
+        #[cfg(target_arch = "x86_64")]
+        ScanKind::Sse2 => find_byte_sse2(hay, from, needle),
+        #[cfg(target_arch = "x86_64")]
+        ScanKind::Avx2 => find_byte_avx2(hay, from, needle),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => find_byte_swar(hay, from, needle),
+    }
+}
+
+/// First alignment `a >= from` with `hay[a + off1] == b1` and
+/// `hay[a + off2] == b2` (offsets distinct, in either order). This is the
+/// rare-byte candidate filter of `memchr::memmem`: the searchers pick `b1`
+/// as the rarest pattern byte (vector-scanned) and `b2` as the second
+/// rarest (scalar-confirmed), and verify the full pattern only at the
+/// alignments this returns. Alignments whose confirm position falls past
+/// the end of `hay` are never reported.
+#[inline]
+pub fn find_byte_offset_pair(
+    hay: &[u8],
+    from: usize,
+    b1: u8,
+    off1: usize,
+    b2: u8,
+    off2: usize,
+) -> Option<usize> {
+    debug_assert_ne!(off1, off2);
+    // Scan for b1 at absolute position from+off1 onward; confirm b2.
+    let mut at = from + off1;
+    loop {
+        let i = find_byte(hay, at, b1)?;
+        let a = i - off1;
+        let j = a + off2;
+        if j >= hay.len() {
+            // Only reachable when off2 > off1; later alignments only move
+            // the confirm position further out.
+            return None;
+        }
+        if hay[j] == b2 {
+            return Some(a);
+        }
+        at = i + 1;
+    }
+}
+
+/// Shared accelerated single-pattern search loop (Boyer–Moore and Horspool
+/// differ only in their mismatch shift): vector-scan for the rarest
+/// pattern byte, confirm the second rarest, verify right to left at the
+/// candidate, and shift by `shift_fn(hay, pos, mismatch_idx)` on a
+/// verification mismatch. [`find_byte_offset_pair`] is the public
+/// uninstrumented form of the candidate scan; this instrumented twin
+/// additionally attributes scanned bytes, comparisons and shifts to `m`.
+///
+/// `rare` is the [`rare_byte_pair`] of `pat` (`None` only for single-byte
+/// patterns, which reduce to a plain scan).
+pub(crate) fn rare_pair_find<M: crate::Metrics>(
+    hay: &[u8],
+    from: usize,
+    pat: &[u8],
+    rare: Option<((u8, usize), (u8, usize))>,
+    m: &mut M,
+    shift_fn: impl Fn(&[u8], usize, usize) -> usize,
+) -> Option<usize> {
+    let plen = pat.len();
+    if from >= hay.len() || hay.len() - from < plen {
+        return None;
+    }
+    let mut pos = from;
+    let last = hay.len() - plen;
+    let ((b1, o1), (b2, o2)) = match rare {
+        Some(pair) => pair,
+        None => {
+            // Single-byte pattern: the scan is the whole search.
+            return match find_byte(hay, pos, pat[0]) {
+                Some(i) => {
+                    m.scanned((i + 1 - pos) as u64);
+                    if i > pos {
+                        m.shift((i - pos) as u64);
+                    }
+                    Some(i)
+                }
+                None => {
+                    m.scanned((hay.len() - pos) as u64);
+                    m.shift((last + 1 - pos) as u64);
+                    None
+                }
+            };
+        }
+    };
+    // Next haystack position to vector-scan for the rare byte b1.
+    let mut scan_at = pos + o1;
+    loop {
+        let Some(i) = find_byte(hay, scan_at, b1) else {
+            m.scanned((hay.len() - scan_at.min(hay.len())) as u64);
+            m.shift((last + 1 - pos) as u64);
+            return None;
+        };
+        m.scanned((i + 1 - scan_at) as u64);
+        let cand = i - o1; // i >= scan_at >= pos + o1, so cand >= pos
+        if cand > last {
+            m.shift((last + 1 - pos) as u64);
+            return None;
+        }
+        // Confirm the second rare byte before full verification.
+        m.cmp(1);
+        if hay[cand + o2] != b2 {
+            scan_at = i + 1;
+            continue;
+        }
+        if cand > pos {
+            m.shift((cand - pos) as u64);
+            pos = cand;
+        }
+        // Verify right to left at the candidate alignment.
+        let mut j = plen;
+        while j > 0 {
+            m.cmp(1);
+            if hay[pos + j - 1] != pat[j - 1] {
+                break;
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            return Some(pos);
+        }
+        let shift = shift_fn(hay, pos, j - 1);
+        m.shift(shift as u64);
+        pos += shift;
+        if pos > last {
+            return None;
+        }
+        // pos advanced past the old candidate, so this makes progress.
+        scan_at = pos + o1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SWAR (portable)
+// ---------------------------------------------------------------------------
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Word-at-a-time scan: 8 bytes per iteration, no `unsafe`.
+pub fn find_byte_swar(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    let splat = LO.wrapping_mul(needle as u64);
+    let mut i = from;
+    // Head: align to an 8-byte chunk boundary of the remaining slice.
+    let (head, rest) = hay[from..].split_at(hay[from..].len().min((8 - (from % 8)) % 8));
+    if let Some(p) = head.iter().position(|&b| b == needle) {
+        return Some(from + p);
+    }
+    i += head.len();
+    let mut chunks = rest.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let x = word ^ splat;
+        let found = x.wrapping_sub(LO) & !x & HI;
+        if found != 0 {
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    chunks.remainder().iter().position(|&b| b == needle).map(|p| i + p)
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 / AVX2 (x86_64)
+// ---------------------------------------------------------------------------
+
+/// 16 bytes per iteration. SSE2 is part of the `x86_64` baseline ISA.
+#[cfg(target_arch = "x86_64")]
+pub fn find_byte_sse2(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
+    use std::arch::x86_64::*;
+    if from >= hay.len() {
+        return None;
+    }
+    let len = hay.len();
+    let mut i = from;
+    // SAFETY: every `_mm_loadu_si128` below reads 16 bytes starting at
+    // `hay[i]` with `i + 16 <= len` checked by the loop condition; `loadu`
+    // has no alignment requirement.
+    unsafe {
+        let splat = _mm_set1_epi8(needle as i8);
+        while i + 16 <= len {
+            let v = _mm_loadu_si128(hay.as_ptr().add(i) as *const __m128i);
+            let mask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, splat)) as u32;
+            if mask != 0 {
+                return Some(i + mask.trailing_zeros() as usize);
+            }
+            i += 16;
+        }
+    }
+    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
+}
+
+/// 32 bytes per iteration; callers must only dispatch here when AVX2 was
+/// detected at runtime (enforced by [`kind`]/[`force_kind`]).
+#[cfg(target_arch = "x86_64")]
+pub fn find_byte_avx2(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
+    #[target_feature(enable = "avx2")]
+    unsafe fn imp(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
+        use std::arch::x86_64::*;
+        if from >= hay.len() {
+            return None;
+        }
+        let len = hay.len();
+        let mut i = from;
+        // SAFETY: every `_mm256_loadu_si256` reads 32 bytes starting at
+        // `hay[i]` with `i + 32 <= len` checked by the loop condition;
+        // `loadu` has no alignment requirement.
+        unsafe {
+            let splat = _mm256_set1_epi8(needle as i8);
+            while i + 32 <= len {
+                let v = _mm256_loadu_si256(hay.as_ptr().add(i) as *const __m256i);
+                let mask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, splat)) as u32;
+                if mask != 0 {
+                    return Some(i + mask.trailing_zeros() as usize);
+                }
+                i += 32;
+            }
+        }
+        hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
+    }
+    // SAFETY: dispatch reaches this function only after
+    // `is_x86_feature_detected!("avx2")` succeeded (see `detect_kind` /
+    // `force_kind`), so the target-feature precondition holds.
+    unsafe { imp(hay, from, needle) }
+}
+
+/// Plain byte loop, used as the oracle in tests.
+pub fn find_byte_scalar(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
+    hay.get(from..)?.iter().position(|&b| b == needle).map(|p| from + p)
+}
+
+// ---------------------------------------------------------------------------
+// XML byte-frequency ranking
+// ---------------------------------------------------------------------------
+
+/// Relative frequency rank of each byte in XML documents; **lower is
+/// rarer**. Hand-built from the byte histograms of XMark and MEDLINE
+/// documents: markup punctuation and common English letters rank high,
+/// capitals, digits and exotic punctuation rank low. The searchers scan
+/// for a pattern's lowest-ranked byte so candidate alignments are as
+/// sparse as possible.
+#[rustfmt::skip]
+const XML_BYTE_RANK: [u8; 256] = {
+    let mut rank = [0u8; 256];
+    // Default for unlisted bytes (control chars, high bit set): very rare.
+    let mut i = 0;
+    while i < 256 {
+        rank[i] = 10;
+        i += 1;
+    }
+    // Whitespace and markup punctuation: ubiquitous in XML.
+    rank[b' ' as usize] = 255; rank[b'\n' as usize] = 240; rank[b'\t' as usize] = 200;
+    rank[b'<' as usize] = 210; rank[b'>' as usize] = 210; rank[b'/' as usize] = 190;
+    rank[b'=' as usize] = 150; rank[b'"' as usize] = 150; rank[b'\'' as usize] = 100;
+    rank[b'&' as usize] = 60;  rank[b';' as usize] = 70;  rank[b'.' as usize] = 120;
+    rank[b',' as usize] = 110; rank[b'-' as usize] = 90;  rank[b'_' as usize] = 40;
+    rank[b'#' as usize] = 30;  rank[b'?' as usize] = 30;  rank[b'!' as usize] = 30;
+    // Lowercase letters by rough English/markup frequency.
+    rank[b'e' as usize] = 230; rank[b't' as usize] = 220; rank[b'a' as usize] = 220;
+    rank[b'o' as usize] = 215; rank[b'i' as usize] = 215; rank[b'n' as usize] = 215;
+    rank[b's' as usize] = 210; rank[b'r' as usize] = 205; rank[b'h' as usize] = 195;
+    rank[b'l' as usize] = 185; rank[b'd' as usize] = 180; rank[b'c' as usize] = 175;
+    rank[b'u' as usize] = 170; rank[b'm' as usize] = 160; rank[b'f' as usize] = 150;
+    rank[b'p' as usize] = 145; rank[b'g' as usize] = 140; rank[b'w' as usize] = 135;
+    rank[b'y' as usize] = 130; rank[b'b' as usize] = 125; rank[b'v' as usize] = 100;
+    rank[b'k' as usize] = 80;  rank[b'x' as usize] = 50;  rank[b'j' as usize] = 45;
+    rank[b'q' as usize] = 40;  rank[b'z' as usize] = 40;
+    // Digits: attribute values and ids.
+    let mut d = b'0';
+    while d <= b'9' {
+        rank[d as usize] = 110;
+        d += 1;
+    }
+    // Capitals: rare in running text, common only as tag-name initials.
+    let mut c = b'A';
+    while c <= b'Z' {
+        rank[c as usize] = 25;
+        c += 1;
+    }
+    rank
+};
+
+/// The two rarest byte positions of `pat` under the XML frequency table,
+/// rarest first: `((rarest, offset), (second, offset))`, or `None` when
+/// the pattern is a single byte (scan for that byte alone). The rarest
+/// byte is the one worth vector-scanning for; the second confirms a
+/// candidate with one scalar load before full verification.
+///
+/// Ties prefer later offsets: a candidate confirmed further right rules
+/// out more alignments per verification failure.
+pub fn rare_byte_pair(pat: &[u8]) -> Option<((u8, usize), (u8, usize))> {
+    if pat.len() < 2 {
+        return None;
+    }
+    let rank = |b: u8| XML_BYTE_RANK[b as usize];
+    // Rarest byte.
+    let mut best = 0usize;
+    for i in 1..pat.len() {
+        if rank(pat[i]) <= rank(pat[best]) {
+            best = i;
+        }
+    }
+    // Second-rarest at a different offset.
+    let mut second = if best == 0 { 1 } else { 0 };
+    for i in 0..pat.len() {
+        if i != best && rank(pat[i]) <= rank(pat[second]) {
+            second = i;
+        }
+    }
+    Some(((pat[best], best), (pat[second], second)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_impls(hay: &[u8], from: usize, needle: u8) -> Vec<(&'static str, Option<usize>)> {
+        let mut v = vec![
+            ("scalar", find_byte_scalar(hay, from, needle)),
+            ("swar", find_byte_swar(hay, from, needle)),
+        ];
+        #[cfg(target_arch = "x86_64")]
+        {
+            v.push(("sse2", find_byte_sse2(hay, from, needle)));
+            if std::arch::is_x86_feature_detected!("avx2") {
+                v.push(("avx2", find_byte_avx2(hay, from, needle)));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn impls_agree_on_lane_boundaries() {
+        // Needle placed at every position of haystacks sized around the
+        // SWAR-word (8) and SSE/AVX lane (16/32) boundaries.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65] {
+            for at in 0..len {
+                let mut hay = vec![b'x'; len];
+                hay[at] = b'<';
+                for from in 0..=len {
+                    let want = find_byte_scalar(&hay, from, b'<');
+                    for (name, got) in all_impls(&hay, from, b'<') {
+                        assert_eq!(got, want, "{name} len={len} at={at} from={from}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finds_first_of_many() {
+        let hay = b"aaa<bb<cc<";
+        for (name, got) in all_impls(hay, 0, b'<') {
+            assert_eq!(got, Some(3), "{name}");
+        }
+        for (name, got) in all_impls(hay, 4, b'<') {
+            assert_eq!(got, Some(6), "{name}");
+        }
+    }
+
+    #[test]
+    fn missing_needle() {
+        let hay = vec![b'q'; 100];
+        for (name, got) in all_impls(&hay, 0, b'<') {
+            assert_eq!(got, None, "{name}");
+        }
+    }
+
+    #[test]
+    fn from_past_end() {
+        assert_eq!(find_byte(b"abc", 3, b'a'), None);
+        assert_eq!(find_byte(b"abc", 100, b'a'), None);
+        assert_eq!(find_byte(b"", 0, b'a'), None);
+        // The per-impl entry points must be as tolerant as the dispatcher.
+        for (name, got) in all_impls(b"abc", 100, b'a') {
+            assert_eq!(got, None, "{name}");
+        }
+    }
+
+    #[test]
+    fn offset_pair_confirms_second_byte() {
+        //        0123456789
+        let hay = b"xIxxICxIC!";
+        // b1='I' at offset 0, b2='C' at offset 1 → alignment 4 then 7.
+        assert_eq!(find_byte_offset_pair(hay, 0, b'I', 0, b'C', 1), Some(4));
+        assert_eq!(find_byte_offset_pair(hay, 5, b'I', 0, b'C', 1), Some(7));
+        // Pair straddling the end is never reported.
+        assert_eq!(find_byte_offset_pair(b"xxI", 0, b'I', 0, b'C', 1), None);
+    }
+
+    #[test]
+    fn rare_pair_prefers_rare_bytes() {
+        // '_' (rank 40) and 'q' (rank 40) are much rarer than the vowels.
+        let ((b1, o1), (b2, o2)) = rare_byte_pair(b"sea_quest").unwrap();
+        assert_ne!(o1, o2);
+        let picked = [b1, b2];
+        assert!(picked.contains(&b'_') && picked.contains(&b'q'), "picked {picked:?}");
+        assert_eq!(rare_byte_pair(b"a"), None);
+        // Offsets always point at the byte they pair with.
+        let pat = b"<item";
+        let ((r1, p1), (r2, p2)) = rare_byte_pair(pat).unwrap();
+        assert_eq!(pat[p1], r1);
+        assert_eq!(pat[p2], r2);
+    }
+
+    #[test]
+    fn kind_is_cached_and_forcible() {
+        let original = kind();
+        force_kind(ScanKind::Swar);
+        assert_eq!(kind(), ScanKind::Swar);
+        assert_eq!(find_byte(b"hello<world", 0, b'<'), Some(5));
+        force_kind(original);
+        assert_eq!(kind(), original);
+    }
+}

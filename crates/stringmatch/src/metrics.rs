@@ -16,6 +16,14 @@ pub trait Metrics {
 
     /// The search window was shifted forward by `n` positions.
     fn shift(&mut self, n: u64);
+
+    /// `n` haystack bytes were consumed by the vectorized skip-scan
+    /// ([`crate::memscan`]) without scalar comparisons. Reported separately
+    /// from [`cmp`](Metrics::cmp) so the paper's "% characters inspected"
+    /// tables stay honest: these bytes *were* inspected, but by the vector
+    /// unit at a fraction of the per-byte cost.
+    #[inline(always)]
+    fn scanned(&mut self, _n: u64) {}
 }
 
 /// A sink that ignores all events. Fully inlined away by the optimizer.
@@ -28,6 +36,9 @@ impl Metrics for NoMetrics {
 
     #[inline(always)]
     fn shift(&mut self, _n: u64) {}
+
+    #[inline(always)]
+    fn scanned(&mut self, _n: u64) {}
 }
 
 /// A sink that counts events, used to regenerate the paper's per-query
@@ -40,6 +51,8 @@ pub struct Counters {
     pub shifts: u64,
     /// Sum of the sizes of all forward shifts.
     pub shift_total: u64,
+    /// Bytes consumed by the vectorized skip-scan (no scalar comparison).
+    pub scanned: u64,
 }
 
 impl Counters {
@@ -58,6 +71,7 @@ impl Counters {
         self.comparisons += other.comparisons;
         self.shifts += other.shifts;
         self.shift_total += other.shift_total;
+        self.scanned += other.scanned;
     }
 }
 
@@ -72,6 +86,11 @@ impl Metrics for Counters {
         self.shifts += 1;
         self.shift_total += n;
     }
+
+    #[inline(always)]
+    fn scanned(&mut self, n: u64) {
+        self.scanned += n;
+    }
 }
 
 impl Metrics for &mut Counters {
@@ -83,6 +102,11 @@ impl Metrics for &mut Counters {
     #[inline(always)]
     fn shift(&mut self, n: u64) {
         (**self).shift(n);
+    }
+
+    #[inline(always)]
+    fn scanned(&mut self, n: u64) {
+        (**self).scanned(n);
     }
 }
 
@@ -96,18 +120,20 @@ mod tests {
         c.cmp(3);
         c.shift(4);
         c.shift(6);
+        c.scanned(32);
         assert_eq!(c.comparisons, 3);
         assert_eq!(c.shifts, 2);
         assert_eq!(c.shift_total, 10);
+        assert_eq!(c.scanned, 32);
         assert!((c.avg_shift() - 5.0).abs() < 1e-9);
     }
 
     #[test]
     fn merge_folds_all_fields() {
-        let mut a = Counters { comparisons: 1, shifts: 2, shift_total: 3 };
-        let b = Counters { comparisons: 10, shifts: 20, shift_total: 30 };
+        let mut a = Counters { comparisons: 1, shifts: 2, shift_total: 3, scanned: 4 };
+        let b = Counters { comparisons: 10, shifts: 20, shift_total: 30, scanned: 40 };
         a.merge(&b);
-        assert_eq!(a, Counters { comparisons: 11, shifts: 22, shift_total: 33 });
+        assert_eq!(a, Counters { comparisons: 11, shifts: 22, shift_total: 33, scanned: 44 });
     }
 
     #[test]

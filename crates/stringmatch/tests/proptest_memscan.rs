@@ -1,0 +1,148 @@
+//! Property tests for the vectorized skip-scan layer: every `memscan`
+//! implementation and every accelerated searcher must agree with the naive
+//! oracle on haystacks engineered to straddle the SWAR-word (8-byte) and
+//! SSE/AVX-lane (16/32-byte) boundaries.
+//!
+//! The per-implementation functions are exercised directly (no process
+//! globals), so one test run covers scalar, SWAR and — where the CPU has
+//! them — SSE2/AVX2 simultaneously; the `SMPX_NO_SIMD=1` CI leg covers
+//! the searchers' scalar dispatch path on top.
+
+use proptest::prelude::*;
+use smpx_stringmatch::{memscan, naive, BoyerMoore, CommentzWalter, Horspool, MultiMatch};
+
+/// Haystack lengths clustered around 0..64 and the 8/16/32-byte alignment
+/// edges, so every vector implementation hits its head, full-lane and tail
+/// code paths.
+fn edge_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        0usize..=9,
+        7usize..=9,
+        15usize..=17,
+        23usize..=25,
+        31usize..=33,
+        39usize..=41,
+        47usize..=49,
+        63usize..=65,
+    ]
+}
+
+/// Two-symbol alphabet: dense needle collisions plus long needle-free runs.
+fn tiny_alpha_hay(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'<')], len..len + 1)
+}
+
+/// Patterns of length 1..=3 over the same alphabet.
+fn tiny_pattern() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'<')], 1..4)
+}
+
+fn memscan_impls(hay: &[u8], from: usize, needle: u8) -> Vec<(&'static str, Option<usize>)> {
+    let mut v = vec![("swar", memscan::find_byte_swar(hay, from, needle))];
+    #[cfg(target_arch = "x86_64")]
+    {
+        v.push(("sse2", memscan::find_byte_sse2(hay, from, needle)));
+        if std::arch::is_x86_feature_detected!("avx2") {
+            v.push(("avx2", memscan::find_byte_avx2(hay, from, needle)));
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn find_byte_impls_agree_at_lane_edges(
+        len in edge_len(),
+        seed in 0u64..u64::MAX,
+    ) {
+        // Derive a deterministic haystack from the seed so every length
+        // sees many needle placements, including none.
+        let hay: Vec<u8> = (0..len)
+            .map(|i| {
+                let mix = seed.rotate_left((i % 64) as u32) ^ i as u64;
+                if mix.is_multiple_of(7) {
+                    b'<'
+                } else {
+                    b'x'
+                }
+            })
+            .collect();
+        for from in 0..=len {
+            let want = memscan::find_byte_scalar(&hay, from, b'<');
+            for (name, got) in memscan_impls(&hay, from, b'<') {
+                prop_assert_eq!(got, want, "{} from={} hay={:?}", name, from, &hay);
+            }
+        }
+    }
+
+    #[test]
+    fn accelerated_bm_agrees_with_oracle_at_edges(
+        hay in edge_len().prop_flat_map(tiny_alpha_hay),
+        pat in tiny_pattern(),
+        from in 0usize..70,
+    ) {
+        let bm = BoyerMoore::new(&pat);
+        let mut sink = smpx_stringmatch::NoMetrics;
+        let want = naive::find_at(&hay, &pat, from, &mut sink);
+        prop_assert_eq!(bm.find_at(&hay, from, &mut sink), want, "accel hay={:?} pat={:?}", &hay, &pat);
+        prop_assert_eq!(bm.find_at_scalar(&hay, from, &mut sink), want, "scalar hay={:?} pat={:?}", &hay, &pat);
+    }
+
+    #[test]
+    fn accelerated_horspool_agrees_with_oracle_at_edges(
+        hay in edge_len().prop_flat_map(tiny_alpha_hay),
+        pat in tiny_pattern(),
+        from in 0usize..70,
+    ) {
+        let h = Horspool::new(&pat);
+        let mut sink = smpx_stringmatch::NoMetrics;
+        let want = naive::find_at(&hay, &pat, from, &mut sink);
+        prop_assert_eq!(h.find_at(&hay, from, &mut sink), want);
+        prop_assert_eq!(h.find_at_scalar(&hay, from, &mut sink), want);
+    }
+
+    #[test]
+    fn accelerated_cw_agrees_with_scalar_and_oracle_at_edges(
+        hay in edge_len().prop_flat_map(tiny_alpha_hay),
+        pats in proptest::collection::vec(tiny_pattern(), 1..4),
+        from in 0usize..70,
+    ) {
+        let refs: Vec<&[u8]> = pats.iter().map(|p| p.as_slice()).collect();
+        let cw = CommentzWalter::new(&refs);
+        let mut sink = smpx_stringmatch::NoMetrics;
+        // find_at (vector fast path when the patterns share a first byte)
+        // must be byte-identical to the pure windowed loop.
+        prop_assert_eq!(
+            cw.find_at(&hay, from, &mut sink),
+            cw.find_at_scalar(&hay, from, &mut sink),
+            "hay={:?} pats={:?}", &hay, &pats
+        );
+        // And the full occurrence set must match the naive oracle.
+        let got: Vec<MultiMatch> = cw.find_iter(&hay).collect();
+        let mut want = naive::find_all_multi(&hay, &refs);
+        want.sort_by_key(|m| (m.end, m.pattern));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn xml_keywords_straddling_lane_edges(
+        pad in 0usize..40,
+        sel in proptest::collection::vec(0usize..4, 1..4),
+    ) {
+        // Place an SMP-style keyword so it straddles 8/16/32-byte
+        // boundaries of the haystack, padded by tag-free filler.
+        let vocab: [&[u8]; 4] = [b"<item", b"</item", b"<a", b"</a"];
+        let mut hay = vec![b'.'; pad];
+        hay.extend_from_slice(b"<item x='1'>");
+        hay.extend(std::iter::repeat_n(b'.', 33 - pad.min(33)));
+        hay.extend_from_slice(b"</item>");
+        let pats: Vec<&[u8]> = sel.iter().map(|&i| vocab[i]).collect();
+        let cw = CommentzWalter::new(&pats);
+        let got: Vec<MultiMatch> = cw.find_iter(&hay).collect();
+        let mut want = naive::find_all_multi(&hay, &pats);
+        want.sort_by_key(|m| (m.end, m.pattern));
+        prop_assert_eq!(got, want);
+    }
+}

@@ -151,10 +151,11 @@ fn main() -> ExitCode {
         Ok(stats) => {
             if args.stats {
                 eprintln!(
-                    "smpx: wrote {} bytes; inspected {} chars; avg shift {:.2}; \
-                     initial jumps {} chars; {} tokens; {} false matches",
+                    "smpx: wrote {} bytes; inspected {} chars; vector-scanned {} bytes; \
+                     avg shift {:.2}; initial jumps {} chars; {} tokens; {} false matches",
                     stats.output_bytes,
                     stats.chars_compared,
+                    stats.bytes_scanned,
                     stats.avg_shift(),
                     stats.initial_jump_chars,
                     stats.tokens_matched,

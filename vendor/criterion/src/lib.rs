@@ -8,8 +8,23 @@
 //! statistical analysis, no HTML reports, no saved baselines. Swap the
 //! `[workspace.dependencies]` path entry for the registry crate when building
 //! online; no call sites change.
+//!
+//! # Machine-readable output
+//!
+//! Passing `--json <path>` (or `--json=<path>`) to a bench binary — e.g.
+//! `cargo bench -p smpx_bench --bench <name> ... -- --json bench.json` (scope to the bench
+//! crate: the workspace-wide `cargo bench` also invokes the vendored
+//! crates' libtest harnesses, which reject the flag) — **appends** one JSON
+//! object per benchmark to `<path>` (JSON-lines: `{"bin", "bench",
+//! "median_ns", "throughput_bytes", "mib_per_s"}`). Append semantics let
+//! one `cargo bench` invocation, which runs each bench binary in turn with
+//! the same arguments, accumulate a single file; delete the file before
+//! re-running to avoid mixing runs. The committed `BENCH_*.json` baselines
+//! at the repository root are produced this way.
 
 use std::fmt;
+use std::io::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -149,6 +164,9 @@ impl Bencher {
     }
 }
 
+/// Results accumulated for `--json` output: `(id, median, throughput)`.
+static RESULTS: Mutex<Vec<(String, Duration, Option<Throughput>)>> = Mutex::new(Vec::new());
+
 fn run_one<F>(id: &str, throughput: Option<Throughput>, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -173,6 +191,75 @@ where
         _ => String::new(),
     };
     println!("{id:<50} time: {median:>12.3?}{rate}");
+    RESULTS.lock().expect("results poisoned").push((id.to_string(), median, throughput));
+}
+
+/// The `--json <path>` / `--json=<path>` argument, if present.
+fn json_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Append every recorded result as one JSON object per line to the path
+/// given via `--json`, if any. Called by the [`criterion_main!`] expansion
+/// after all groups ran; not part of the real criterion API.
+#[doc(hidden)]
+pub fn write_json_results() {
+    let Some(path) = json_path() else { return };
+    let bin = std::env::args()
+        .next()
+        .map(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map_or_else(|| p.clone(), |s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_default();
+    // Bench binaries get a `-<hash>` suffix from cargo; strip it.
+    let bin = match bin.rsplit_once('-') {
+        Some((stem, suffix))
+            if suffix.len() == 16 && suffix.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            stem.to_string()
+        }
+        _ => bin,
+    };
+    let results = RESULTS.lock().expect("results poisoned");
+    let mut out = String::new();
+    for (id, median, throughput) in results.iter() {
+        let ns = median.as_nanos();
+        let (bytes, mib_s) = match throughput {
+            Some(Throughput::Bytes(n)) if ns > 0 => {
+                (Some(*n), Some(*n as f64 / (1 << 20) as f64 / median.as_secs_f64()))
+            }
+            _ => (None, None),
+        };
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "{{\"bin\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"throughput_bytes\":{},\"mib_per_s\":{}}}\n",
+            esc(&bin),
+            esc(id),
+            ns,
+            bytes.map_or("null".to_string(), |b| b.to_string()),
+            mib_s.map_or("null".to_string(), |t| format!("{t:.3}")),
+        ));
+    }
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(out.as_bytes()));
+    match res {
+        Ok(()) => eprintln!("criterion-shim: appended {} result(s) to {path}", results.len()),
+        Err(e) => eprintln!("criterion-shim: cannot write {path}: {e}"),
+    }
 }
 
 /// Bundle benchmark functions into one runnable group
@@ -200,6 +287,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_results();
         }
     };
 }

@@ -103,6 +103,17 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        /// Turn every drawn value into a new strategy and draw from that
+        /// (shim of `prop_flat_map`; draws are fresh, no shrinking).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
         /// Type-erase this strategy behind a cheaply clonable handle.
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -181,6 +192,25 @@ pub mod strategy {
         type Value = O;
         fn new_value(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// The result of [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
         }
     }
 
