@@ -1,5 +1,8 @@
 //! Tokenization throughput (the Fig. 7(c) comparison, Criterion-tracked):
-//! strict and lenient SAX parsing vs SMP prefiltering on both datasets.
+//! strict and lenient SAX parsing vs SMP prefiltering on both datasets,
+//! plus the tag-end scan microbench (`tokenize/tag_end`): the per-byte
+//! quote-aware loop — the pre-vectorization runtime's hot spot — against
+//! the windowed `memscan::scan_tag_end_window` hop that replaced it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use smpx_baselines::sax;
@@ -7,6 +10,7 @@ use smpx_bench::queries::{medline_paths, xmark_paths, MEDLINE_QUERIES, XMARK_QUE
 use smpx_core::Prefilter;
 use smpx_datagen::{medline, xmark, GenOptions};
 use smpx_dtd::Dtd;
+use smpx_stringmatch::memscan;
 
 fn doc_bytes() -> usize {
     smpx_bench::measure::bench_doc_bytes(2 << 20)
@@ -54,9 +58,93 @@ fn bench_medline(c: &mut Criterion) {
     );
 }
 
+/// The classic per-byte quote-aware tag-end loop (the shape the runtime
+/// uses under `SMPX_NO_SIMD=1`), as the microbench baseline.
+fn scalar_tag_end(tag: &[u8], pos: usize) -> Option<(usize, bool)> {
+    let mut i = pos;
+    let mut prev = 0u8;
+    loop {
+        match tag.get(i).copied() {
+            None => return None,
+            Some(b'>') => return Some((i + 1, prev == b'/')),
+            Some(q @ (b'"' | b'\'')) => {
+                i += 1;
+                loop {
+                    match tag.get(i).copied() {
+                        None => return None,
+                        Some(c) if c == q => break,
+                        Some(_) => i += 1,
+                    }
+                }
+                prev = q;
+                i += 1;
+            }
+            Some(c) => {
+                prev = c;
+                i += 1;
+            }
+        }
+    }
+}
+
+fn windowed_tag_end(tag: &[u8], pos: usize) -> Option<(usize, bool)> {
+    let mut st = memscan::TagScan::new();
+    memscan::scan_tag_end_window(tag, pos, &mut st)
+}
+
+fn bench_tag_end(c: &mut Criterion) {
+    let n = doc_bytes().max(4096);
+    // One tag whose quoted attribute value spans the whole buffer: the
+    // long-scan case the balanced/tag-end hop was built for.
+    let mut long_tag = Vec::with_capacity(n);
+    long_tag.extend_from_slice(b" id=\"");
+    while long_tag.len() < n - 2 {
+        long_tag.extend_from_slice(b"v>alue/7 ");
+    }
+    long_tag.extend_from_slice(b"\">");
+    // Dense markup: many short attribute-bearing tags, scanned back to
+    // back from each tag-name end (offsets precomputed outside the timer).
+    let unit: &[u8] = b" id=\"a>b\" class='c/d'>some text between the tags....";
+    let reps = (n / unit.len()).max(1);
+    let mut dense = Vec::with_capacity(reps * unit.len());
+    let mut starts = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        starts.push(dense.len());
+        dense.extend_from_slice(unit);
+    }
+    let mut g = c.benchmark_group("tokenize/tag_end");
+    g.throughput(Throughput::Bytes(long_tag.len() as u64));
+    g.bench_function("scalar_loop/long_attr", |b| {
+        b.iter(|| scalar_tag_end(&long_tag, 0).expect("closed"))
+    });
+    g.bench_function("windowed/long_attr", |b| {
+        b.iter(|| windowed_tag_end(&long_tag, 0).expect("closed"))
+    });
+    g.throughput(Throughput::Bytes(dense.len() as u64));
+    g.bench_function("scalar_loop/dense_tags", |b| {
+        b.iter(|| {
+            let mut ends = 0usize;
+            for &s in &starts {
+                ends += scalar_tag_end(&dense, s).expect("closed").0;
+            }
+            ends
+        })
+    });
+    g.bench_function("windowed/dense_tags", |b| {
+        b.iter(|| {
+            let mut ends = 0usize;
+            for &s in &starts {
+                ends += windowed_tag_end(&dense, s).expect("closed").0;
+            }
+            ends
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_xmark, bench_medline
+    targets = bench_xmark, bench_medline, bench_tag_end
 }
 criterion_main!(benches);

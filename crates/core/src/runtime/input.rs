@@ -28,6 +28,27 @@ pub(crate) trait Input {
     /// Byte at absolute position (None at EOF).
     fn byte(&mut self, pos: usize) -> Result<Option<u8>, CoreError>;
 
+    /// Contiguous view of the resident document bytes starting at absolute
+    /// position `pos`, for windowed vector scans ([`smpx_stringmatch::memscan`]).
+    ///
+    /// Contract:
+    /// * `Ok(None)` means `pos` is at or past end of input — never an
+    ///   empty slice.
+    /// * For [`SliceInput`] the view reaches to the end of the document;
+    ///   for [`StreamInput`] it reaches to the end of the buffered chunk
+    ///   window (`pos` is made resident first, refilling as needed). A
+    ///   scan that exhausts the view continues by requesting a new window
+    ///   at the old view's end — probing one byte past it (e.g. via
+    ///   [`byte`](Input::byte)) forces the refill that distinguishes
+    ///   "window ended" from EOF.
+    /// * The returned slice is invalidated by *any* subsequent `&mut self`
+    ///   call (`byte`, `find`, `matches_at`, `window`, `advance`, the
+    ///   copy/emit family): a refill may compact the window and move its
+    ///   base. Callers re-request the window after such calls.
+    /// * `pos` must not precede the discard guard set by
+    ///   [`advance`](Input::advance) — those bytes may already be gone.
+    fn window(&mut self, pos: usize) -> Result<Option<&[u8]>, CoreError>;
+
     /// Does `pat` occur at absolute position `pos`? Counts comparisons.
     fn matches_at<M: Metrics>(
         &mut self,
@@ -89,6 +110,10 @@ impl<'a> Input for SliceInput<'a> {
 
     fn byte(&mut self, pos: usize) -> Result<Option<u8>, CoreError> {
         Ok(self.doc.get(pos).copied())
+    }
+
+    fn window(&mut self, pos: usize) -> Result<Option<&[u8]>, CoreError> {
+        Ok(self.doc.get(pos..).filter(|w| !w.is_empty()))
     }
 
     fn matches_at<M: Metrics>(
@@ -171,7 +196,11 @@ impl<R: Read, W: Write> StreamInput<R, W> {
             buf: Vec::with_capacity(chunk * 2),
             base: 0,
             eof: false,
-            chunk: chunk.max(64),
+            // Tiny chunks (down to a single byte) are honored: the refill
+            // and overlap logic is chunk-size-independent, and the
+            // differential chunk-boundary suite sweeps 1/2/lane±1 to
+            // exercise every window() split.
+            chunk: chunk.max(1),
             guard: 0,
             copy_from: None,
             written: 0,
@@ -280,6 +309,14 @@ impl<R: Read, W: Write> Input for StreamInput<R, W> {
             return Ok(None);
         }
         Ok(Some(self.buf[pos - self.base]))
+    }
+
+    fn window(&mut self, pos: usize) -> Result<Option<&[u8]>, CoreError> {
+        if !self.ensure(pos)? {
+            return Ok(None);
+        }
+        debug_assert!(pos >= self.base, "window request before the discard guard");
+        Ok(Some(&self.buf[pos - self.base..]))
     }
 
     fn matches_at<M: Metrics>(
@@ -426,6 +463,34 @@ mod tests {
             assert_eq!(written as usize, doc.len());
         }
         assert_eq!(out, doc.as_bytes());
+    }
+
+    #[test]
+    fn slice_window_views_rest_of_document() {
+        let doc = b"<a><b>x</b></a>";
+        let mut s = SliceInput::new(doc);
+        assert_eq!(s.window(0).unwrap(), Some(&doc[..]));
+        assert_eq!(s.window(4).unwrap(), Some(&doc[4..]));
+        assert_eq!(s.window(doc.len()).unwrap(), None);
+        assert_eq!(s.window(doc.len() + 5).unwrap(), None);
+    }
+
+    #[test]
+    fn stream_window_advances_with_refills() {
+        let doc = b"0123456789abcdef";
+        let mut out = Vec::new();
+        let mut s = StreamInput::new(&doc[..], &mut out, 4);
+        // First request makes the position resident; the view ends at the
+        // current chunk window, not at EOF.
+        let w0 = s.window(0).unwrap().unwrap().to_vec();
+        assert!(w0.len() >= 4 && w0.len() <= doc.len());
+        assert_eq!(&doc[..w0.len()], &w0[..]);
+        // Requesting the old window's end refills and continues.
+        let w1 = s.window(w0.len()).unwrap().unwrap().to_vec();
+        assert_eq!(&doc[w0.len()..w0.len() + w1.len()], &w1[..]);
+        // Past EOF: None, never an empty slice.
+        assert_eq!(s.window(doc.len()).unwrap(), None);
+        assert_eq!(s.window(100).unwrap(), None);
     }
 
     #[test]

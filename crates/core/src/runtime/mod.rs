@@ -27,7 +27,7 @@ use input::{Input, SliceInput, StreamInput};
 use matchers::StateMatcher;
 use smpx_dtd::Dtd;
 use smpx_paths::PathSet;
-use smpx_stringmatch::{Counters, Metrics};
+use smpx_stringmatch::{memscan, Counters, Metrics};
 use std::io::{Read, Write};
 
 /// Default streaming chunk: eight times a 4 KiB page, as in the paper's
@@ -158,9 +158,7 @@ impl Prefilter {
                 (kw.bytes.len(), kw.close, kw.target)
             };
             // Scan right for the end of the tag.
-            let mut scan_cmp = 0u64;
-            let (end, bachelor) = scan_tag_end(input, start + name_len, &mut scan_cmp)?;
-            m.cmp(scan_cmp);
+            let (end, bachelor) = scan_tag_end(input, start + name_len, m)?;
             stats.tokens_matched += 1;
 
             if bachelor && !close {
@@ -223,6 +221,12 @@ impl Prefilter {
     /// subtree: starting just past the opening tag (depth 1), find
     /// verified `<e` / `</e` tokens, counting depth up and down, until the
     /// matching close tag; returns its (start, end).
+    ///
+    /// Accelerated mode hops the subtree with [`memscan::find_byte2`]
+    /// over [`Input::window`] views; `SMPX_NO_SIMD=1` keeps the classic
+    /// Commentz–Walter-driven loop. Both find the identical token
+    /// sequence, and both route scan-consumed bytes through
+    /// [`Metrics::scanned`].
     fn balanced_scan<I: Input, M: Metrics>(
         &mut self,
         open_state: u32,
@@ -238,6 +242,9 @@ impl Prefilter {
             .0
             .clone();
         let lookback = self.tables.max_kw_len.max(name.len() + 2) + 8;
+        if memscan::accel_enabled() {
+            return balanced_scan_windowed(&name, lookback, input, from, m, stats);
+        }
         if self.balanced_matchers[open_state as usize].is_none() {
             let open_pat = format!("<{name}").into_bytes();
             let close_pat = format!("</{name}").into_bytes();
@@ -260,9 +267,7 @@ impl Prefilter {
             m.cmp(1);
             match input.byte(start + plen)? {
                 Some(c) if is_tag_name_end(c) => {
-                    let mut scan_cmp = 0u64;
-                    let (end, bachelor) = scan_tag_end(input, start + plen, &mut scan_cmp)?;
-                    m.cmp(scan_cmp);
+                    let (end, bachelor) = scan_tag_end(input, start + plen, m)?;
                     stats.tokens_matched += 1;
                     if kw == 1 {
                         depth -= 1;
@@ -431,6 +436,126 @@ impl Prefilter {
     }
 }
 
+/// Outcome of one windowed hop of the accelerated balanced scan.
+enum BalancedHop {
+    /// `win[second - 1] == '<'` and `win[second]` is the element name's
+    /// first byte or `/`: a candidate `<e` / `</e` token starting at
+    /// absolute position `second - 1`.
+    Candidate { second: usize, byte: u8 },
+    /// No candidate left in the window; the next possible candidate
+    /// second byte is `resume`.
+    Exhausted { resume: usize },
+}
+
+/// The vectorized balanced depth scan: hop the opaque subtree with a
+/// two-needle [`memscan::find_byte2`] scan for the element name's first
+/// byte and `/` at candidate *second*-byte positions (their `<` is checked
+/// with one load), verify the name and the tag-name boundary only at
+/// stops, and cross each verified tag with the windowed
+/// [`scan_tag_end`]. Token-for-token equivalent to the Commentz–Walter
+/// loop in [`Prefilter::balanced_scan`]; hop-consumed bytes are reported
+/// as [`Metrics::scanned`], keyed to absolute offsets so the counts are
+/// independent of the streaming chunk size.
+fn balanced_scan_windowed<I: Input, M: Metrics>(
+    name: &str,
+    lookback: usize,
+    input: &mut I,
+    from: usize,
+    m: &mut M,
+    stats: &mut RunStats,
+) -> Result<(usize, usize), CoreError> {
+    let nb = name.as_bytes();
+    debug_assert!(!nb.is_empty() && nb[0] != b'/', "element names never start with '/'");
+    let first = nb[0];
+    let mut depth = 1u32;
+    // Absolute position of the next candidate second byte, and the
+    // accounting watermark: every byte below `acc` has been attributed to
+    // a metrics counter already.
+    let mut scan_at = from + 1;
+    let mut acc = from;
+    loop {
+        let hop = {
+            let base = scan_at - 1;
+            let Some(win) = input.window(base)? else {
+                // The candidate position is at/past EOF: never closed.
+                m.scanned(base.saturating_sub(acc) as u64);
+                return Err(CoreError::UnexpectedEof {
+                    context: "balanced scan for a recursive element",
+                });
+            };
+            let mut rel = scan_at - base;
+            loop {
+                match memscan::peek_find2(win, rel, first, b'/') {
+                    Some(j) => {
+                        m.scanned((base + j + 1 - acc) as u64);
+                        acc = base + j + 1;
+                        m.cmp(1);
+                        if win[j - 1] == b'<' {
+                            break BalancedHop::Candidate { second: base + j, byte: win[j] };
+                        }
+                        rel = j + 1;
+                    }
+                    None => break BalancedHop::Exhausted { resume: base + win.len() },
+                }
+            }
+        };
+        match hop {
+            BalancedHop::Exhausted { resume } => {
+                // Probe one byte past the window: refills the stream (the
+                // next window request reaches further) or confirms EOF.
+                if input.byte(resume)?.is_none() {
+                    m.scanned(resume.saturating_sub(acc) as u64);
+                    return Err(CoreError::UnexpectedEof {
+                        context: "balanced scan for a recursive element",
+                    });
+                }
+                scan_at = resume.max(scan_at);
+            }
+            BalancedHop::Candidate { second, byte } => {
+                let s = second - 1;
+                let is_close = byte == b'/';
+                // The hop confirmed `<` and the second byte; compare the
+                // remaining name bytes only.
+                let verified = if is_close {
+                    input.matches_at(second + 1, nb, m)?
+                } else {
+                    input.matches_at(second + 1, &nb[1..], m)?
+                };
+                if !verified {
+                    // Not a `<e` / `</e` occurrence at all (the windowed
+                    // CW loop would not have stopped): no false match.
+                    scan_at = second + 1;
+                    continue;
+                }
+                let plen = nb.len() + if is_close { 2 } else { 1 };
+                m.cmp(1);
+                match input.byte(s + plen)? {
+                    Some(c) if is_tag_name_end(c) => {
+                        let (end, bachelor) = scan_tag_end(input, s + plen, m)?;
+                        stats.tokens_matched += 1;
+                        if is_close {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Ok((s, end));
+                            }
+                        } else if !bachelor {
+                            depth += 1;
+                        }
+                        acc = acc.max(end);
+                        scan_at = end + 1;
+                        input.advance(end.saturating_sub(lookback));
+                    }
+                    _ => {
+                        stats.false_matches += 1;
+                        scan_at = second + 1;
+                        input.advance((s + 1).saturating_sub(lookback));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// May `c` follow a tag name inside a tag?
 #[inline]
 fn is_tag_name_end(c: u8) -> bool {
@@ -440,28 +565,87 @@ fn is_tag_name_end(c: u8) -> bool {
 /// Scan right from `pos` for the closing `>` of a tag, respecting quoted
 /// attribute values (which may contain `>`). Returns (position one past
 /// `>`, bachelor?).
-fn scan_tag_end<I: Input>(
+///
+/// Every byte the scan consumes is routed through [`Metrics::scanned`]
+/// (never `cmp`), in the vectorized *and* the scalar mode, so the paper's
+/// `Char Comp.` column counts only genuine pattern comparisons and the
+/// `Scan%` column owns the tag traversal — identically in both modes.
+fn scan_tag_end<I: Input, M: Metrics>(
     input: &mut I,
     pos: usize,
-    cmp: &mut u64,
+    m: &mut M,
+) -> Result<(usize, bool), CoreError> {
+    if memscan::accel_enabled() {
+        scan_tag_end_windowed(input, pos, m)
+    } else {
+        scan_tag_end_scalar(input, pos, m)
+    }
+}
+
+/// Vectorized tag-end scan: hop `>`-to-`>` and quote-to-quote over
+/// [`Input::window`] views with [`memscan::scan_tag_end_window`], instead
+/// of one `Input::byte` call per character. The resumable
+/// [`memscan::TagScan`] state carries open quotes across window refills.
+fn scan_tag_end_windowed<I: Input, M: Metrics>(
+    input: &mut I,
+    pos: usize,
+    m: &mut M,
+) -> Result<(usize, bool), CoreError> {
+    let mut st = memscan::TagScan::new();
+    let mut abs = pos;
+    loop {
+        let consumed = {
+            let Some(win) = input.window(abs)? else {
+                m.scanned((abs - pos) as u64);
+                return Err(CoreError::UnexpectedEof {
+                    context: if st.in_quote() {
+                        "scanning a quoted attribute value"
+                    } else {
+                        "scanning for tag end"
+                    },
+                });
+            };
+            if let Some((rel_end, bachelor)) = memscan::scan_tag_end_window(win, 0, &mut st) {
+                let end = abs + rel_end;
+                m.scanned((end - pos) as u64);
+                return Ok((end, bachelor));
+            }
+            win.len()
+        };
+        abs += consumed;
+    }
+}
+
+/// The classic per-byte tag-end loop: the reference oracle the windowed
+/// scan is pinned against (tokenizer edge-case tests), and the
+/// `SMPX_NO_SIMD=1` runtime path.
+fn scan_tag_end_scalar<I: Input, M: Metrics>(
+    input: &mut I,
+    pos: usize,
+    m: &mut M,
 ) -> Result<(usize, bool), CoreError> {
     let mut i = pos;
     let mut prev = 0u8;
     loop {
-        *cmp += 1;
         match input.byte(i)? {
-            None => return Err(CoreError::UnexpectedEof { context: "scanning for tag end" }),
-            Some(b'>') => return Ok((i + 1, prev == b'/')),
+            None => {
+                m.scanned((i - pos) as u64);
+                return Err(CoreError::UnexpectedEof { context: "scanning for tag end" });
+            }
+            Some(b'>') => {
+                m.scanned((i + 1 - pos) as u64);
+                return Ok((i + 1, prev == b'/'));
+            }
             Some(q @ (b'"' | b'\'')) => {
                 // Skip the quoted attribute value.
                 i += 1;
                 loop {
-                    *cmp += 1;
                     match input.byte(i)? {
                         None => {
+                            m.scanned((i - pos) as u64);
                             return Err(CoreError::UnexpectedEof {
                                 context: "scanning a quoted attribute value",
-                            })
+                            });
                         }
                         Some(c) if c == q => break,
                         Some(_) => i += 1,
@@ -640,5 +824,147 @@ mod tests {
         // Opening <b> without a closing tag: copy range never ends.
         let res = p.filter_to_vec(b"<a><b>never closed");
         assert!(matches!(res, Err(CoreError::UnexpectedEof { .. })));
+    }
+
+    /// Tokenizer edge cases: the windowed tag-end scan pinned against the
+    /// scalar per-byte loop as the reference oracle, over whole slices and
+    /// over streams split at every lane-relevant chunk size.
+    mod tag_scan_oracle {
+        use super::super::{scan_tag_end_scalar, scan_tag_end_windowed};
+        use super::*;
+        use crate::runtime::input::{SliceInput, StreamInput};
+        use smpx_stringmatch::Counters;
+
+        /// Scan documents that start mid-tag at `pos = 0`, exactly as the
+        /// runtime scans from just past a keyword.
+        const EDGE_TAGS: &[&str] = &[
+            // Quoted '>' inside double- and single-quoted attribute values.
+            " a=\"x>y\">after",
+            " a='x>y'>after",
+            " a=\"x>y\" b='p>q' c=\"r//>s\">t",
+            // Quote character of the other kind inside a value.
+            " a=\"it's>fine\">x",
+            " a='she said \"go>\"'>x",
+            // Comment- and CDATA-lookalike bytes inside the tag (the scan
+            // has no comment syntax: the first unquoted '>' ends it).
+            "!-- a > b </x -->after",
+            "![CDATA[ x</y> ]]>after",
+            // Bachelor corpus.
+            "/>",
+            " />",
+            " a=\"1\"/>after",
+            " a='1' />x",
+            " //>x",
+            // Not bachelors: '/' not directly before '>'.
+            " a='/'>x",
+            "/ >x",
+            // Degenerate: '>' first, empty remainder after.
+            ">",
+            ">x",
+        ];
+
+        /// Unterminated inputs: both scans must report EOF.
+        const EOF_TAGS: &[&str] =
+            &[" a=\"never closed", " a='also open", " no gt at all", "", "/", " a=\"x>y\" trail"];
+
+        fn windowed_on_slice(doc: &[u8]) -> (Result<(usize, bool), CoreError>, Counters) {
+            let mut c = Counters::default();
+            let mut input = SliceInput::new(doc);
+            (scan_tag_end_windowed(&mut input, 0, &mut c), c)
+        }
+
+        fn scalar_on_slice(doc: &[u8]) -> (Result<(usize, bool), CoreError>, Counters) {
+            let mut c = Counters::default();
+            let mut input = SliceInput::new(doc);
+            (scan_tag_end_scalar(&mut input, 0, &mut c), c)
+        }
+
+        #[test]
+        fn windowed_matches_scalar_oracle_on_slices() {
+            for tag in EDGE_TAGS {
+                let (got, gc) = windowed_on_slice(tag.as_bytes());
+                let (want, wc) = scalar_on_slice(tag.as_bytes());
+                let got = got.unwrap_or_else(|e| panic!("windowed failed on {tag:?}: {e}"));
+                let want = want.unwrap_or_else(|e| panic!("scalar failed on {tag:?}: {e}"));
+                assert_eq!(got, want, "tag={tag:?}");
+                // Both modes attribute exactly the consumed bytes to the
+                // scan counter and none to Char Comp.
+                assert_eq!(gc.scanned, got.0 as u64, "windowed scanned, tag={tag:?}");
+                assert_eq!(wc.scanned, got.0 as u64, "scalar scanned, tag={tag:?}");
+                assert_eq!(gc.comparisons, 0, "tag={tag:?}");
+                assert_eq!(wc.comparisons, 0, "tag={tag:?}");
+            }
+        }
+
+        #[test]
+        fn windowed_matches_scalar_oracle_on_eof() {
+            for tag in EOF_TAGS {
+                let (got, gc) = windowed_on_slice(tag.as_bytes());
+                let (want, wc) = scalar_on_slice(tag.as_bytes());
+                assert!(
+                    matches!(got, Err(CoreError::UnexpectedEof { .. })),
+                    "windowed must EOF on {tag:?}"
+                );
+                assert!(
+                    matches!(want, Err(CoreError::UnexpectedEof { .. })),
+                    "scalar must EOF on {tag:?}"
+                );
+                // Both consumed the whole input as scan bytes.
+                assert_eq!(gc.scanned, tag.len() as u64, "tag={tag:?}");
+                assert_eq!(wc.scanned, tag.len() as u64, "tag={tag:?}");
+            }
+        }
+
+        #[test]
+        fn windowed_scan_is_chunk_size_independent() {
+            // Lane-relevant chunk sizes: 1, 2, SWAR word ±1, SSE lane ±1,
+            // AVX lane ±1, and a page-like chunk.
+            let chunks = [1usize, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 4096];
+            for tag in EDGE_TAGS {
+                let (want, wc) = scalar_on_slice(tag.as_bytes());
+                let want = want.unwrap();
+                for chunk in chunks {
+                    let mut c = Counters::default();
+                    let mut out = Vec::new();
+                    let mut input = StreamInput::new(tag.as_bytes(), &mut out, chunk);
+                    let got = scan_tag_end_windowed(&mut input, 0, &mut c)
+                        .unwrap_or_else(|e| panic!("tag={tag:?} chunk={chunk}: {e}"));
+                    assert_eq!(got, want, "tag={tag:?} chunk={chunk}");
+                    assert_eq!(c.scanned, wc.scanned, "tag={tag:?} chunk={chunk}");
+                    assert_eq!(c.comparisons, 0, "tag={tag:?} chunk={chunk}");
+                }
+            }
+            for tag in EOF_TAGS {
+                for chunk in chunks {
+                    let mut c = Counters::default();
+                    let mut out = Vec::new();
+                    let mut input = StreamInput::new(tag.as_bytes(), &mut out, chunk);
+                    let got = scan_tag_end_windowed(&mut input, 0, &mut c);
+                    assert!(
+                        matches!(got, Err(CoreError::UnexpectedEof { .. })),
+                        "tag={tag:?} chunk={chunk}"
+                    );
+                    assert_eq!(c.scanned, tag.len() as u64, "tag={tag:?} chunk={chunk}");
+                }
+            }
+        }
+
+        #[test]
+        fn scan_positions_mid_document() {
+            // Non-zero `pos`: the scan starts after a keyword, offsets are
+            // absolute.
+            let doc = b"<a><b  id=\"x>y\" >keep</b></a>";
+            for pos in [2usize, 6, 7] {
+                let mut cw = Counters::default();
+                let mut iw = SliceInput::new(doc);
+                let got = scan_tag_end_windowed(&mut iw, pos, &mut cw).unwrap();
+                let mut cs = Counters::default();
+                let mut is = SliceInput::new(doc);
+                let want = scan_tag_end_scalar(&mut is, pos, &mut cs).unwrap();
+                assert_eq!(got, want, "pos={pos}");
+                assert_eq!(cw.scanned, (got.0 - pos) as u64);
+                assert_eq!(cs.scanned, (got.0 - pos) as u64);
+            }
+        }
     }
 }

@@ -7,14 +7,16 @@ pub struct RunStats {
     pub input_bytes: u64,
     /// Output (projected document) size in bytes.
     pub output_bytes: u64,
-    /// Characters inspected: matcher comparisons plus tag-end scans and
-    /// match verification (the paper's `Char Comp.`, reported as a
-    /// percentage of the input).
+    /// Characters inspected by genuine pattern comparisons: matcher
+    /// comparisons plus match verification (the paper's `Char Comp.`,
+    /// reported as a percentage of the input).
     pub chars_compared: u64,
-    /// Bytes consumed by the vectorized skip-scan (`memscan`). Counted
-    /// separately from `chars_compared` so the paper's characters-inspected
-    /// accounting stays honest: these bytes were inspected, but by the
-    /// vector unit rather than scalar comparisons.
+    /// Bytes consumed by scanning: the vectorized skip-scan (`memscan`)
+    /// plus the tag-end and balanced-scan traversal — the latter in the
+    /// `SMPX_NO_SIMD=1` mode too, so this split means the same thing in
+    /// both modes. Counted separately from `chars_compared` so the
+    /// paper's characters-inspected accounting stays honest: these bytes
+    /// were inspected, but by a scan rather than pattern comparisons.
     pub bytes_scanned: u64,
     /// Number of forward shifts performed by the matchers.
     pub shifts: u64,

@@ -34,13 +34,19 @@
 
 //! # Vectorized fast path
 //!
-//! Every SMP frontier keyword starts with `<`, so whenever all patterns
-//! share their first byte the searcher vector-scans ([`crate::memscan`])
-//! for that byte before entering the reversed-pattern trie: windows that
-//! cannot contain a pattern start are skipped without any trie walk.
-//! `SMPX_NO_SIMD=1` (or [`memscan::force_accel`](crate::memscan::force_accel))
-//! disables the fast path; [`CommentzWalter::find_at_scalar`] exposes the
-//! pure windowed loop directly.
+//! Occurrences can only start at positions holding some pattern's *first*
+//! byte. Whenever the vocabulary has at most three distinct first bytes —
+//! always true for SMP frontier vocabularies, where every keyword starts
+//! with `<` — the searcher vector-scans ([`crate::memscan`]) for those
+//! bytes (`find_byte`/[`find_byte2`](memscan::find_byte2)/
+//! [`find_byte3`](memscan::find_byte3)) before entering any trie:
+//! positions that cannot start a pattern are skipped without a single
+//! scalar comparison, with no shared-prefix assumption. Vocabularies with
+//! four or more distinct first bytes fall back to the classic windowed
+//! loop. `SMPX_NO_SIMD=1` (or
+//! [`memscan::force_accel`](crate::memscan::force_accel)) disables the
+//! fast path; [`CommentzWalter::find_at_scalar`] exposes the pure windowed
+//! loop directly.
 
 use crate::{memscan, Metrics, MultiMatch, NoMetrics};
 
@@ -63,9 +69,10 @@ impl Node {
     }
 }
 
-/// Node of the *forward* pattern trie used by the accelerated fast path
-/// (built only when all patterns share their first byte). The root
-/// represents the state after consuming that shared byte.
+/// Node of the *forward* pattern trie forest used by the accelerated fast
+/// path (built only when the patterns have at most three distinct first
+/// bytes). Each first byte owns a root representing the state after
+/// consuming it.
 #[derive(Debug, Clone)]
 struct FwdNode {
     /// Sorted outgoing edges (byte, target).
@@ -97,31 +104,47 @@ pub struct CommentzWalter {
     /// `d1[c]`: minimal distance ≥ 1 of byte `c` from the right end of any
     /// pattern, capped at `lmin`.
     d1: [u32; 256],
-    /// When every pattern starts with the same byte (always `<` for SMP
-    /// frontier vocabularies), the vectorized prefix fast path scans for it.
-    common_first: Option<u8>,
-    /// Forward trie over the patterns minus their shared first byte
-    /// (empty unless `common_first` is set): the fast path verifies all
-    /// patterns at a candidate with one walk, comparing each haystack
-    /// byte at most once.
+    /// The distinct first bytes of the patterns, each paired with the root
+    /// of its forward trie in `fwd_nodes` — sorted by byte, at most three
+    /// entries (empty when the vocabulary has more distinct first bytes,
+    /// which disables the vectorized fast path). SMP frontier vocabularies
+    /// always collapse to the single entry `(b'<', _)`.
+    fwd_roots: Vec<(u8, u32)>,
+    /// `fwd_roots`' bytes unpacked by arity, so the hot candidate hop
+    /// dispatches once per call instead of walking a slice per peeked
+    /// byte. `None` disables the fast path (> 3 distinct first bytes).
+    first_needles: Option<FirstNeedles>,
+    /// Forward trie forest over the patterns minus their first byte (empty
+    /// unless `fwd_roots` is populated): the fast path verifies all
+    /// patterns starting with a given byte at a candidate with one walk,
+    /// comparing each haystack byte at most once.
     fwd_nodes: Vec<FwdNode>,
 }
 
-/// Locate the next shared-prefix byte for the fast path. A short scalar
-/// peek covers the dense-markup common case (the next tag is a handful of
-/// bytes away) without paying the vector-call overhead; the vector scan
-/// takes over for long tag-free text runs, where it shines.
+/// The distinct pattern first bytes, unpacked for the candidate hop: the
+/// single-needle case (every SMP frontier vocabulary) must compile to the
+/// same one-compare peek loop a hard-coded byte would.
+#[derive(Debug, Clone, Copy)]
+enum FirstNeedles {
+    One(u8),
+    Two(u8, u8),
+    Three(u8, u8, u8),
+}
+
+/// Locate the next candidate-start byte for the fast path, via the
+/// `memscan::peek_find*` family: a short scalar peek covers the
+/// dense-markup common case (the next tag is a handful of bytes away)
+/// without paying the vector-call overhead, and the vector scan — one,
+/// two or three needles wide, matching the distinct first bytes of the
+/// vocabulary — takes over for long candidate-free text runs, where it
+/// shines.
 #[inline]
-fn next_first_byte(hay: &[u8], from: usize, b: u8) -> Option<usize> {
-    const PEEK: usize = 16;
-    let end = hay.len().min(from + PEEK);
-    if let Some(p) = hay[from..end].iter().position(|&x| x == b) {
-        return Some(from + p);
+fn next_first_byte(hay: &[u8], from: usize, needles: FirstNeedles) -> Option<usize> {
+    match needles {
+        FirstNeedles::One(a) => memscan::peek_find(hay, from, a),
+        FirstNeedles::Two(a, b) => memscan::peek_find2(hay, from, a, b),
+        FirstNeedles::Three(a, b, c) => memscan::peek_find3(hay, from, a, b, c),
     }
-    if end == hay.len() {
-        return None;
-    }
-    memscan::find_byte(hay, end, b)
 }
 
 impl CommentzWalter {
@@ -134,8 +157,9 @@ impl CommentzWalter {
         }
         let lmin = patterns.iter().map(|p| p.len()).min().unwrap();
         let lmax = patterns.iter().map(|p| p.len()).max().unwrap();
-        let first = patterns[0][0];
-        let common_first = patterns.iter().all(|p| p[0] == first).then_some(first);
+        let mut firsts: Vec<u8> = patterns.iter().map(|p| p[0]).collect();
+        firsts.sort_unstable();
+        firsts.dedup();
 
         // Trie over reversed patterns.
         let mut nodes = vec![Node { gs: lmin as u32, tail: lmin as u32, ..Node::default() }];
@@ -206,12 +230,17 @@ impl CommentzWalter {
             }
         }
 
-        // Forward trie for the shared-prefix fast path.
+        // Forward trie forest for the first-byte fast path: one root per
+        // distinct first byte, the vector scan covering up to three.
         let mut fwd_nodes = Vec::new();
-        if common_first.is_some() {
-            fwd_nodes.push(FwdNode::new());
+        let mut fwd_roots: Vec<(u8, u32)> = Vec::new();
+        if firsts.len() <= 3 {
+            for &b in &firsts {
+                fwd_roots.push((b, fwd_nodes.len() as u32));
+                fwd_nodes.push(FwdNode::new());
+            }
             for (idx, pat) in patterns.iter().enumerate() {
-                let mut cur = 0u32;
+                let mut cur = fwd_roots[fwd_roots.partition_point(|&(b, _)| b < pat[0])].1;
                 for &b in &pat[1..] {
                     cur = match fwd_nodes[cur as usize].child(b) {
                         Some(n) => n,
@@ -230,7 +259,14 @@ impl CommentzWalter {
             }
         }
 
-        CommentzWalter { nodes, patterns, lmin, lmax, d1, common_first, fwd_nodes }
+        let first_needles = match fwd_roots.as_slice() {
+            [(a, _)] => Some(FirstNeedles::One(*a)),
+            [(a, _), (b, _)] => Some(FirstNeedles::Two(*a, *b)),
+            [(a, _), (b, _), (c, _)] => Some(FirstNeedles::Three(*a, *b, *c)),
+            _ => None,
+        };
+
+        CommentzWalter { nodes, patterns, lmin, lmax, d1, fwd_roots, first_needles, fwd_nodes }
     }
 
     /// The pattern set, in construction order.
@@ -267,22 +303,23 @@ impl CommentzWalter {
         }
     }
 
-    /// Accelerated search. When every pattern shares its first byte (`<`
-    /// for SMP vocabularies), occurrences can only start at positions of
-    /// that byte — so instead of sliding windows through the trie, hop
-    /// from prefix byte to prefix byte with the vector scan and verify the
-    /// patterns forward at each stop. The result is the global minimum by
-    /// `(end, pattern index)` among occurrences starting `>= from`, which
-    /// is exactly what the windowed loop computes: the window loop returns
-    /// the first *window* (= smallest end) with a detection and breaks
-    /// ties by pattern index.
+    /// Accelerated search. Occurrences can only start at positions holding
+    /// one of the patterns' first bytes (just `<` for SMP vocabularies) —
+    /// so instead of sliding windows through the trie, hop from first byte
+    /// to first byte with the (up to three-needle) vector scan and verify
+    /// the patterns forward at each stop. The result is the global minimum
+    /// by `(end, pattern index)` among occurrences starting `>= from`,
+    /// which is exactly what the windowed loop computes: the window loop
+    /// returns the first *window* (= smallest end) with a detection and
+    /// breaks ties by pattern index.
     fn find_at_accel<M: Metrics>(&self, hay: &[u8], from: usize, m: &mut M) -> Option<MultiMatch> {
         let lmin = self.lmin;
         if from >= hay.len() || hay.len() - from < lmin {
             return None;
         }
-        let Some(b) = self.common_first else {
-            // No shared prefix byte: nothing for the vector unit to key on.
+        let Some(needles) = self.first_needles else {
+            // Four or more distinct first bytes: beyond the vector scan's
+            // needle budget, keep the windowed loop.
             return self.find_at_scalar(hay, from, m);
         };
         // Last position where even the shortest pattern still fits.
@@ -301,7 +338,7 @@ impl CommentzWalter {
                     break;
                 }
             }
-            let Some(s) = next_first_byte(hay, cursor, b) else {
+            let Some(s) = next_first_byte(hay, cursor, needles) else {
                 m.scanned((hay.len() - cursor) as u64);
                 if best.is_none() {
                     m.shift((last_start + 1 - cursor) as u64);
@@ -323,12 +360,13 @@ impl CommentzWalter {
             if s > cursor {
                 m.shift((s - cursor) as u64);
             }
-            // One forward-trie walk verifies every pattern at `s`; each
-            // haystack byte is compared at most once (byte 0 is the shared
-            // prefix byte the scan already confirmed and accounted for).
-            // The shallowest accepting node is the smallest end at `s`;
-            // deeper matches only end later, so the walk can stop there.
-            let mut v = 0u32;
+            // One forward-trie walk verifies every pattern starting with
+            // `hay[s]` at `s`; each haystack byte is compared at most once
+            // (byte 0 selected this trie root, and the scan already
+            // confirmed and accounted for it). The shallowest accepting
+            // node is the smallest end at `s`; deeper matches only end
+            // later, so the walk can stop there.
+            let mut v = self.fwd_root(hay[s]);
             let mut depth = 1usize;
             loop {
                 let node = &self.fwd_nodes[v as usize];
@@ -355,6 +393,19 @@ impl CommentzWalter {
             cursor = s + 1;
         }
         best
+    }
+
+    /// Root of the forward trie for first byte `b` (a scan stop is always
+    /// one of the ≤ 3 distinct first bytes, so the linear probe — one
+    /// compare for SMP vocabularies — always hits).
+    #[inline]
+    fn fwd_root(&self, b: u8) -> u32 {
+        for &(fb, r) in &self.fwd_roots {
+            if fb == b {
+                return r;
+            }
+        }
+        unreachable!("scan stops only on pattern first bytes")
     }
 
     /// The pure Commentz–Walter windowed loop without the vectorized
@@ -388,7 +439,7 @@ impl CommentzWalter {
     pub fn find_iter<'h>(&'h self, hay: &'h [u8]) -> impl Iterator<Item = MultiMatch> + 'h {
         let lmin = self.lmin;
         let span = self.lmax - lmin;
-        let accel = if memscan::accel_enabled() { self.common_first } else { None };
+        let accel = if memscan::accel_enabled() { self.first_needles } else { None };
         let mut pos = 0usize;
         let mut known_first: Option<usize> = None;
         let mut pending: Vec<MultiMatch> = Vec::new();
@@ -399,12 +450,12 @@ impl CommentzWalter {
             if hay.len() < lmin || pos > hay.len() - lmin {
                 return None;
             }
-            if let Some(b) = accel {
+            if let Some(needles) = accel {
                 // Same fast-forward as `find_at`, minus the `from` floor.
                 let lo = pos.saturating_sub(span);
                 let lt = match known_first {
                     Some(p) if p >= lo => p,
-                    _ => next_first_byte(hay, lo, b)?,
+                    _ => next_first_byte(hay, lo, needles)?,
                 };
                 known_first = Some(lt);
                 if lt > pos {
@@ -440,6 +491,7 @@ impl CommentzWalter {
         let patterns = self.patterns.capacity() * std::mem::size_of::<Vec<u8>>()
             + self.patterns.iter().map(|p| p.capacity()).sum::<usize>();
         let fwd = self.fwd_nodes.capacity() * std::mem::size_of::<FwdNode>()
+            + self.fwd_roots.capacity() * std::mem::size_of::<(u8, u32)>()
             + self
                 .fwd_nodes
                 .iter()
@@ -606,6 +658,54 @@ mod tests {
         // lmin = 5 ("<name"), so roughly n/5 comparisons.
         assert!(c.comparisons <= (hay.len() / 4) as u64, "got {}", c.comparisons);
         assert!(c.avg_shift() > 4.0);
+    }
+
+    #[test]
+    fn mixed_first_bytes_use_multi_needle_fast_path() {
+        // Two and three distinct first bytes: the accelerated path must
+        // agree with the windowed loop and the naive oracle (this is the
+        // non-SMP shape the shared-prefix assumption used to exclude).
+        let cases: Vec<(&[u8], Vec<&[u8]>)> = vec![
+            (b"ushers say hershey", vec![b"he", b"she", b"hers"]),
+            (b"abracadabra", vec![b"abra", b"cad"]),
+            (b"<a>text</a><b/>", vec![b"<a", b"text", b"/b"]),
+            (b"mississippi", vec![b"ssi", b"ppi", b"iss"]),
+        ];
+        for (hay, pats) in cases {
+            let cw = CommentzWalter::new(&pats);
+            for from in 0..=hay.len() {
+                assert_eq!(
+                    cw.find_at(hay, from, &mut NoMetrics),
+                    cw.find_at_scalar(hay, from, &mut NoMetrics),
+                    "hay={:?} pats={pats:?} from={from}",
+                    String::from_utf8_lossy(hay)
+                );
+            }
+            check_all(hay, &pats);
+        }
+    }
+
+    #[test]
+    fn four_distinct_first_bytes_fall_back_to_windowed_loop() {
+        // Beyond the three-needle scan budget: still correct via fallback.
+        let pats: Vec<&[u8]> = vec![b"ab", b"cd", b"ef", b"gh"];
+        let hay = b"xxefxxabxxghxxcd";
+        let cw = CommentzWalter::new(&pats);
+        for from in 0..=hay.len() {
+            assert_eq!(
+                cw.find_at(hay, from, &mut NoMetrics),
+                cw.find_at_scalar(hay, from, &mut NoMetrics),
+                "from={from}"
+            );
+        }
+        check_all(hay, &pats);
+    }
+
+    #[test]
+    fn single_byte_patterns_in_mixed_vocabulary() {
+        // A length-1 pattern puts an accepting node at a forest root.
+        check_all(b"a<b<<c", &[b"<", b"ab"]);
+        check_all(b"zzz", &[b"z", b"y"]);
     }
 
     #[test]

@@ -3,10 +3,16 @@
 //! The paper's searchers win by *skipping* characters, but a scalar shift
 //! loop still pays one branch and one bounds check per alignment. This
 //! module turns the skip into a hardware scan: [`find_byte`] locates the
-//! next occurrence of a single byte (`memchr`-style) and
-//! [`find_byte_offset_pair`] locates the next alignment at which two
-//! pattern bytes match at their respective offsets (`memchr2`-style rare
-//! byte search with offset confirmation, as in `memchr::memmem`).
+//! next occurrence of a single byte (`memchr`-style), [`find_byte2`] /
+//! [`find_byte3`] the next occurrence of any of two / three needles
+//! (`memchr2/3`-style), and [`find_byte_offset_pair`] locates the next
+//! alignment at which two pattern bytes match at their respective offsets
+//! (rare byte search with offset confirmation, as in `memchr::memmem`).
+//!
+//! On top of the raw scans, [`scan_tag_end_window`] drives the runtime's
+//! quote-aware search for a tag's closing `>`: it hops `>`-to-`>` and
+//! quote-to-quote instead of stepping per byte, and its [`TagScan`] state
+//! is resumable across streaming-window refills.
 //!
 //! Three implementations are provided and selected once per process:
 //!
@@ -150,6 +156,44 @@ pub fn find_byte(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
     }
 }
 
+/// Position of the first occurrence of either needle in `hay[from..]`, as
+/// an absolute offset (`memchr2`-style). The needles need not be distinct.
+/// Dispatches to the active [`ScanKind`].
+#[inline]
+pub fn find_byte2(hay: &[u8], from: usize, n1: u8, n2: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    match kind() {
+        ScanKind::Swar => find_byte2_swar(hay, from, n1, n2),
+        #[cfg(target_arch = "x86_64")]
+        ScanKind::Sse2 => find_byte2_sse2(hay, from, n1, n2),
+        #[cfg(target_arch = "x86_64")]
+        ScanKind::Avx2 => find_byte2_avx2(hay, from, n1, n2),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => find_byte2_swar(hay, from, n1, n2),
+    }
+}
+
+/// Position of the first occurrence of any of three needles in
+/// `hay[from..]`, as an absolute offset (`memchr3`-style). The needles
+/// need not be distinct. Dispatches to the active [`ScanKind`].
+#[inline]
+pub fn find_byte3(hay: &[u8], from: usize, n1: u8, n2: u8, n3: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    match kind() {
+        ScanKind::Swar => find_byte3_swar(hay, from, n1, n2, n3),
+        #[cfg(target_arch = "x86_64")]
+        ScanKind::Sse2 => find_byte3_sse2(hay, from, n1, n2, n3),
+        #[cfg(target_arch = "x86_64")]
+        ScanKind::Avx2 => find_byte3_avx2(hay, from, n1, n2, n3),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => find_byte3_swar(hay, from, n1, n2, n3),
+    }
+}
+
 /// First alignment `a >= from` with `hay[a + off1] == b1` and
 /// `hay[a + off2] == b2` (offsets distinct, in either order). This is the
 /// rare-byte candidate filter of `memchr::memmem`: the searchers pick `b1`
@@ -283,6 +327,12 @@ pub(crate) fn rare_pair_find<M: crate::Metrics>(
 const LO: u64 = 0x0101_0101_0101_0101;
 const HI: u64 = 0x8080_8080_8080_8080;
 
+/// Mycroft's zero-byte detector: a set high bit per zero byte of `x`.
+#[inline(always)]
+fn zero_bytes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
 /// Word-at-a-time scan: 8 bytes per iteration, no `unsafe`.
 pub fn find_byte_swar(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
     if from >= hay.len() {
@@ -299,14 +349,64 @@ pub fn find_byte_swar(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
     let mut chunks = rest.chunks_exact(8);
     for chunk in &mut chunks {
         let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-        let x = word ^ splat;
-        let found = x.wrapping_sub(LO) & !x & HI;
+        let found = zero_bytes(word ^ splat);
         if found != 0 {
             return Some(i + (found.trailing_zeros() / 8) as usize);
         }
         i += 8;
     }
     chunks.remainder().iter().position(|&b| b == needle).map(|p| i + p)
+}
+
+/// Two-needle word-at-a-time scan: 8 bytes per iteration, no `unsafe`.
+pub fn find_byte2_swar(hay: &[u8], from: usize, n1: u8, n2: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    let s1 = LO.wrapping_mul(n1 as u64);
+    let s2 = LO.wrapping_mul(n2 as u64);
+    let mut i = from;
+    let (head, rest) = hay[from..].split_at(hay[from..].len().min((8 - (from % 8)) % 8));
+    if let Some(p) = head.iter().position(|&b| b == n1 || b == n2) {
+        return Some(from + p);
+    }
+    i += head.len();
+    let mut chunks = rest.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let found = zero_bytes(word ^ s1) | zero_bytes(word ^ s2);
+        if found != 0 {
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    chunks.remainder().iter().position(|&b| b == n1 || b == n2).map(|p| i + p)
+}
+
+/// Three-needle word-at-a-time scan: 8 bytes per iteration, no `unsafe`.
+pub fn find_byte3_swar(hay: &[u8], from: usize, n1: u8, n2: u8, n3: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    let s1 = LO.wrapping_mul(n1 as u64);
+    let s2 = LO.wrapping_mul(n2 as u64);
+    let s3 = LO.wrapping_mul(n3 as u64);
+    let mut i = from;
+    let (head, rest) = hay[from..].split_at(hay[from..].len().min((8 - (from % 8)) % 8));
+    if let Some(p) = head.iter().position(|&b| b == n1 || b == n2 || b == n3) {
+        return Some(from + p);
+    }
+    i += head.len();
+    let mut chunks = rest.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let found = zero_bytes(word ^ s1) | zero_bytes(word ^ s2) | zero_bytes(word ^ s3);
+        if found != 0 {
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    chunks.remainder().iter().position(|&b| b == n1 || b == n2 || b == n3).map(|p| i + p)
 }
 
 // ---------------------------------------------------------------------------
@@ -373,9 +473,326 @@ pub fn find_byte_avx2(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
     unsafe { imp(hay, from, needle) }
 }
 
+/// Two-needle scan, 16 bytes per iteration (`x86_64` baseline ISA).
+#[cfg(target_arch = "x86_64")]
+pub fn find_byte2_sse2(hay: &[u8], from: usize, n1: u8, n2: u8) -> Option<usize> {
+    use std::arch::x86_64::*;
+    if from >= hay.len() {
+        return None;
+    }
+    let len = hay.len();
+    let mut i = from;
+    // SAFETY: every `_mm_loadu_si128` below reads 16 bytes starting at
+    // `hay[i]` with `i + 16 <= len` checked by the loop condition; `loadu`
+    // has no alignment requirement.
+    unsafe {
+        let s1 = _mm_set1_epi8(n1 as i8);
+        let s2 = _mm_set1_epi8(n2 as i8);
+        while i + 16 <= len {
+            let v = _mm_loadu_si128(hay.as_ptr().add(i) as *const __m128i);
+            let eq = _mm_or_si128(_mm_cmpeq_epi8(v, s1), _mm_cmpeq_epi8(v, s2));
+            let mask = _mm_movemask_epi8(eq) as u32;
+            if mask != 0 {
+                return Some(i + mask.trailing_zeros() as usize);
+            }
+            i += 16;
+        }
+    }
+    hay[i..].iter().position(|&b| b == n1 || b == n2).map(|p| i + p)
+}
+
+/// Three-needle scan, 16 bytes per iteration (`x86_64` baseline ISA).
+#[cfg(target_arch = "x86_64")]
+pub fn find_byte3_sse2(hay: &[u8], from: usize, n1: u8, n2: u8, n3: u8) -> Option<usize> {
+    use std::arch::x86_64::*;
+    if from >= hay.len() {
+        return None;
+    }
+    let len = hay.len();
+    let mut i = from;
+    // SAFETY: as in `find_byte2_sse2` — 16-byte unaligned loads with
+    // `i + 16 <= len` checked by the loop condition.
+    unsafe {
+        let s1 = _mm_set1_epi8(n1 as i8);
+        let s2 = _mm_set1_epi8(n2 as i8);
+        let s3 = _mm_set1_epi8(n3 as i8);
+        while i + 16 <= len {
+            let v = _mm_loadu_si128(hay.as_ptr().add(i) as *const __m128i);
+            let eq = _mm_or_si128(
+                _mm_or_si128(_mm_cmpeq_epi8(v, s1), _mm_cmpeq_epi8(v, s2)),
+                _mm_cmpeq_epi8(v, s3),
+            );
+            let mask = _mm_movemask_epi8(eq) as u32;
+            if mask != 0 {
+                return Some(i + mask.trailing_zeros() as usize);
+            }
+            i += 16;
+        }
+    }
+    hay[i..].iter().position(|&b| b == n1 || b == n2 || b == n3).map(|p| i + p)
+}
+
+/// Two-needle scan, 32 bytes per iteration; callers must only dispatch
+/// here when AVX2 was detected at runtime (enforced by [`kind`]).
+#[cfg(target_arch = "x86_64")]
+pub fn find_byte2_avx2(hay: &[u8], from: usize, n1: u8, n2: u8) -> Option<usize> {
+    #[target_feature(enable = "avx2")]
+    unsafe fn imp(hay: &[u8], from: usize, n1: u8, n2: u8) -> Option<usize> {
+        use std::arch::x86_64::*;
+        if from >= hay.len() {
+            return None;
+        }
+        let len = hay.len();
+        let mut i = from;
+        // SAFETY: 32-byte unaligned loads with `i + 32 <= len` checked by
+        // the loop condition.
+        unsafe {
+            let s1 = _mm256_set1_epi8(n1 as i8);
+            let s2 = _mm256_set1_epi8(n2 as i8);
+            while i + 32 <= len {
+                let v = _mm256_loadu_si256(hay.as_ptr().add(i) as *const __m256i);
+                let eq = _mm256_or_si256(_mm256_cmpeq_epi8(v, s1), _mm256_cmpeq_epi8(v, s2));
+                let mask = _mm256_movemask_epi8(eq) as u32;
+                if mask != 0 {
+                    return Some(i + mask.trailing_zeros() as usize);
+                }
+                i += 32;
+            }
+        }
+        hay[i..].iter().position(|&b| b == n1 || b == n2).map(|p| i + p)
+    }
+    // SAFETY: dispatch reaches this function only after
+    // `is_x86_feature_detected!("avx2")` succeeded (see `detect_kind` /
+    // `force_kind`), so the target-feature precondition holds.
+    unsafe { imp(hay, from, n1, n2) }
+}
+
+/// Three-needle scan, 32 bytes per iteration; callers must only dispatch
+/// here when AVX2 was detected at runtime (enforced by [`kind`]).
+#[cfg(target_arch = "x86_64")]
+pub fn find_byte3_avx2(hay: &[u8], from: usize, n1: u8, n2: u8, n3: u8) -> Option<usize> {
+    #[target_feature(enable = "avx2")]
+    unsafe fn imp(hay: &[u8], from: usize, n1: u8, n2: u8, n3: u8) -> Option<usize> {
+        use std::arch::x86_64::*;
+        if from >= hay.len() {
+            return None;
+        }
+        let len = hay.len();
+        let mut i = from;
+        // SAFETY: 32-byte unaligned loads with `i + 32 <= len` checked by
+        // the loop condition.
+        unsafe {
+            let s1 = _mm256_set1_epi8(n1 as i8);
+            let s2 = _mm256_set1_epi8(n2 as i8);
+            let s3 = _mm256_set1_epi8(n3 as i8);
+            while i + 32 <= len {
+                let v = _mm256_loadu_si256(hay.as_ptr().add(i) as *const __m256i);
+                let eq = _mm256_or_si256(
+                    _mm256_or_si256(_mm256_cmpeq_epi8(v, s1), _mm256_cmpeq_epi8(v, s2)),
+                    _mm256_cmpeq_epi8(v, s3),
+                );
+                let mask = _mm256_movemask_epi8(eq) as u32;
+                if mask != 0 {
+                    return Some(i + mask.trailing_zeros() as usize);
+                }
+                i += 32;
+            }
+        }
+        hay[i..].iter().position(|&b| b == n1 || b == n2 || b == n3).map(|p| i + p)
+    }
+    // SAFETY: dispatch precondition as in `find_byte2_avx2`.
+    unsafe { imp(hay, from, n1, n2, n3) }
+}
+
 /// Plain byte loop, used as the oracle in tests.
 pub fn find_byte_scalar(hay: &[u8], from: usize, needle: u8) -> Option<usize> {
     hay.get(from..)?.iter().position(|&b| b == needle).map(|p| from + p)
+}
+
+/// Plain two-needle byte loop, used as the oracle in tests.
+pub fn find_byte2_scalar(hay: &[u8], from: usize, n1: u8, n2: u8) -> Option<usize> {
+    hay.get(from..)?.iter().position(|&b| b == n1 || b == n2).map(|p| from + p)
+}
+
+/// Plain three-needle byte loop, used as the oracle in tests.
+pub fn find_byte3_scalar(hay: &[u8], from: usize, n1: u8, n2: u8, n3: u8) -> Option<usize> {
+    hay.get(from..)?.iter().position(|&b| b == n1 || b == n2 || b == n3).map(|p| from + p)
+}
+
+// ---------------------------------------------------------------------------
+// Quote-aware tag-end scan
+// ---------------------------------------------------------------------------
+
+/// Resumable state of the quote-aware tag-end scan
+/// ([`scan_tag_end_window`]). A fresh scan starts from
+/// [`TagScan::new`]; when a window is exhausted without finding the
+/// closing `>`, the state carries the open-quote and last-consumed-byte
+/// context into the next window, so streaming inputs can refill between
+/// calls without losing track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagScan {
+    /// `Some(q)` while inside an attribute value opened by quote byte `q`.
+    quote: Option<u8>,
+    /// Last byte consumed before the current scan position (`0` before
+    /// anything was consumed) — needed to classify a closing `>` as a
+    /// bachelor tag (`/>`).
+    prev: u8,
+}
+
+impl TagScan {
+    /// Start state: outside any quote, nothing consumed yet.
+    pub fn new() -> TagScan {
+        TagScan { quote: None, prev: 0 }
+    }
+
+    /// Is the scan currently inside a quoted attribute value? (Exposed so
+    /// error paths can name the right context.)
+    pub fn in_quote(&self) -> bool {
+        self.quote.is_some()
+    }
+}
+
+impl Default for TagScan {
+    fn default() -> Self {
+        TagScan::new()
+    }
+}
+
+/// Length of the scalar peek the `peek_find*` family runs before paying
+/// for a vector call: in dense markup the next stop is usually a handful
+/// of bytes away, where vector setup costs more than it saves.
+const PEEK: usize = 16;
+
+/// Peek-then-hop single-needle scan: a [`PEEK`]-byte scalar peek before
+/// the [`find_byte`] vector scan.
+#[inline]
+pub fn peek_find(hay: &[u8], from: usize, n1: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    let end = hay.len().min(from + PEEK);
+    if let Some(p) = hay[from..end].iter().position(|&x| x == n1) {
+        return Some(from + p);
+    }
+    if end == hay.len() {
+        return None;
+    }
+    find_byte(hay, end, n1)
+}
+
+/// Peek-then-hop two-needle scan: a [`PEEK`]-byte scalar peek before the
+/// [`find_byte2`] vector scan. The runtime's balanced depth scan calls it
+/// directly for its `<e`/`</e` candidate hop.
+#[inline]
+pub fn peek_find2(hay: &[u8], from: usize, n1: u8, n2: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    let end = hay.len().min(from + PEEK);
+    if let Some(p) = hay[from..end].iter().position(|&x| x == n1 || x == n2) {
+        return Some(from + p);
+    }
+    if end == hay.len() {
+        return None;
+    }
+    find_byte2(hay, end, n1, n2)
+}
+
+/// Peek-then-hop three-needle scan: a [`PEEK`]-byte scalar peek before
+/// the [`find_byte3`] vector scan.
+#[inline]
+pub fn peek_find3(hay: &[u8], from: usize, n1: u8, n2: u8, n3: u8) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    let end = hay.len().min(from + PEEK);
+    if let Some(p) = hay[from..end].iter().position(|&x| x == n1 || x == n2 || x == n3) {
+        return Some(from + p);
+    }
+    if end == hay.len() {
+        return None;
+    }
+    find_byte3(hay, end, n1, n2, n3)
+}
+
+/// Scan `win[from..]` for the closing `>` of a tag, hopping `>`-to-`>` /
+/// quote-to-quote with [`find_byte3`] and [`find_byte`] instead of
+/// stepping per byte. `>` inside single- or double-quoted attribute
+/// values does not terminate the tag.
+///
+/// Returns `Some((end, bachelor))` — `end` is the window-relative offset
+/// one past the `>`, `bachelor` is true when the byte before the `>` was
+/// `/` — or `None` when the window is exhausted first; in that case `st`
+/// holds the resumption context and the caller continues with the next
+/// window (`from = 0`). Semantics are byte-identical to the scalar
+/// reference loop (`smpx_core`'s `scan_tag_end_scalar`), pinned by the
+/// tokenizer edge-case tests.
+pub fn scan_tag_end_window(win: &[u8], from: usize, st: &mut TagScan) -> Option<(usize, bool)> {
+    // Adaptive prefix: most tags close within a few dozen bytes, where a
+    // tight per-byte loop beats the setup cost of vector calls. Only tags
+    // that outlive the prefix — long attribute values — switch to hops.
+    const PREFIX: usize = 32;
+    let mut i = from;
+    // Resumed mid-quote: close the quote first (peek + vector hop).
+    if let Some(q) = st.quote {
+        let j = peek_find(win, i, q)?;
+        st.quote = None;
+        st.prev = q;
+        i = j + 1;
+    }
+    // Per-byte prefix, shaped like the scalar reference loop (dedicated
+    // inner quote loop, `prev` in a register).
+    let prefix_end = win.len().min(from + PREFIX);
+    let mut prev = st.prev;
+    'prefix: while i < prefix_end {
+        match win[i] {
+            b'>' => return Some((i + 1, prev == b'/')),
+            q @ (b'"' | b'\'') => {
+                i += 1;
+                while i < prefix_end {
+                    if win[i] == q {
+                        prev = q;
+                        i += 1;
+                        continue 'prefix;
+                    }
+                    i += 1;
+                }
+                // Quote still open at the prefix edge: hand to the hops.
+                st.quote = Some(q);
+                break 'prefix;
+            }
+            c => {
+                prev = c;
+                i += 1;
+            }
+        }
+    }
+    st.prev = prev;
+    loop {
+        if let Some(q) = st.quote {
+            // Inside an attribute value: only its closing quote matters.
+            let j = peek_find(win, i, q)?;
+            st.quote = None;
+            st.prev = q;
+            i = j + 1;
+        }
+        match peek_find3(win, i, b'>', b'"', b'\'') {
+            Some(j) => {
+                if win[j] == b'>' {
+                    let prev = if j > i { win[j - 1] } else { st.prev };
+                    return Some((j + 1, prev == b'/'));
+                }
+                st.quote = Some(win[j]);
+                i = j + 1;
+            }
+            None => {
+                if i < win.len() {
+                    st.prev = win[win.len() - 1];
+                }
+                return None;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -550,6 +967,159 @@ mod tests {
         let ((r1, p1), (r2, p2)) = rare_byte_pair(pat).unwrap();
         assert_eq!(pat[p1], r1);
         assert_eq!(pat[p2], r2);
+    }
+
+    fn all_impls2(hay: &[u8], from: usize, n1: u8, n2: u8) -> Vec<(&'static str, Option<usize>)> {
+        let mut v = vec![
+            ("scalar", find_byte2_scalar(hay, from, n1, n2)),
+            ("swar", find_byte2_swar(hay, from, n1, n2)),
+        ];
+        #[cfg(target_arch = "x86_64")]
+        {
+            v.push(("sse2", find_byte2_sse2(hay, from, n1, n2)));
+            if std::arch::is_x86_feature_detected!("avx2") {
+                v.push(("avx2", find_byte2_avx2(hay, from, n1, n2)));
+            }
+        }
+        v
+    }
+
+    fn all_impls3(
+        hay: &[u8],
+        from: usize,
+        n1: u8,
+        n2: u8,
+        n3: u8,
+    ) -> Vec<(&'static str, Option<usize>)> {
+        let mut v = vec![
+            ("scalar", find_byte3_scalar(hay, from, n1, n2, n3)),
+            ("swar", find_byte3_swar(hay, from, n1, n2, n3)),
+        ];
+        #[cfg(target_arch = "x86_64")]
+        {
+            v.push(("sse2", find_byte3_sse2(hay, from, n1, n2, n3)));
+            if std::arch::is_x86_feature_detected!("avx2") {
+                v.push(("avx2", find_byte3_avx2(hay, from, n1, n2, n3)));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn multi_needle_impls_agree_on_lane_boundaries() {
+        // Each needle placed at every position of haystacks sized around
+        // the SWAR-word (8) and SSE/AVX lane (16/32) boundaries.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65] {
+            for at in 0..len {
+                for needle in [b'<', b'>'] {
+                    let mut hay = vec![b'x'; len];
+                    hay[at] = needle;
+                    for from in 0..=len {
+                        let want2 = find_byte2_scalar(&hay, from, b'<', b'>');
+                        for (name, got) in all_impls2(&hay, from, b'<', b'>') {
+                            assert_eq!(got, want2, "{name} len={len} at={at} from={from}");
+                        }
+                        let want3 = find_byte3_scalar(&hay, from, b'<', b'>', b'"');
+                        for (name, got) in all_impls3(&hay, from, b'<', b'>', b'"') {
+                            assert_eq!(got, want3, "{name} len={len} at={at} from={from}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_needle_finds_earliest_of_either() {
+        let hay = b"aaa>bb<cc>";
+        for (name, got) in all_impls2(hay, 0, b'<', b'>') {
+            assert_eq!(got, Some(3), "{name}");
+        }
+        for (name, got) in all_impls2(hay, 4, b'<', b'>') {
+            assert_eq!(got, Some(6), "{name}");
+        }
+        // Duplicate needles degrade to a single-byte scan.
+        for (name, got) in all_impls2(hay, 0, b'<', b'<') {
+            assert_eq!(got, Some(6), "{name}");
+        }
+        for (name, got) in all_impls3(b"..'..\">.", 0, b'>', b'"', b'\'') {
+            assert_eq!(got, Some(2), "{name}");
+        }
+    }
+
+    #[test]
+    fn multi_needle_missing_and_past_end() {
+        let hay = vec![b'q'; 100];
+        for (name, got) in all_impls2(&hay, 0, b'<', b'>') {
+            assert_eq!(got, None, "{name}");
+        }
+        for (name, got) in all_impls3(&hay, 0, b'<', b'>', b'"') {
+            assert_eq!(got, None, "{name}");
+        }
+        assert_eq!(find_byte2(b"abc", 100, b'a', b'b'), None);
+        assert_eq!(find_byte3(b"abc", 100, b'a', b'b', b'c'), None);
+        for (name, got) in all_impls2(b"abc", 100, b'a', b'b') {
+            assert_eq!(got, None, "{name}");
+        }
+        for (name, got) in all_impls3(b"abc", 100, b'a', b'b', b'c') {
+            assert_eq!(got, None, "{name}");
+        }
+    }
+
+    #[test]
+    fn tag_scan_plain_and_bachelor() {
+        let mut st = TagScan::new();
+        assert_eq!(scan_tag_end_window(b" a='1'>rest", 0, &mut st), Some((7, false)));
+        let mut st = TagScan::new();
+        assert_eq!(scan_tag_end_window(b" a='1'/>rest", 0, &mut st), Some((8, true)));
+        // '>' as the very first byte: prev is the initial 0, not bachelor.
+        let mut st = TagScan::new();
+        assert_eq!(scan_tag_end_window(b">x", 0, &mut st), Some((1, false)));
+    }
+
+    #[test]
+    fn tag_scan_quoted_gt_is_skipped() {
+        for tag in [&b" a=\"x>y\" >"[..], &b" a='x>y' >"[..], &b" a='>>>>' b=\">\">"[..]] {
+            let mut st = TagScan::new();
+            let (end, bachelor) = scan_tag_end_window(tag, 0, &mut st).unwrap();
+            assert_eq!(end, tag.len(), "tag={}", String::from_utf8_lossy(tag));
+            assert!(!bachelor);
+        }
+        // A quote closing right before the '>' is not a bachelor marker
+        // even when the quoted value ends in '/'.
+        let mut st = TagScan::new();
+        assert_eq!(scan_tag_end_window(b" a='/'>", 0, &mut st), Some((7, false)));
+    }
+
+    #[test]
+    fn tag_scan_resumes_across_windows() {
+        // Split " a='x>y' />rest" at every boundary; the reassembled scan
+        // must agree with the whole-slice scan.
+        let tag = b" a='x>y' q=\"//\" />rest";
+        let mut whole = TagScan::new();
+        let want = scan_tag_end_window(tag, 0, &mut whole).unwrap();
+        for cut in 0..tag.len() {
+            let mut st = TagScan::new();
+            match scan_tag_end_window(&tag[..cut], 0, &mut st) {
+                Some(got) => assert_eq!(got, want, "cut={cut} (found early)"),
+                None => {
+                    let (end, bachelor) =
+                        scan_tag_end_window(&tag[cut..], 0, &mut st).expect("found in second half");
+                    assert_eq!((end + cut, bachelor), want, "cut={cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tag_scan_exhausted_window_keeps_state() {
+        let mut st = TagScan::new();
+        assert_eq!(scan_tag_end_window(b" a='open", 0, &mut st), None);
+        assert!(st.in_quote());
+        // Still quoted: a '>' in the next window is consumed as value text.
+        assert_eq!(scan_tag_end_window(b">>still'", 0, &mut st), None);
+        assert!(!st.in_quote());
+        assert_eq!(scan_tag_end_window(b">", 0, &mut st), Some((1, false)));
     }
 
     #[test]

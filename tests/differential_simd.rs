@@ -1,0 +1,243 @@
+//! Differential chunk-boundary suite: the vectorized prefilter vs the
+//! `SMPX_NO_SIMD=1` scalar fallback, swept across streaming chunk sizes.
+//!
+//! For identical documents the two modes must produce **byte-identical
+//! output** and the **same match set** (`tokens_matched`, `false_matches`,
+//! `initial_jump_chars`) — in the slice runtime and in the streaming
+//! runtime at every chunk size around the SWAR-word (8), SSE-lane (16)
+//! and AVX-lane (32) boundaries, so every `Input::window()` split point
+//! is exercised: a window ending one byte into a tag, inside a quoted
+//! attribute value, between a `<` and its second byte, and so on.
+//!
+//! On `Char Comp.` accounting: the *scan layer* contributes identically
+//! in both modes — tag-end and balanced-scan traversal is routed through
+//! `bytes_scanned`, pinned byte-exactly by the `tag_scan_oracle` unit
+//! tests in `crates/core`. The *searchers* intentionally do not: the
+//! accelerated Boyer–Moore/Commentz–Walter report scan hops plus
+//! verification comparisons while the scalar loops report the classic
+//! per-alignment counts (see CHANGES.md, PR 2), so whole-run
+//! `chars_compared` equality across modes is not a meaningful invariant
+//! and is not asserted here.
+//!
+//! The mode toggle (`memscan::force_accel`) is process-global, so every
+//! test in this binary serializes on [`mode_lock`].
+
+mod common;
+
+use common::{assert_valid, random_doc, random_dtd, random_paths, Rand};
+use smpx_core::{Prefilter, RunStats};
+use smpx_dtd::Dtd;
+use smpx_paths::PathSet;
+use smpx_stringmatch::memscan;
+use std::sync::{Mutex, OnceLock};
+
+/// Chunk sizes around every lane boundary: 1, 2, word±1, lane±1, page.
+const CHUNKS: &[usize] = &[1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 4096];
+
+fn mode_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Run `f` once with the vectorized paths forced on and once forced off,
+/// restoring the environment-selected mode afterwards.
+fn with_both_modes<T>(mut f: impl FnMut(bool) -> T) -> (T, T) {
+    let _guard = mode_lock().lock().unwrap();
+    let env_accel = std::env::var_os("SMPX_NO_SIMD").is_none_or(|v| v != "1");
+    memscan::force_accel(true);
+    let accel = f(true);
+    memscan::force_accel(false);
+    let scalar = f(false);
+    memscan::force_accel(env_accel);
+    (accel, scalar)
+}
+
+/// The observable a differential run pins: exact output bytes plus the
+/// chunk- and mode-independent slice of the statistics.
+#[derive(Debug, Clone, PartialEq)]
+struct Observed {
+    out: Vec<u8>,
+    tokens_matched: u64,
+    false_matches: u64,
+    initial_jump_chars: u64,
+    output_bytes: u64,
+}
+
+impl Observed {
+    fn new(out: Vec<u8>, stats: &RunStats) -> Observed {
+        Observed {
+            out,
+            tokens_matched: stats.tokens_matched,
+            false_matches: stats.false_matches,
+            initial_jump_chars: stats.initial_jump_chars,
+            output_bytes: stats.output_bytes,
+        }
+    }
+}
+
+/// Slice run + full chunk sweep for one (dtd, paths, doc) in the current
+/// mode; asserts stream ≡ slice inside, returns the slice observation.
+fn sweep(pf: &mut Prefilter, doc: &[u8], label: &str) -> (Observed, RunStats) {
+    let (slice_out, slice_stats) = pf.filter_to_vec(doc).expect("slice filter");
+    let slice_obs = Observed::new(slice_out, &slice_stats);
+    for &chunk in CHUNKS {
+        let mut out = Vec::new();
+        let stats = pf.filter_stream(doc, &mut out, chunk).expect("stream filter");
+        let stream_obs = Observed::new(out, &stats);
+        assert_eq!(
+            stream_obs,
+            slice_obs,
+            "{label}: stream(chunk={chunk}) diverged from slice\ndoc: {}",
+            String::from_utf8_lossy(doc)
+        );
+    }
+    (slice_obs, slice_stats)
+}
+
+#[test]
+fn random_documents_agree_across_modes_and_chunks() {
+    for seed in 0..100u64 {
+        let mut r = Rand::new(seed);
+        let dtd = random_dtd(&mut r);
+        let doc = random_doc(&dtd, &mut r);
+        assert_valid(&dtd, &doc);
+        let paths = random_paths(&dtd, &mut r);
+        let (accel, scalar) = with_both_modes(|mode| {
+            let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
+            sweep(&mut pf, &doc, &format!("seed {seed} accel={mode}")).0
+        });
+        assert_eq!(
+            accel,
+            scalar,
+            "seed {seed}: vectorized and scalar modes diverged\npaths: {paths}\ndoc: {}",
+            String::from_utf8_lossy(&doc)
+        );
+    }
+}
+
+// --------------------------------------------------------------------------
+// Recursive documents: the balanced scan crossing window boundaries.
+// --------------------------------------------------------------------------
+
+const REC_DTD: &[u8] =
+    b"<!ELEMENT r (x|t)*> <!ELEMENT x (x?) > <!ELEMENT t (#PCDATA)> <!ATTLIST x a CDATA #IMPLIED>";
+
+/// A nested `x` subtree whose tags are full of quote/slash/gt traps for
+/// the windowed scans, plus bachelor forms.
+fn push_x(doc: &mut Vec<u8>, r: &mut Rand, depth: usize) {
+    match r.below(5) {
+        0 | 1 if depth < 6 => {
+            let attr = match r.below(5) {
+                0 => " a=\"x>y\"",
+                1 => " a='//>'",
+                2 => " a=\"q\" b='>'",
+                3 => " a='it\"s'",
+                _ => "",
+            };
+            doc.extend_from_slice(format!("<x{attr}>").as_bytes());
+            if r.chance(70) {
+                push_x(doc, r, depth + 1);
+            }
+            doc.extend_from_slice(b"</x>");
+        }
+        2 => doc.extend_from_slice(b"<x/>"),
+        3 => doc.extend_from_slice(b"<x a=\"/\" />"),
+        _ => doc.extend_from_slice(b"<x></x>"),
+    }
+}
+
+fn rec_doc(seed: u64) -> Vec<u8> {
+    let mut r = Rand::new(seed);
+    let mut doc = Vec::from(&b"<r>"[..]);
+    for i in 0..2 + r.below(4) {
+        push_x(&mut doc, &mut r, 0);
+        doc.extend_from_slice(format!("<t>keep{i}</t>").as_bytes());
+    }
+    doc.extend_from_slice(b"</r>");
+    doc
+}
+
+#[test]
+fn recursive_documents_agree_across_modes_and_chunks() {
+    let dtd = Dtd::parse(REC_DTD).expect("recursive DTD parses");
+    for paths in [&["/*", "/r/t#"][..], &["/*", "//t#"], &["/*", "/r/x"]] {
+        let paths = PathSet::parse(paths).expect("paths parse");
+        for seed in 0..40u64 {
+            let doc = rec_doc(seed);
+            let (accel, scalar) = with_both_modes(|mode| {
+                let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
+                sweep(&mut pf, &doc, &format!("rec seed {seed} accel={mode}")).0
+            });
+            assert_eq!(
+                accel,
+                scalar,
+                "rec seed {seed}: modes diverged\npaths: {paths}\ndoc: {}",
+                String::from_utf8_lossy(&doc)
+            );
+        }
+    }
+}
+
+#[test]
+fn deep_recursion_streams_at_tiny_chunks() {
+    // 120 levels with attribute traps: the balanced hop must keep its
+    // depth across hundreds of window refills.
+    let dtd = Dtd::parse(REC_DTD).expect("recursive DTD parses");
+    let paths = PathSet::parse(&["/*", "/r/t#"]).expect("paths parse");
+    let mut doc = Vec::from(&b"<r>"[..]);
+    for i in 0..120 {
+        doc.extend_from_slice(if i % 3 == 0 { b"<x a=\"d>e\">" } else { b"<x>" });
+    }
+    doc.extend_from_slice(b"<x/>");
+    for _ in 0..120 {
+        doc.extend_from_slice(b"</x>");
+    }
+    doc.extend_from_slice(b"<t>payload</t></r>");
+    let (accel, scalar) = with_both_modes(|mode| {
+        let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
+        sweep(&mut pf, &doc, &format!("deep accel={mode}")).0
+    });
+    assert_eq!(String::from_utf8_lossy(&accel.out), "<r><t>payload</t></r>");
+    assert_eq!(accel, scalar);
+}
+
+// --------------------------------------------------------------------------
+// Scan accounting: traversal bytes belong to Scan%, not Char Comp.
+// --------------------------------------------------------------------------
+
+#[test]
+fn tag_traversal_bytes_are_scanned_not_compared_in_both_modes() {
+    // One giant attribute (with '>' and '/' traps) dominates the document:
+    // the tag-end scan must charge it to `bytes_scanned` in the vectorized
+    // AND the scalar mode, leaving `Char Comp.` to genuine pattern
+    // comparisons. Together Scan% + Char Comp. cover every byte the run
+    // consumed; the attribute's share may never migrate into Char Comp.
+    let dtd = Dtd::parse(REC_DTD).expect("recursive DTD parses");
+    let paths = PathSet::parse(&["/*", "/r/t#"]).expect("paths parse");
+    let attr: String = "ab>cd/e ".repeat(2048); // 16 KiB inside quotes
+    let doc = format!("<r><x a=\"{attr}\"><x/></x><t>k</t></r>").into_bytes();
+    let attr_len = attr.len() as u64;
+    let ((accel_obs, accel_stats), (scalar_obs, scalar_stats)) = with_both_modes(|mode| {
+        let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
+        sweep(&mut pf, &doc, &format!("bigattr accel={mode}"))
+    });
+    assert_eq!(accel_obs, scalar_obs);
+    for (mode, stats) in [("accel", &accel_stats), ("scalar", &scalar_stats)] {
+        assert!(
+            stats.bytes_scanned >= attr_len,
+            "{mode}: the quoted attribute must be scan-consumed \
+             (bytes_scanned={} < attr={attr_len})",
+            stats.bytes_scanned
+        );
+        assert!(
+            stats.chars_compared < attr_len / 4,
+            "{mode}: attribute bytes leaked into Char Comp. \
+             (chars_compared={})",
+            stats.chars_compared
+        );
+        // The consumed-byte budget is conserved: what the run inspected
+        // (scan + comparisons) is bounded by the input, and covers at
+        // least the dominant tag.
+        assert!(stats.bytes_scanned + stats.chars_compared <= 2 * doc.len() as u64);
+    }
+}
