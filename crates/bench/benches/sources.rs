@@ -1,0 +1,106 @@
+//! End-to-end document-delivery benchmarks: the same compiled prefilter
+//! over the same on-disk XMark document, delivered through each
+//! `DocSource` backend.
+//!
+//! Every iteration starts from the file — `slice` reads it whole into a
+//! `Vec` first (the pre-refactor behavior), `mmap` maps it zero-copy, and
+//! `reader` streams it through the chunked window — so the measured
+//! difference is exactly the delivery cost the Input-layer refactor
+//! targets. Default document size is 64 MiB (`SMPX_BENCH_KB` overrides,
+//! as everywhere; the CI bench-smoke job runs tiny sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smpx_bench::measure::TempDocFile;
+use smpx_bench::queries::{xmark_paths, XMARK_QUERIES};
+use smpx_core::runtime::source::{MmapSource, ReaderSource, SliceSource};
+use smpx_core::runtime::DEFAULT_CHUNK;
+use smpx_core::Prefilter;
+use smpx_datagen::{xmark, GenOptions};
+use smpx_dtd::Dtd;
+use std::io::BufReader;
+
+fn doc_bytes() -> usize {
+    smpx_bench::measure::bench_doc_bytes(64 << 20)
+}
+
+fn bench_sources(c: &mut Criterion) {
+    let doc = xmark::generate(GenOptions::sized(doc_bytes()));
+    let file = TempDocFile::new("sources", &doc);
+    let path = file.path();
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
+
+    let mut g = c.benchmark_group("sources/xmark_file");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    // XM13: the typical projection query of the Fig. 7(a) pipeline.
+    let q = XMARK_QUERIES.iter().find(|q| q.id == "XM13").unwrap();
+    let paths = xmark_paths(q);
+
+    g.bench_function(BenchmarkId::new("slice_preread", q.id), |b| {
+        let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            let bytes = std::fs::read(path).unwrap();
+            pf.filter_source(SliceSource::new(&bytes), &mut out).unwrap();
+            out.len()
+        })
+    });
+    g.bench_function(BenchmarkId::new("mmap", q.id), |b| {
+        let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            let src = MmapSource::open(path).unwrap();
+            pf.filter_source(src, &mut out).unwrap();
+            out.len()
+        })
+    });
+    g.bench_function(BenchmarkId::new("reader_32k", q.id), |b| {
+        let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            let file = std::fs::File::open(path).unwrap();
+            let src = ReaderSource::new(BufReader::new(file), DEFAULT_CHUNK);
+            pf.filter_source(src, &mut out).unwrap();
+            out.len()
+        })
+    });
+    g.finish();
+
+    // Batch amortization: N shard documents through one automaton
+    // (run_batch, matchers warm after the first shard) vs a freshly
+    // compiled prefilter per shard.
+    let shards = 8usize;
+    let small = xmark::generate(GenOptions::sized(doc_bytes() / shards));
+    let mut g = c.benchmark_group("sources/batch");
+    g.throughput(Throughput::Bytes((small.len() * shards) as u64));
+    g.bench_function("run_batch_one_automaton", |b| {
+        let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+        b.iter(|| {
+            let batch = (0..shards).map(|_| (SliceSource::new(&small), std::io::sink()));
+            pf.run_batch(batch).unwrap().len()
+        })
+    });
+    g.bench_function("compile_per_document", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for _ in 0..shards {
+                let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+                n += pf
+                    .filter_source(SliceSource::new(&small), std::io::sink())
+                    .unwrap()
+                    .tokens_matched;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sources
+}
+criterion_main!(benches);

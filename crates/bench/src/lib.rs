@@ -29,6 +29,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
 pub mod measure;
 pub mod queries;
 pub mod runners;

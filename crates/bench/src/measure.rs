@@ -5,7 +5,36 @@
 //! numbers from `/proc/self/stat` on Linux (USER_HZ = 100) and fall back to
 //! wall time elsewhere.
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+/// A document written to a unique temp file, removed on drop — the disk
+/// half of every file-backed delivery in the bench crate (table-runner
+/// deliveries and the `sources` bench both map/stream real files).
+pub struct TempDocFile {
+    path: PathBuf,
+}
+
+impl TempDocFile {
+    /// Write `doc` to a fresh pid- and tag-unique temp file.
+    pub fn new(tag: &str, doc: &[u8]) -> TempDocFile {
+        let path =
+            std::env::temp_dir().join(format!("smpx-bench-{}-{tag}.xml", std::process::id()));
+        std::fs::write(&path, doc).expect("write bench temp file");
+        TempDocFile { path }
+    }
+
+    /// Where the document lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDocFile {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
 
 /// A wall + CPU duration pair.
 #[derive(Debug, Clone, Copy, Default)]
@@ -64,6 +93,40 @@ pub fn env_mb(var: &str, default_mb: usize) -> usize {
     std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(default_mb)
         * 1024
         * 1024
+}
+
+/// Which `DocSource` backend the table runners deliver documents through,
+/// selected by the `SMPX_SOURCE` environment variable (`slice` default,
+/// `mmap`, `reader`) so the same experiment binaries can measure every
+/// backend — the nightly paper-scale CI job runs them over `mmap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceMode {
+    /// In-memory slice (the generated document, no file round-trip).
+    Slice,
+    /// Memory-mapped temp file.
+    Mmap,
+    /// Chunked streaming read of a temp file.
+    Reader,
+}
+
+impl SourceMode {
+    /// Read `SMPX_SOURCE`; unknown values fall back to `Slice`.
+    pub fn from_env() -> SourceMode {
+        match std::env::var("SMPX_SOURCE").as_deref() {
+            Ok("mmap") => SourceMode::Mmap,
+            Ok("reader") => SourceMode::Reader,
+            _ => SourceMode::Slice,
+        }
+    }
+}
+
+/// Streaming chunk for [`SourceMode::Reader`] deliveries: `SMPX_CHUNK_KB`
+/// (KiB) or the paper's default window.
+pub fn source_chunk() -> usize {
+    std::env::var("SMPX_CHUNK_KB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(smpx_core::runtime::DEFAULT_CHUNK, |kb| kb.max(1) * 1024)
 }
 
 /// Document size for the criterion bench targets: `SMPX_BENCH_KB` (in KiB)

@@ -6,18 +6,86 @@
 //! what rough factor, where the crossovers fall) are the reproduction
 //! target — see EXPERIMENTS.md.
 
-use crate::measure::{env_mb, fmt_mb, time, Timed};
+use crate::measure::{env_mb, fmt_mb, source_chunk, time, SourceMode, TempDocFile, Timed};
 use crate::queries::{
     medline_paths, xmark_paths, MEDLINE_QUERIES, PAPER_TABLE1, PAPER_TABLE2, TABLE3_QUERIES,
     XMARK_QUERIES,
 };
 use smpx_baselines::{sax, TokenProjector};
+use smpx_core::runtime::source::{MmapSource, ReaderSource, SourceKind};
 use smpx_core::{Prefilter, RunStats};
 use smpx_datagen::{medline, xmark, GenOptions};
 use smpx_dtd::Dtd;
 use smpx_engine::{InMemEngine, StreamEngine};
 use smpx_paths::xpath::XPath;
 use smpx_paths::PathSet;
+
+/// One dataset delivered through the `SMPX_SOURCE`-selected `DocSource`
+/// backend. For `mmap` and `reader` the generated document is written to
+/// a temp file once (removed on drop) and every measured run opens it
+/// through the real backend, so the timing includes genuine delivery.
+pub struct Delivery<'a> {
+    doc: &'a [u8],
+    mode: SourceMode,
+    chunk: usize,
+    file: Option<TempDocFile>,
+}
+
+impl<'a> Delivery<'a> {
+    /// Wrap `doc` with the backend `SMPX_SOURCE` selects; `tag` keeps
+    /// concurrent temp files apart.
+    pub fn from_env(doc: &'a [u8], tag: &str) -> Delivery<'a> {
+        let mode = SourceMode::from_env();
+        let file = match mode {
+            SourceMode::Slice => None,
+            SourceMode::Mmap | SourceMode::Reader => Some(TempDocFile::new(tag, doc)),
+        };
+        Delivery { doc, mode, chunk: source_chunk(), file }
+    }
+
+    /// The raw document bytes (for baselines that only take slices).
+    pub fn doc(&self) -> &'a [u8] {
+        self.doc
+    }
+
+    /// Self-describing backend tag for rows and JSON records
+    /// (`slice` / `mmap` / `reader/32KiB`).
+    pub fn label(&self) -> String {
+        match self.mode {
+            SourceMode::Slice => SourceKind::Slice.as_str().to_string(),
+            SourceMode::Mmap => SourceKind::Mmap.as_str().to_string(),
+            SourceMode::Reader => format!("{}/{}KiB", SourceKind::Reader, self.chunk / 1024),
+        }
+    }
+
+    /// One prefilter run through the selected backend.
+    pub fn filter(&self, pf: &mut Prefilter) -> (Vec<u8>, RunStats) {
+        let (out, mut stats) = match self.mode {
+            SourceMode::Slice => pf.filter_to_vec(self.doc).expect("filter"),
+            SourceMode::Mmap => {
+                let path = self.file.as_ref().expect("mmap delivery has a file").path();
+                let src = MmapSource::open(path).expect("map bench doc");
+                let mut out = Vec::new();
+                let stats = pf.filter_source(src, &mut out).expect("filter");
+                (out, stats)
+            }
+            SourceMode::Reader => {
+                let path = self.file.as_ref().expect("reader delivery has a file").path();
+                let file = std::fs::File::open(path).expect("open bench doc");
+                let src = ReaderSource::new(std::io::BufReader::new(file), self.chunk);
+                let mut out = Vec::new();
+                let stats = pf.filter_source(src, &mut out).expect("filter");
+                (out, stats)
+            }
+        };
+        // Streams do not know their length up front; fill it in so the
+        // percentage columns stay meaningful.
+        if stats.input_bytes == 0 {
+            stats.input_bytes = self.doc.len() as u64;
+        }
+        (out, stats)
+    }
+}
 
 /// One Table I/II row.
 #[derive(Debug)]
@@ -30,27 +98,33 @@ pub struct SmpRow {
     pub cw: usize,
     pub bm: usize,
     pub stats: RunStats,
+    /// Which `DocSource` backend produced the row (`Delivery::label`).
+    pub source: String,
 }
 
-/// Run SMP once over `doc` for `paths`, collecting a table row.
-pub fn smp_row(id: &str, dtd: &Dtd, paths: &PathSet, doc: &[u8]) -> SmpRow {
+/// Run SMP once over a delivered document for `paths`, collecting a
+/// table row.
+pub fn smp_row(id: &str, dtd: &Dtd, paths: &PathSet, doc: &Delivery<'_>) -> SmpRow {
     let mut pf = Prefilter::compile(dtd, paths).expect("compile");
-    let ((out, stats), timed) = time(|| pf.filter_to_vec(doc).expect("filter"));
+    let ((out, stats), timed) = time(|| doc.filter(&mut pf));
     SmpRow {
         id: id.to_string(),
         proj_size: out.len() as u64,
-        mem_bytes: pf.memory_bytes() + smpx_core::runtime::DEFAULT_CHUNK * 2,
+        // Tables + matchers + the I/O window this delivery actually
+        // allocated (zero for zero-copy slice/mmap backends).
+        mem_bytes: pf.memory_bytes() + stats.io_window_bytes as usize,
         timed,
         states: pf.tables().state_count(),
         cw: pf.tables().cw_states(),
         bm: pf.tables().bm_states(),
         stats,
+        source: doc.label(),
     }
 }
 
 fn print_smp_header() {
     println!(
-        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7}",
+        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7} {:>13}",
         "query",
         "Proj.Size",
         "Mem",
@@ -64,6 +138,7 @@ fn print_smp_header() {
         "Char%",
         "paper",
         "Scan%",
+        "Source",
     );
 }
 
@@ -71,7 +146,7 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
     let (p_shift, p_jump, p_char) =
         paper.map_or((f64::NAN, f64::NAN, f64::NAN), |p| (p.1, p.2, p.3));
     println!(
-        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2}",
+        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2} {:>13}",
         r.id,
         fmt_mb(r.proj_size),
         fmt_mb(r.mem_bytes as u64),
@@ -87,6 +162,7 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
         r.stats.char_comp_pct(),
         p_char,
         r.stats.scanned_pct(),
+        r.source,
     );
 }
 
@@ -97,11 +173,12 @@ pub fn run_table1() -> Vec<SmpRow> {
     println!("   (paper columns in parentheses: 5GB XMark on 2006 hardware)");
     let doc = xmark::generate(GenOptions::sized(bytes));
     let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("XMark DTD");
-    println!("   generated {} bytes", doc.len());
+    let delivery = Delivery::from_env(&doc, "table1");
+    println!("   generated {} bytes, delivered via {}", doc.len(), delivery.label());
     print_smp_header();
     let mut rows = Vec::new();
     for q in XMARK_QUERIES {
-        let row = smp_row(q.id, &dtd, &xmark_paths(q), &doc);
+        let row = smp_row(q.id, &dtd, &xmark_paths(q), &delivery);
         print_smp_row(&row, PAPER_TABLE1.iter().find(|(id, ..)| *id == q.id));
         rows.push(row);
     }
@@ -115,11 +192,12 @@ pub fn run_table2() -> Vec<SmpRow> {
     println!("   (paper columns in parentheses: 656MB MEDLINE on 2006 hardware)");
     let doc = medline::generate(GenOptions::sized(bytes));
     let dtd = Dtd::parse(medline::MEDLINE_DTD.as_bytes()).expect("MEDLINE DTD");
-    println!("   generated {} bytes", doc.len());
+    let delivery = Delivery::from_env(&doc, "table2");
+    println!("   generated {} bytes, delivered via {}", doc.len(), delivery.label());
     print_smp_header();
     let mut rows = Vec::new();
     for q in MEDLINE_QUERIES {
-        let row = smp_row(q.id, &dtd, &medline_paths(q), &doc);
+        let row = smp_row(q.id, &dtd, &medline_paths(q), &delivery);
         print_smp_row(&row, PAPER_TABLE2.iter().find(|(id, ..)| *id == q.id));
         rows.push(row);
     }
@@ -137,7 +215,8 @@ pub fn run_table_protein() -> Vec<SmpRow> {
     );
     let doc = protein::generate(GenOptions::sized(bytes));
     let dtd = Dtd::parse(protein::PROTEIN_DTD.as_bytes()).expect("Protein DTD");
-    println!("   generated {} bytes", doc.len());
+    let delivery = Delivery::from_env(&doc, "protein");
+    println!("   generated {} bytes, delivered via {}", doc.len(), delivery.label());
     print_smp_header();
     let workloads: &[(&str, &[&str])] = &[
         ("P1", &["/*", "/ProteinDatabase/ProteinEntry/protein/name#"]),
@@ -156,7 +235,7 @@ pub fn run_table_protein() -> Vec<SmpRow> {
     let mut rows = Vec::new();
     for (id, texts) in workloads {
         let paths = PathSet::parse(texts).expect("curated paths");
-        let row = smp_row(id, &dtd, &paths, &doc);
+        let row = smp_row(id, &dtd, &paths, &delivery);
         print_smp_row(&row, None);
         rows.push(row);
     }
@@ -172,6 +251,9 @@ pub struct Table3Row {
     pub smp_cpu: f64,
     pub smp_size: u64,
     pub speedup: f64,
+    /// Backend that delivered the SMP run (the tokenizing projector
+    /// always reads the in-memory slice).
+    pub source: String,
 }
 
 /// Table III: the tokenizing schema-aware projector (TBP stand-in) against
@@ -186,6 +268,8 @@ pub fn run_table3() -> Vec<Table3Row> {
     println!("    so expect the language-independent share of the gap)");
     let doc = xmark::generate(GenOptions::sized(bytes));
     let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("XMark DTD");
+    let delivery = Delivery::from_env(&doc, "table3");
+    println!("   SMP delivered via {}", delivery.label());
     println!(
         "{:<6} {:>12} {:>12} {:>12} {:>12} {:>9}",
         "query", "TBP U+S[s]", "TBP size", "SMP U+S[s]", "SMP size", "speedup"
@@ -196,10 +280,10 @@ pub fn run_table3() -> Vec<Table3Row> {
         let paths = xmark_paths(q);
 
         let projector = TokenProjector::new(&paths);
-        let (tbp_out, tbp_t) = time(|| projector.project(&doc).expect("project"));
+        let (tbp_out, tbp_t) = time(|| projector.project(delivery.doc()).expect("project"));
 
         let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
-        let ((smp_out, _), smp_t) = time(|| pf.filter_to_vec(&doc).expect("filter"));
+        let ((smp_out, _), smp_t) = time(|| delivery.filter(&mut pf));
 
         let speedup = tbp_t.cpu.as_secs_f64() / smp_t.cpu.as_secs_f64().max(1e-9);
         println!(
@@ -218,6 +302,7 @@ pub fn run_table3() -> Vec<Table3Row> {
             smp_cpu: smp_t.cpu.as_secs_f64(),
             smp_size: smp_out.len() as u64,
             speedup,
+            source: delivery.label(),
         });
     }
     rows

@@ -35,7 +35,10 @@
 //! assert!(stats.chars_compared < doc.len() as u64);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place: the
+// `extern "C"` mmap shim in `runtime::source::mmap`, each call with its
+// bounds argument spelled out (same policy as `smpx_stringmatch::memscan`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compile;
@@ -45,5 +48,6 @@ mod stats;
 
 pub use compile::{Action, CompiledTables, RtState};
 pub use error::CoreError;
+pub use runtime::source::{DocSource, MmapSource, ReaderSource, SliceSource, SourceKind};
 pub use runtime::Prefilter;
 pub use stats::RunStats;

@@ -17,17 +17,17 @@
 //! position (prefix keywords may overlap) and otherwise resumes the scan
 //! one byte further.
 
-mod input;
 mod matchers;
+pub mod source;
 
 use crate::compile::{compile, Action, CompiledTables};
 use crate::error::CoreError;
 use crate::stats::RunStats;
-use input::{Input, SliceInput, StreamInput};
 use matchers::StateMatcher;
 use smpx_dtd::Dtd;
 use smpx_paths::PathSet;
 use smpx_stringmatch::{memscan, Counters, Metrics};
+use source::{DocSource, ReaderSource, SliceSource, SourceInput};
 use std::io::{Read, Write};
 
 /// Default streaming chunk: eight times a 4 KiB page, as in the paper's
@@ -87,16 +87,7 @@ impl Prefilter {
     /// Prefilter an in-memory document, returning the projected bytes and
     /// the run statistics.
     pub fn filter_to_vec(&mut self, doc: &[u8]) -> Result<(Vec<u8>, RunStats), CoreError> {
-        let mut counters = Counters::default();
-        let mut input = SliceInput::new(doc);
-        let mut stats = RunStats { input_bytes: doc.len() as u64, ..RunStats::default() };
-        self.run(&mut input, &mut counters, &mut stats)?;
-        stats.chars_compared += counters.comparisons;
-        stats.bytes_scanned = counters.scanned;
-        stats.shifts = counters.shifts;
-        stats.shift_total = counters.shift_total;
-        stats.output_bytes = input.emitted();
-        Ok((input.into_output(), stats))
+        self.filter_one(SliceSource::new(doc), Vec::new())
     }
 
     /// Prefilter a stream in a single pass with a bounded window.
@@ -106,17 +97,66 @@ impl Prefilter {
         writer: W,
         chunk: usize,
     ) -> Result<RunStats, CoreError> {
+        self.filter_source(ReaderSource::new(reader, chunk), writer)
+    }
+
+    /// Prefilter one document delivered by any [`DocSource`] backend into
+    /// `writer` — the general entry point [`filter_to_vec`] and
+    /// [`filter_stream`] are shorthands for.
+    ///
+    /// [`filter_to_vec`]: Self::filter_to_vec
+    /// [`filter_stream`]: Self::filter_stream
+    pub fn filter_source<S: DocSource, W: Write>(
+        &mut self,
+        src: S,
+        writer: W,
+    ) -> Result<RunStats, CoreError> {
+        let (_, stats) = self.filter_one(src, writer)?;
+        Ok(stats)
+    }
+
+    /// Prefilter many documents through this one compiled automaton,
+    /// returning each document's (sink, stats) pair in input order.
+    ///
+    /// The per-state matchers are built lazily on the first document and
+    /// reused for every following one — batching over one `Prefilter`
+    /// amortizes the whole static analysis and matcher construction
+    /// across the corpus, where a per-document
+    /// [`compile`](Self::compile) would pay both every time. Processing
+    /// stops at the first document that fails.
+    pub fn run_batch<S, W, I>(&mut self, batch: I) -> Result<Vec<(W, RunStats)>, CoreError>
+    where
+        S: DocSource,
+        W: Write,
+        I: IntoIterator<Item = (S, W)>,
+    {
+        let mut results = Vec::new();
+        for (src, writer) in batch {
+            results.push(self.filter_one(src, writer)?);
+        }
+        Ok(results)
+    }
+
+    /// One full Fig. 4 run over `src`, wiring the counters into the
+    /// returned stats.
+    fn filter_one<S: DocSource, W: Write>(
+        &mut self,
+        src: S,
+        writer: W,
+    ) -> Result<(W, RunStats), CoreError> {
         let mut counters = Counters::default();
-        let mut input = StreamInput::new(reader, writer, chunk);
-        let mut stats = RunStats::default();
+        let mut stats =
+            RunStats { input_bytes: src.len_hint().unwrap_or(0), ..RunStats::default() };
+        let mut input = SourceInput::new(src, writer);
         self.run(&mut input, &mut counters, &mut stats)?;
         stats.chars_compared += counters.comparisons;
         stats.bytes_scanned = counters.scanned;
         stats.shifts = counters.shifts;
         stats.shift_total = counters.shift_total;
         stats.output_bytes = input.emitted();
-        let (_, _peak) = input.finish()?;
-        Ok(stats)
+        let (src, out, _) = input.finish()?;
+        stats.io_window_bytes = src.peak_io_bytes() as u64;
+        Ok((out, stats))
     }
 
     fn matcher(&mut self, q: u32) -> &StateMatcher {
@@ -129,9 +169,9 @@ impl Prefilter {
     }
 
     /// The Fig. 4 loop.
-    fn run<I: Input, M: Metrics>(
+    fn run<S: DocSource, W: Write, M: Metrics>(
         &mut self,
-        input: &mut I,
+        input: &mut SourceInput<S, W>,
         m: &mut M,
         stats: &mut RunStats,
     ) -> Result<(), CoreError> {
@@ -209,7 +249,7 @@ impl Prefilter {
                 q = target;
                 cursor = end;
             }
-            input.advance(cursor.saturating_sub(lookback));
+            input.advance(cursor.saturating_sub(lookback))?;
         }
         if input.copy_active() {
             return Err(CoreError::UnexpectedEof { context: "copying a subtree" });
@@ -223,14 +263,14 @@ impl Prefilter {
     /// matching close tag; returns its (start, end).
     ///
     /// Accelerated mode hops the subtree with [`memscan::find_byte2`]
-    /// over [`Input::window`] views; `SMPX_NO_SIMD=1` keeps the classic
+    /// over `SourceInput::window` views; `SMPX_NO_SIMD=1` keeps the classic
     /// Commentz–Walter-driven loop. Both find the identical token
     /// sequence, and both route scan-consumed bytes through
     /// [`Metrics::scanned`].
-    fn balanced_scan<I: Input, M: Metrics>(
+    fn balanced_scan<S: DocSource, W: Write, M: Metrics>(
         &mut self,
         open_state: u32,
-        input: &mut I,
+        input: &mut SourceInput<S, W>,
         from: usize,
         m: &mut M,
         stats: &mut RunStats,
@@ -284,16 +324,16 @@ impl Prefilter {
                     cursor = start + 1;
                 }
             }
-            input.advance(cursor.saturating_sub(lookback));
+            input.advance(cursor.saturating_sub(lookback))?;
         }
     }
 
     /// Search from `from` for the closest keyword occurrence that is a real
     /// tag token (boundary-verified); handles prefix-keyword overlaps.
-    fn find_token<I: Input, M: Metrics>(
+    fn find_token<S: DocSource, W: Write, M: Metrics>(
         &mut self,
         q: u32,
-        input: &mut I,
+        input: &mut SourceInput<S, W>,
         from: usize,
         m: &mut M,
         stats: &mut RunStats,
@@ -328,10 +368,10 @@ impl Prefilter {
 
     /// Check the remaining keywords of `V[q]` directly at `start` (longest
     /// first), with boundary verification.
-    fn keyword_at<I: Input, M: Metrics>(
+    fn keyword_at<S: DocSource, W: Write, M: Metrics>(
         &self,
         q: u32,
-        input: &mut I,
+        input: &mut SourceInput<S, W>,
         start: usize,
         except: usize,
         m: &mut M,
@@ -353,9 +393,9 @@ impl Prefilter {
     }
 
     /// Execute `T[target]` for a non-bachelor token spanning `[start, end)`.
-    fn apply_action<I: Input>(
+    fn apply_action<S: DocSource, W: Write>(
         &self,
-        input: &mut I,
+        input: &mut SourceInput<S, W>,
         target: u32,
         start: usize,
         end: usize,
@@ -398,9 +438,9 @@ impl Prefilter {
     }
 
     /// Execute the open + close actions of a bachelor tag `<name …/>`.
-    fn apply_bachelor<I: Input>(
+    fn apply_bachelor<S: DocSource, W: Write>(
         &self,
-        input: &mut I,
+        input: &mut SourceInput<S, W>,
         open_target: u32,
         close_target: u32,
         start: usize,
@@ -456,10 +496,10 @@ enum BalancedHop {
 /// loop in [`Prefilter::balanced_scan`]; hop-consumed bytes are reported
 /// as [`Metrics::scanned`], keyed to absolute offsets so the counts are
 /// independent of the streaming chunk size.
-fn balanced_scan_windowed<I: Input, M: Metrics>(
+fn balanced_scan_windowed<S: DocSource, W: Write, M: Metrics>(
     name: &str,
     lookback: usize,
-    input: &mut I,
+    input: &mut SourceInput<S, W>,
     from: usize,
     m: &mut M,
     stats: &mut RunStats,
@@ -543,12 +583,12 @@ fn balanced_scan_windowed<I: Input, M: Metrics>(
                         }
                         acc = acc.max(end);
                         scan_at = end + 1;
-                        input.advance(end.saturating_sub(lookback));
+                        input.advance(end.saturating_sub(lookback))?;
                     }
                     _ => {
                         stats.false_matches += 1;
                         scan_at = second + 1;
-                        input.advance((s + 1).saturating_sub(lookback));
+                        input.advance((s + 1).saturating_sub(lookback))?;
                     }
                 }
             }
@@ -570,8 +610,8 @@ fn is_tag_name_end(c: u8) -> bool {
 /// (never `cmp`), in the vectorized *and* the scalar mode, so the paper's
 /// `Char Comp.` column counts only genuine pattern comparisons and the
 /// `Scan%` column owns the tag traversal — identically in both modes.
-fn scan_tag_end<I: Input, M: Metrics>(
-    input: &mut I,
+fn scan_tag_end<S: DocSource, W: Write, M: Metrics>(
+    input: &mut SourceInput<S, W>,
     pos: usize,
     m: &mut M,
 ) -> Result<(usize, bool), CoreError> {
@@ -583,11 +623,11 @@ fn scan_tag_end<I: Input, M: Metrics>(
 }
 
 /// Vectorized tag-end scan: hop `>`-to-`>` and quote-to-quote over
-/// [`Input::window`] views with [`memscan::scan_tag_end_window`], instead
-/// of one `Input::byte` call per character. The resumable
+/// `SourceInput::window` views with [`memscan::scan_tag_end_window`],
+/// instead of one `SourceInput::byte` call per character. The resumable
 /// [`memscan::TagScan`] state carries open quotes across window refills.
-fn scan_tag_end_windowed<I: Input, M: Metrics>(
-    input: &mut I,
+fn scan_tag_end_windowed<S: DocSource, W: Write, M: Metrics>(
+    input: &mut SourceInput<S, W>,
     pos: usize,
     m: &mut M,
 ) -> Result<(usize, bool), CoreError> {
@@ -619,8 +659,8 @@ fn scan_tag_end_windowed<I: Input, M: Metrics>(
 /// The classic per-byte tag-end loop: the reference oracle the windowed
 /// scan is pinned against (tokenizer edge-case tests), and the
 /// `SMPX_NO_SIMD=1` runtime path.
-fn scan_tag_end_scalar<I: Input, M: Metrics>(
-    input: &mut I,
+fn scan_tag_end_scalar<S: DocSource, W: Write, M: Metrics>(
+    input: &mut SourceInput<S, W>,
     pos: usize,
     m: &mut M,
 ) -> Result<(usize, bool), CoreError> {
@@ -832,7 +872,7 @@ mod tests {
     mod tag_scan_oracle {
         use super::super::{scan_tag_end_scalar, scan_tag_end_windowed};
         use super::*;
-        use crate::runtime::input::{SliceInput, StreamInput};
+        use crate::runtime::source::{ReaderSource, SliceSource, SourceInput};
         use smpx_stringmatch::Counters;
 
         /// Scan documents that start mid-tag at `pos = 0`, exactly as the
@@ -869,13 +909,13 @@ mod tests {
 
         fn windowed_on_slice(doc: &[u8]) -> (Result<(usize, bool), CoreError>, Counters) {
             let mut c = Counters::default();
-            let mut input = SliceInput::new(doc);
+            let mut input = SourceInput::new(SliceSource::new(doc), Vec::new());
             (scan_tag_end_windowed(&mut input, 0, &mut c), c)
         }
 
         fn scalar_on_slice(doc: &[u8]) -> (Result<(usize, bool), CoreError>, Counters) {
             let mut c = Counters::default();
-            let mut input = SliceInput::new(doc);
+            let mut input = SourceInput::new(SliceSource::new(doc), Vec::new());
             (scan_tag_end_scalar(&mut input, 0, &mut c), c)
         }
 
@@ -926,7 +966,8 @@ mod tests {
                 for chunk in chunks {
                     let mut c = Counters::default();
                     let mut out = Vec::new();
-                    let mut input = StreamInput::new(tag.as_bytes(), &mut out, chunk);
+                    let mut input =
+                        SourceInput::new(ReaderSource::new(tag.as_bytes(), chunk), &mut out);
                     let got = scan_tag_end_windowed(&mut input, 0, &mut c)
                         .unwrap_or_else(|e| panic!("tag={tag:?} chunk={chunk}: {e}"));
                     assert_eq!(got, want, "tag={tag:?} chunk={chunk}");
@@ -938,7 +979,8 @@ mod tests {
                 for chunk in chunks {
                     let mut c = Counters::default();
                     let mut out = Vec::new();
-                    let mut input = StreamInput::new(tag.as_bytes(), &mut out, chunk);
+                    let mut input =
+                        SourceInput::new(ReaderSource::new(tag.as_bytes(), chunk), &mut out);
                     let got = scan_tag_end_windowed(&mut input, 0, &mut c);
                     assert!(
                         matches!(got, Err(CoreError::UnexpectedEof { .. })),
@@ -956,10 +998,10 @@ mod tests {
             let doc = b"<a><b  id=\"x>y\" >keep</b></a>";
             for pos in [2usize, 6, 7] {
                 let mut cw = Counters::default();
-                let mut iw = SliceInput::new(doc);
+                let mut iw = SourceInput::new(SliceSource::new(doc), Vec::new());
                 let got = scan_tag_end_windowed(&mut iw, pos, &mut cw).unwrap();
                 let mut cs = Counters::default();
-                let mut is = SliceInput::new(doc);
+                let mut is = SourceInput::new(SliceSource::new(doc), Vec::new());
                 let want = scan_tag_end_scalar(&mut is, pos, &mut cs).unwrap();
                 assert_eq!(got, want, "pos={pos}");
                 assert_eq!(cw.scanned, (got.0 - pos) as u64);

@@ -1,0 +1,252 @@
+//! Memory-mapped document source.
+//!
+//! On 64-bit unix the file is mapped read-only with `mmap` and advised
+//! `MADV_SEQUENTIAL`, so the prefilter reads pages straight from the page
+//! cache — no copy into a user buffer ever happens, which is the whole
+//! point of the Input-layer refactor: when matching is this cheap,
+//! delivery of bytes is the bottleneck. Elsewhere (non-unix, or 32-bit
+//! targets where `off_t` widths get platform-specific) the source
+//! degrades to reading the file into a `Vec` once — same semantics, one
+//! copy.
+
+use super::{DocSource, SourceKind};
+use crate::error::CoreError;
+use std::path::Path;
+
+/// A whole file delivered as one resident region, memory-mapped when the
+/// platform allows it.
+///
+/// # Caveat: the file must stay put
+///
+/// Like every `mmap` wrapper, the mapping assumes the underlying file is
+/// not truncated while the source is alive (a truncation turns page reads
+/// into `SIGBUS`) and treats concurrent writers as undefined content. The
+/// CLI and benches map files they own for the duration of a run; callers
+/// with adversarial writers should use [`ReaderSource`] instead.
+///
+/// [`ReaderSource`]: super::ReaderSource
+pub struct MmapSource {
+    backing: Backing,
+}
+
+enum Backing {
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Map(sys::Map),
+    Owned(Vec<u8>),
+}
+
+impl MmapSource {
+    /// Map `path` read-only (or read it into memory on platforms without
+    /// the mmap shim). Non-regular files — FIFOs, process substitutions,
+    /// whose metadata length is meaningless — and empty files cannot be
+    /// mapped (`mmap(len = 0)` is invalid) and are read into memory
+    /// instead: same semantics, one copy.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<MmapSource, CoreError> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::io::Read as _;
+            let mut file = std::fs::File::open(path.as_ref())?;
+            let meta = file.metadata()?;
+            if !meta.is_file() || meta.len() == 0 {
+                let mut buf = Vec::new();
+                file.read_to_end(&mut buf)?;
+                return Ok(MmapSource { backing: Backing::Owned(buf) });
+            }
+            let map = sys::Map::new(&file, meta.len() as usize)?;
+            Ok(MmapSource { backing: Backing::Map(map) })
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            Ok(MmapSource { backing: Backing::Owned(std::fs::read(path.as_ref())?) })
+        }
+    }
+
+    /// The full document bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Map(m) => m.bytes(),
+            Backing::Owned(v) => v,
+        }
+    }
+
+    /// `true` when the document is actually memory-mapped (as opposed to
+    /// the read-to-`Vec` fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Map(_) => true,
+            Backing::Owned(_) => false,
+        }
+    }
+}
+
+impl DocSource for MmapSource {
+    fn base(&self) -> usize {
+        0
+    }
+
+    fn resident(&self) -> &[u8] {
+        self.bytes()
+    }
+
+    fn ensure(&mut self, pos: usize) -> Result<bool, CoreError> {
+        Ok(pos < self.bytes().len())
+    }
+
+    fn grow(&mut self) -> Result<bool, CoreError> {
+        Ok(false)
+    }
+
+    fn set_guard(&mut self, _pos: usize) {}
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.bytes().len() as u64)
+    }
+
+    fn peak_io_bytes(&self) -> usize {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Map(_) => 0, // page cache, no owned buffer
+            Backing::Owned(v) => v.len(),
+        }
+    }
+
+    fn kind(&self) -> SourceKind {
+        SourceKind::Mmap
+    }
+}
+
+/// The self-contained `extern "C"` mmap shim. `unsafe` is denied
+/// crate-wide and allowed back only here; every call carries its argument
+/// in a comment, in the style of `smpx_stringmatch::memscan`.
+#[cfg(all(unix, target_pointer_width = "64"))]
+#[allow(unsafe_code)]
+mod sys {
+    use crate::error::CoreError;
+    use std::ffi::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    // Stable across the 64-bit unix targets this cfg admits (Linux and
+    // the BSD family including macOS): PROT_READ = 1, MAP_PRIVATE = 2,
+    // MADV_SEQUENTIAL = 2, MAP_FAILED = (void*)-1.
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    const MADV_SEQUENTIAL: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            // `off_t` is 64-bit on every target_pointer_width = "64" unix,
+            // which is exactly what the enclosing cfg admits.
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+
+    /// An owned read-only mapping of `len > 0` bytes.
+    pub(super) struct Map {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    impl Map {
+        pub(super) fn new(file: &std::fs::File, len: usize) -> Result<Map, CoreError> {
+            assert!(len > 0, "zero-length mappings are invalid");
+            // SAFETY: addr = null lets the kernel pick the placement; the
+            // fd is open for reading and outlives the call (the mapping
+            // itself survives the fd per POSIX); len > 0 was asserted.
+            // The only failure channel is MAP_FAILED, checked below.
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(CoreError::Io(std::io::Error::last_os_error()));
+            }
+            // SAFETY: [ptr, ptr + len) is exactly the region mmap just
+            // returned. madvise is advisory; failure is ignored.
+            unsafe {
+                let _ = madvise(ptr, len, MADV_SEQUENTIAL);
+            }
+            Ok(Map { ptr: ptr as *const u8, len })
+        }
+
+        pub(super) fn bytes(&self) -> &[u8] {
+            // SAFETY: [ptr, ptr + len) stays mapped and readable until
+            // Drop runs (munmap is the only unmapping site, and Drop
+            // takes &mut self, so no `&[u8]` borrow can outlive it). The
+            // bytes are plain file content; see the type-level caveat on
+            // concurrent truncation.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // SAFETY: (ptr, len) is the exact pair mmap returned; the
+            // region is unmapped exactly once.
+            unsafe {
+                let _ = munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+
+    // SAFETY: the mapping is read-only and the struct owns it exclusively;
+    // sending it to another thread moves that exclusive ownership.
+    unsafe impl Send for Map {}
+    // SAFETY: shared access only ever reads the immutable mapping.
+    unsafe impl Sync for Map {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("smpx-mmap-test-{}-{}.bin", std::process::id(), tag))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("contents");
+        let payload = b"<a><b>mapped</b></a>".repeat(500);
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let mut src = MmapSource::open(&path).unwrap();
+        assert_eq!(src.bytes(), &payload[..]);
+        assert_eq!(src.len_hint(), Some(payload.len() as u64));
+        assert_eq!(src.kind(), SourceKind::Mmap);
+        assert!(src.ensure(payload.len() - 1).unwrap());
+        assert!(!src.ensure(payload.len()).unwrap());
+        assert!(!src.grow().unwrap());
+        if cfg!(all(unix, target_pointer_width = "64")) {
+            assert!(src.is_mapped());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty_source() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let mut src = MmapSource::open(&path).unwrap();
+        assert_eq!(src.bytes(), b"");
+        assert!(!src.ensure(0).unwrap());
+        assert!(!src.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match MmapSource::open(temp_path("does-not-exist")) {
+            Err(CoreError::Io(_)) => {}
+            Err(e) => panic!("expected an I/O error, got {e}"),
+            Ok(_) => panic!("opening a missing file must fail"),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Borrowed in-memory document source.
+
+use super::{DocSource, SourceKind};
+use crate::error::CoreError;
+
+/// A document already resident in memory, borrowed zero-copy.
+///
+/// The whole slice is resident for the source's lifetime: `ensure` is a
+/// bounds check, `grow` always reports EOF and the discard guard is
+/// ignored.
+pub struct SliceSource<'a> {
+    doc: &'a [u8],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wrap a borrowed document.
+    pub fn new(doc: &'a [u8]) -> Self {
+        SliceSource { doc }
+    }
+}
+
+impl DocSource for SliceSource<'_> {
+    fn base(&self) -> usize {
+        0
+    }
+
+    fn resident(&self) -> &[u8] {
+        self.doc
+    }
+
+    fn ensure(&mut self, pos: usize) -> Result<bool, CoreError> {
+        Ok(pos < self.doc.len())
+    }
+
+    fn grow(&mut self) -> Result<bool, CoreError> {
+        Ok(false)
+    }
+
+    fn set_guard(&mut self, _pos: usize) {}
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.doc.len() as u64)
+    }
+
+    fn peak_io_bytes(&self) -> usize {
+        0 // borrowed, not owned
+    }
+
+    fn kind(&self) -> SourceKind {
+        SourceKind::Slice
+    }
+}

@@ -31,6 +31,10 @@ pub struct RunStats {
     /// (the paper's prefix-tag special case, e.g. `<Abstract` vs
     /// `<AbstractText`).
     pub false_matches: u64,
+    /// Peak owned I/O-buffer bytes the document source allocated (the
+    /// paper's `Mem` window share): the window capacity for the reader
+    /// backend, zero for zero-copy slice/mmap delivery.
+    pub io_window_bytes: u64,
 }
 
 impl RunStats {
@@ -57,6 +61,34 @@ impl RunStats {
         } else {
             self.shift_total as f64 / self.shifts as f64
         }
+    }
+
+    /// Fold another run's counters into this one (a per-batch total row):
+    /// counters add up; the I/O window takes the maximum, since batch
+    /// documents are processed one at a time.
+    pub fn accumulate(&mut self, other: &RunStats) {
+        let RunStats {
+            input_bytes,
+            output_bytes,
+            chars_compared,
+            bytes_scanned,
+            shifts,
+            shift_total,
+            initial_jump_chars,
+            tokens_matched,
+            false_matches,
+            io_window_bytes,
+        } = *other;
+        self.input_bytes += input_bytes;
+        self.output_bytes += output_bytes;
+        self.chars_compared += chars_compared;
+        self.bytes_scanned += bytes_scanned;
+        self.shifts += shifts;
+        self.shift_total += shift_total;
+        self.initial_jump_chars += initial_jump_chars;
+        self.tokens_matched += tokens_matched;
+        self.false_matches += false_matches;
+        self.io_window_bytes = self.io_window_bytes.max(io_window_bytes);
     }
 
     /// Output size relative to input.
@@ -93,12 +125,38 @@ mod tests {
             initial_jump_chars: 4,
             tokens_matched: 3,
             false_matches: 0,
+            io_window_bytes: 0,
         };
         assert!((s.char_comp_pct() - 20.0).abs() < 1e-9);
         assert!((s.scanned_pct() - 50.0).abs() < 1e-9);
         assert!((s.initial_jumps_pct() - 2.0).abs() < 1e-9);
         assert!((s.avg_shift() - 5.7).abs() < 1e-9);
         assert!((s.projection_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_sums_counters_and_maxes_window() {
+        let a = RunStats {
+            input_bytes: 100,
+            output_bytes: 10,
+            chars_compared: 5,
+            io_window_bytes: 64,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            input_bytes: 50,
+            output_bytes: 20,
+            chars_compared: 7,
+            io_window_bytes: 32,
+            ..RunStats::default()
+        };
+        let mut total = RunStats::default();
+        total.accumulate(&a);
+        total.accumulate(&b);
+        assert_eq!(total.input_bytes, 150);
+        assert_eq!(total.output_bytes, 30);
+        assert_eq!(total.chars_compared, 12);
+        assert_eq!(total.io_window_bytes, 64, "windows are sequential, not additive");
     }
 
     #[test]

@@ -44,6 +44,26 @@ impl StreamEngine {
         Ok(StreamEngine { query: XPath::parse(query)? })
     }
 
+    /// Evaluate over a batch of documents — e.g. the per-document outputs
+    /// of `smpx_core::Prefilter::run_batch` — concatenating result items
+    /// in batch order. Token counts add up; the buffering peak is the
+    /// maximum over the batch (documents are processed one at a time).
+    pub fn eval_many<'a, I>(&self, docs: I) -> Result<StreamResult, XmlError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut items = Vec::new();
+        let mut tokens = 0u64;
+        let mut peak_buffered = 0usize;
+        for doc in docs {
+            let r = self.eval(doc)?;
+            items.extend(r.items);
+            tokens += r.tokens;
+            peak_buffered = peak_buffered.max(r.peak_buffered);
+        }
+        Ok(StreamResult { items, tokens, peak_buffered })
+    }
+
     /// Evaluate over `doc` in a single pass.
     pub fn eval(&self, doc: &[u8]) -> Result<StreamResult, XmlError> {
         let mut rt = Run::new(&self.query);
@@ -812,5 +832,22 @@ mod tests {
     fn token_count_reported() {
         let r = StreamEngine::parse("/site/people").unwrap().eval(DOC).unwrap();
         assert!(r.tokens > 10);
+    }
+
+    #[test]
+    fn eval_many_concatenates_in_batch_order() {
+        let eng = StreamEngine::parse("/r/x").unwrap();
+        let docs: [&[u8]; 3] = [b"<r><x>a</x></r>", b"<r><y/></r>", b"<r><x>b</x><x>c</x></r>"];
+        let batch = eng.eval_many(docs).unwrap();
+        let mut want = Vec::new();
+        let mut tokens = 0;
+        for d in docs {
+            let r = eng.eval(d).unwrap();
+            want.extend(r.items);
+            tokens += r.tokens;
+        }
+        assert_eq!(batch.items, want);
+        assert_eq!(batch.items.len(), 3);
+        assert_eq!(batch.tokens, tokens);
     }
 }

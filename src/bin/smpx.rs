@@ -2,35 +2,45 @@
 //!
 //! ```text
 //! USAGE:
-//!   smpx --dtd SCHEMA.dtd (--paths P1,P2,… | --query XPATH) [INPUT.xml] [-o OUT.xml] [--stats]
+//!   smpx --dtd SCHEMA.dtd (--paths P1,P2,… | --query XPATH)
+//!        [INPUT.xml ...] [-o OUT.xml] [--mmap] [--chunk-kb N] [--stats]
 //!
 //! EXAMPLES:
 //!   smpx --dtd site.dtd --query '//australia//description' big.xml -o small.xml --stats
+//!   smpx --dtd site.dtd --paths '/*,//name#' --mmap shard0.xml shard1.xml > all.xml
 //!   cat big.xml | smpx --dtd site.dtd --paths '/*,/site/people/person/name#' > small.xml
 //! ```
 //!
-//! Reads the whole input when given a file smaller than the streaming
-//! threshold, otherwise streams with the paper's chunked window.
+//! Document delivery is pluggable (`smpx_core::runtime::source`): files
+//! stream through the paper's chunked window by default (`--chunk-kb`
+//! sizes it), `--mmap` maps them zero-copy instead, and stdin always
+//! streams. Several input files are prefiltered as one batch through a
+//! single compiled automaton; their projected outputs are concatenated in
+//! argument order.
 
-use smpx::core::{runtime::DEFAULT_CHUNK, Prefilter};
+use smpx::core::runtime::source::{DocSource, MmapSource, ReaderSource, SourceKind};
+use smpx::core::runtime::DEFAULT_CHUNK;
+use smpx::core::{Prefilter, RunStats};
 use smpx::dtd::Dtd;
 use smpx::paths::{extract, PathSet};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::process::ExitCode;
 
 struct Args {
     dtd: String,
     paths: Option<String>,
     query: Option<String>,
-    input: Option<String>,
+    inputs: Vec<String>,
     output: Option<String>,
     stats: bool,
+    mmap: bool,
+    chunk: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: smpx --dtd SCHEMA.dtd (--paths 'P1,P2,…' | --query XPATH) \
-         [INPUT.xml] [-o OUT.xml] [--stats]"
+         [INPUT.xml ...] [-o OUT.xml] [--mmap] [--chunk-kb N] [--stats]"
     );
     std::process::exit(2);
 }
@@ -40,9 +50,11 @@ fn parse_args() -> Args {
         dtd: String::new(),
         paths: None,
         query: None,
-        input: None,
+        inputs: Vec::new(),
         output: None,
         stats: false,
+        mmap: false,
+        chunk: DEFAULT_CHUNK,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -52,17 +64,52 @@ fn parse_args() -> Args {
             "--query" => args.query = Some(it.next().unwrap_or_else(|| usage())),
             "-o" | "--output" => args.output = Some(it.next().unwrap_or_else(|| usage())),
             "--stats" => args.stats = true,
-            "-h" | "--help" => usage(),
-            other if !other.starts_with('-') && args.input.is_none() => {
-                args.input = Some(other.to_string())
+            "--mmap" => args.mmap = true,
+            "--chunk-kb" => {
+                let kb: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&kb| kb > 0)
+                    .unwrap_or_else(|| usage());
+                args.chunk = kb * 1024;
             }
+            "-h" | "--help" => usage(),
+            other if !other.starts_with('-') => args.inputs.push(other.to_string()),
             _ => usage(),
         }
     }
     if args.dtd.is_empty() || (args.paths.is_none() && args.query.is_none()) {
         usage();
     }
+    if args.mmap && args.inputs.is_empty() {
+        eprintln!("smpx: --mmap requires file inputs (stdin cannot be mapped)");
+        std::process::exit(2);
+    }
     args
+}
+
+fn print_stats(label: &str, source: &str, stats: &RunStats) {
+    let pct = if stats.input_bytes > 0 {
+        format!(
+            " ({:.1}% of {} input bytes)",
+            100.0 * stats.output_bytes as f64 / stats.input_bytes as f64,
+            stats.input_bytes
+        )
+    } else {
+        String::new()
+    };
+    eprintln!(
+        "smpx: {label} [{source}]: wrote {} bytes{pct}; inspected {} chars; \
+         vector-scanned {} bytes; avg shift {:.2}; initial jumps {} chars; \
+         {} tokens; {} false matches",
+        stats.output_bytes,
+        stats.chars_compared,
+        stats.bytes_scanned,
+        stats.avg_shift(),
+        stats.initial_jump_chars,
+        stats.tokens_matched,
+        stats.false_matches,
+    );
 }
 
 fn main() -> ExitCode {
@@ -119,54 +166,110 @@ fn main() -> ExitCode {
         );
     }
 
-    // Wire input and output.
-    let result = {
-        let out_writer: Box<dyn Write> = match &args.output {
-            Some(p) => match std::fs::File::create(p) {
-                Ok(f) => Box::new(std::io::BufWriter::new(f)),
-                Err(e) => {
-                    eprintln!("smpx: cannot create {p}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            None => Box::new(std::io::BufWriter::new(std::io::stdout())),
-        };
-        match &args.input {
-            Some(p) => match std::fs::File::open(p) {
-                Ok(f) => pf.filter_stream(std::io::BufReader::new(f), out_writer, DEFAULT_CHUNK),
-                Err(e) => {
-                    eprintln!("smpx: cannot open {p}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            None => {
-                let stdin = std::io::stdin();
-                let lock: Box<dyn Read> = Box::new(stdin.lock());
-                pf.filter_stream(lock, out_writer, DEFAULT_CHUNK)
+    // One output writer; inputs concatenate into it in order.
+    let mut out: Box<dyn Write> = match &args.output {
+        Some(p) => match std::fs::File::create(p) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("smpx: cannot create {p}: {e}");
+                return ExitCode::FAILURE;
             }
-        }
+        },
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
     };
 
-    match result {
-        Ok(stats) => {
-            if args.stats {
-                eprintln!(
-                    "smpx: wrote {} bytes; inspected {} chars; vector-scanned {} bytes; \
-                     avg shift {:.2}; initial jumps {} chars; {} tokens; {} false matches",
-                    stats.output_bytes,
-                    stats.chars_compared,
-                    stats.bytes_scanned,
-                    stats.avg_shift(),
-                    stats.initial_jump_chars,
-                    stats.tokens_matched,
-                    stats.false_matches,
-                );
+    // Validate every input up front (early, well-labeled failure before
+    // any output is written), remembering the known file lengths so
+    // reader-delivered stats — whose sources cannot know their length up
+    // front — still report percentages.
+    let mut sizes: Vec<Option<u64>> = Vec::new();
+    for p in &args.inputs {
+        match std::fs::metadata(p) {
+            Ok(m) => sizes.push(m.is_file().then_some(m.len())),
+            Err(e) => {
+                eprintln!("smpx: cannot read {p}: {e}");
+                return ExitCode::FAILURE;
             }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("smpx: {e}");
-            ExitCode::FAILURE
         }
     }
+
+    // Drive the batch through the one compiled automaton, opening each
+    // document's source right before its run — at most one fd or mapping
+    // is ever open, so many-thousand-file batches stay under any ulimit.
+    let reader_tag = format!("{}/{}KiB", SourceKind::Reader, args.chunk / 1024);
+    let mut results: Vec<(String, String, RunStats)> = Vec::new();
+    if args.inputs.is_empty() {
+        let stdin = std::io::stdin();
+        let src = ReaderSource::new(stdin.lock(), args.chunk);
+        match pf.filter_source(src, &mut out) {
+            Ok(stats) => results.push(("<stdin>".into(), reader_tag.clone(), stats)),
+            Err(e) => {
+                eprintln!("smpx: <stdin>: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for (p, size) in args.inputs.iter().zip(&sizes) {
+            let (src, tag): (Box<dyn DocSource>, String) = if args.mmap {
+                match MmapSource::open(p) {
+                    Ok(m) => {
+                        // Honest tag: empty and non-regular files take the
+                        // read-to-Vec fallback inside the mmap backend.
+                        let tag = if m.is_mapped() {
+                            SourceKind::Mmap.as_str().to_string()
+                        } else {
+                            format!("{}/read-fallback", SourceKind::Mmap)
+                        };
+                        (Box::new(m), tag)
+                    }
+                    Err(e) => {
+                        eprintln!("smpx: cannot map {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match std::fs::File::open(p) {
+                    Ok(f) => {
+                        let src = ReaderSource::new(std::io::BufReader::new(f), args.chunk);
+                        (Box::new(src), reader_tag.clone())
+                    }
+                    Err(e) => {
+                        eprintln!("smpx: cannot open {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            match pf.filter_source(src, &mut out) {
+                Ok(mut stats) => {
+                    if stats.input_bytes == 0 {
+                        stats.input_bytes = size.unwrap_or(0);
+                    }
+                    results.push((p.clone(), tag, stats));
+                }
+                Err(e) => {
+                    // Name the failing input: with a long batch the output
+                    // already contains every earlier projection.
+                    eprintln!("smpx: {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Err(e) = out.flush() {
+        eprintln!("smpx: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if args.stats {
+        let mut total = RunStats::default();
+        for (label, tag, stats) in &results {
+            print_stats(label, tag, stats);
+            total.accumulate(stats);
+        }
+        if results.len() > 1 {
+            let tag = if args.mmap { SourceKind::Mmap.as_str().to_string() } else { reader_tag };
+            print_stats("total", &tag, &total);
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -9,6 +9,38 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use smpx_dtd::{ContentModel, Dtd, DtdAutomaton, Regex};
 use smpx_paths::PathSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A document written to a unique temp file, removed on drop — the disk
+/// half of the source-matrix tests (`MmapSource` / `ReaderSource` need a
+/// real file).
+#[allow(dead_code)] // not every test target exercises file-backed sources
+pub struct TempDoc {
+    path: PathBuf,
+}
+
+#[allow(dead_code)]
+impl TempDoc {
+    pub fn new(doc: &[u8]) -> TempDoc {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("smpx-test-doc-{}-{n}.xml", std::process::id()));
+        std::fs::write(&path, doc).expect("write temp doc");
+        TempDoc { path }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDoc {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
 
 /// Name pool; element `i` may only contain elements with larger indices,
 /// which makes every generated DTD acyclic by construction.

@@ -1,13 +1,15 @@
-//! Differential chunk-boundary suite: the vectorized prefilter vs the
-//! `SMPX_NO_SIMD=1` scalar fallback, swept across streaming chunk sizes.
+//! Differential source-matrix suite: the vectorized prefilter vs the
+//! `SMPX_NO_SIMD=1` scalar fallback, crossed with every `DocSource`
+//! backend — `SliceSource`, `MmapSource` over a temp file, and
+//! `ReaderSource` swept across streaming chunk sizes.
 //!
-//! For identical documents the two modes must produce **byte-identical
-//! output** and the **same match set** (`tokens_matched`, `false_matches`,
-//! `initial_jump_chars`) — in the slice runtime and in the streaming
-//! runtime at every chunk size around the SWAR-word (8), SSE-lane (16)
-//! and AVX-lane (32) boundaries, so every `Input::window()` split point
-//! is exercised: a window ending one byte into a tag, inside a quoted
-//! attribute value, between a `<` and its second byte, and so on.
+//! For identical documents every cell of the matrix must produce
+//! **byte-identical output** and the **same match set** (`tokens_matched`,
+//! `false_matches`, `initial_jump_chars`) — the fully-resident backends
+//! exactly, and the reader at every chunk size around the SWAR-word (8),
+//! SSE-lane (16) and AVX-lane (32) boundaries, so every window() split
+//! point is exercised: a window ending one byte into a tag, inside a
+//! quoted attribute value, between a `<` and its second byte, and so on.
 //!
 //! On `Char Comp.` accounting: the *scan layer* contributes identically
 //! in both modes — tag-end and balanced-scan traversal is routed through
@@ -24,7 +26,8 @@
 
 mod common;
 
-use common::{assert_valid, random_doc, random_dtd, random_paths, Rand};
+use common::{assert_valid, random_doc, random_dtd, random_paths, Rand, TempDoc};
+use smpx_core::runtime::source::{MmapSource, ReaderSource};
 use smpx_core::{Prefilter, RunStats};
 use smpx_dtd::Dtd;
 use smpx_paths::PathSet;
@@ -75,11 +78,42 @@ impl Observed {
     }
 }
 
-/// Slice run + full chunk sweep for one (dtd, paths, doc) in the current
-/// mode; asserts stream ≡ slice inside, returns the slice observation.
+/// Full source-matrix sweep for one (dtd, paths, doc) in the current
+/// mode: slice baseline, mmap over a temp file, reader over the same
+/// file once, and the in-memory reader at every chunk size. Asserts
+/// every backend ≡ slice inside, returns the slice observation.
 fn sweep(pf: &mut Prefilter, doc: &[u8], label: &str) -> (Observed, RunStats) {
     let (slice_out, slice_stats) = pf.filter_to_vec(doc).expect("slice filter");
     let slice_obs = Observed::new(slice_out, &slice_stats);
+
+    // MmapSource over a real file must be indistinguishable from the
+    // borrowed slice (both fully resident, base 0).
+    let tmp = TempDoc::new(doc);
+    let mut out = Vec::new();
+    let stats = pf
+        .filter_source(MmapSource::open(tmp.path()).expect("map temp doc"), &mut out)
+        .expect("mmap filter");
+    assert_eq!(
+        Observed::new(out, &stats),
+        slice_obs,
+        "{label}: mmap diverged from slice\ndoc: {}",
+        String::from_utf8_lossy(doc)
+    );
+
+    // ReaderSource over the same file through the public filter_source
+    // entry point (the chunk sweep below covers the boundary space with
+    // in-memory readers).
+    let file = std::fs::File::open(tmp.path()).expect("open temp doc");
+    let mut out = Vec::new();
+    let stats =
+        pf.filter_source(ReaderSource::new(file, 64), &mut out).expect("file reader filter");
+    assert_eq!(
+        Observed::new(out, &stats),
+        slice_obs,
+        "{label}: file reader diverged from slice\ndoc: {}",
+        String::from_utf8_lossy(doc)
+    );
+
     for &chunk in CHUNKS {
         let mut out = Vec::new();
         let stats = pf.filter_stream(doc, &mut out, chunk).expect("stream filter");
@@ -87,7 +121,7 @@ fn sweep(pf: &mut Prefilter, doc: &[u8], label: &str) -> (Observed, RunStats) {
         assert_eq!(
             stream_obs,
             slice_obs,
-            "{label}: stream(chunk={chunk}) diverged from slice\ndoc: {}",
+            "{label}: reader(chunk={chunk}) diverged from slice\ndoc: {}",
             String::from_utf8_lossy(doc)
         );
     }
@@ -239,5 +273,82 @@ fn tag_traversal_bytes_are_scanned_not_compared_in_both_modes() {
         // (scan + comparisons) is bounded by the input, and covers at
         // least the dominant tag.
         assert!(stats.bytes_scanned + stats.chars_compared <= 2 * doc.len() as u64);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Source backends: mmap parity on a realistic document, batch ≡ sequential.
+// --------------------------------------------------------------------------
+
+#[test]
+fn mmap_equals_slice_on_xmark_tempfile() {
+    // A realistic ~1 MiB XMark document on disk: the mapped run must be
+    // indistinguishable from the in-memory slice run, stats included —
+    // both are fully resident at base 0, so even the comparison and
+    // scan counters must agree byte-for-byte.
+    let _guard = mode_lock().lock().unwrap();
+    let doc = smpx_datagen::xmark::generate(smpx_datagen::GenOptions::sized(1024 * 1024));
+    let dtd = Dtd::parse(smpx_datagen::xmark::XMARK_DTD.as_bytes()).expect("XMark DTD");
+    let paths = PathSet::parse(&[
+        "/*",
+        "/site/regions/australia/item/name#",
+        "/site/regions/australia/item/description#",
+    ])
+    .expect("paths");
+    let tmp = TempDoc::new(&doc);
+
+    let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
+    let (slice_out, slice_stats) = pf.filter_to_vec(&doc).expect("slice filter");
+
+    let src = MmapSource::open(tmp.path()).expect("map XMark doc");
+    if cfg!(all(unix, target_pointer_width = "64")) {
+        assert!(src.is_mapped(), "expected a real mapping on 64-bit unix");
+    }
+    let mut mmap_out = Vec::new();
+    let mmap_stats = pf.filter_source(src, &mut mmap_out).expect("mmap filter");
+
+    assert_eq!(mmap_out, slice_out, "mmap output must be byte-identical to slice");
+    assert_eq!(mmap_stats, slice_stats, "mmap stats must equal slice stats");
+    assert!(slice_out.len() < doc.len(), "projection must actually shrink the doc");
+}
+
+#[test]
+fn run_batch_equals_sequential_runs() {
+    // One compiled automaton over a batch of documents must produce
+    // exactly what one-at-a-time runs produce, for in-memory and for
+    // mapped delivery alike.
+    let _guard = mode_lock().lock().unwrap();
+    let dtd = Dtd::parse(REC_DTD).expect("recursive DTD parses");
+    let paths = PathSet::parse(&["/*", "/r/t#"]).expect("paths parse");
+    let docs: Vec<Vec<u8>> = (0..6u64).map(rec_doc).collect();
+
+    // Sequential reference: a fresh prefilter, one run per document.
+    let mut seq_pf = Prefilter::compile(&dtd, &paths).expect("compile");
+    let sequential: Vec<Observed> = docs
+        .iter()
+        .map(|d| {
+            let (out, stats) = seq_pf.filter_to_vec(d).expect("sequential filter");
+            Observed::new(out, &stats)
+        })
+        .collect();
+
+    // Batch over slices.
+    let mut batch_pf = Prefilter::compile(&dtd, &paths).expect("compile");
+    let results = batch_pf
+        .run_batch(docs.iter().map(|d| (smpx_core::SliceSource::new(d), Vec::new())))
+        .expect("batch filter");
+    assert_eq!(results.len(), docs.len());
+    for (i, ((out, stats), want)) in results.into_iter().zip(&sequential).enumerate() {
+        assert_eq!(&Observed::new(out, &stats), want, "slice batch doc {i} diverged");
+    }
+
+    // Batch over mapped temp files (matchers already warm — must not
+    // change anything observable).
+    let tmps: Vec<TempDoc> = docs.iter().map(|d| TempDoc::new(d)).collect();
+    let results = batch_pf
+        .run_batch(tmps.iter().map(|t| (MmapSource::open(t.path()).expect("map doc"), Vec::new())))
+        .expect("mmap batch filter");
+    for (i, ((out, stats), want)) in results.into_iter().zip(&sequential).enumerate() {
+        assert_eq!(&Observed::new(out, &stats), want, "mmap batch doc {i} diverged");
     }
 }
