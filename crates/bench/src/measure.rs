@@ -120,6 +120,21 @@ impl SourceMode {
     }
 }
 
+/// Worker count for the parallel batch driver, from `SMPX_THREADS`:
+/// unset or `1` means the classic sequential path, `0` means the
+/// machine's available parallelism, anything else is the pool width.
+/// `runners::Delivery` routes its runs through the work-stealing executor
+/// when this exceeds 1 (and the tables grow a `Thr` column), so the CI
+/// leg that exports `SMPX_THREADS=4` drives the whole experiment suite —
+/// and the tier-1 tests that go through `Delivery` — over the pool.
+pub fn env_threads() -> usize {
+    match std::env::var("SMPX_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        // Pool::new owns the 0-means-available-parallelism resolution.
+        Some(n) => smpx_core::Pool::new(n).threads(),
+        None => 1,
+    }
+}
+
 /// Streaming chunk for [`SourceMode::Reader`] deliveries: `SMPX_CHUNK_KB`
 /// (KiB) or the paper's default window.
 pub fn source_chunk() -> usize {

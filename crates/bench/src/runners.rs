@@ -6,13 +6,15 @@
 //! what rough factor, where the crossovers fall) are the reproduction
 //! target — see EXPERIMENTS.md.
 
-use crate::measure::{env_mb, fmt_mb, source_chunk, time, SourceMode, TempDocFile, Timed};
+use crate::measure::{
+    env_mb, env_threads, fmt_mb, source_chunk, time, SourceMode, TempDocFile, Timed,
+};
 use crate::queries::{
     medline_paths, xmark_paths, MEDLINE_QUERIES, PAPER_TABLE1, PAPER_TABLE2, TABLE3_QUERIES,
     XMARK_QUERIES,
 };
 use smpx_baselines::{sax, TokenProjector};
-use smpx_core::runtime::source::{MmapSource, ReaderSource, SourceKind};
+use smpx_core::runtime::source::{MmapSource, ReaderSource, SliceSource, SourceKind};
 use smpx_core::{Prefilter, RunStats};
 use smpx_datagen::{medline, xmark, GenOptions};
 use smpx_dtd::Dtd;
@@ -24,11 +26,27 @@ use smpx_paths::PathSet;
 /// backend. For `mmap` and `reader` the generated document is written to
 /// a temp file once (removed on drop) and every measured run opens it
 /// through the real backend, so the timing includes genuine delivery.
+///
+/// `SMPX_THREADS` additionally selects the *executor*: at the default of
+/// 1 the run takes the classic sequential `filter_source` path; above 1
+/// it goes through the work-stealing pool (`smpx_core::runtime::parallel`)
+/// as a one-document batch against the frozen automaton. A single table
+/// document cannot occupy more than one worker, so the timing is the
+/// same — the point is that the `Thr` column records which executor
+/// produced the row and that every experiment (and every tier-1 test
+/// driving a runner) exercises the pool when the CI leg sets
+/// `SMPX_THREADS=4`. The observables are pinned equal either way.
 pub struct Delivery<'a> {
     doc: &'a [u8],
     mode: SourceMode,
     chunk: usize,
+    threads: usize,
     file: Option<TempDocFile>,
+    /// Peak worker `memory_bytes()` of the last pooled run (`None` after
+    /// sequential runs): the pool's workers own the matcher caches, so
+    /// the caller's `Prefilter` cannot report them — the `Mem` column
+    /// reads this instead to stay executor-honest.
+    pooled_mem: std::cell::Cell<Option<usize>>,
 }
 
 impl<'a> Delivery<'a> {
@@ -40,7 +58,14 @@ impl<'a> Delivery<'a> {
             SourceMode::Slice => None,
             SourceMode::Mmap | SourceMode::Reader => Some(TempDocFile::new(tag, doc)),
         };
-        Delivery { doc, mode, chunk: source_chunk(), file }
+        Delivery {
+            doc,
+            mode,
+            chunk: source_chunk(),
+            threads: env_threads(),
+            file,
+            pooled_mem: std::cell::Cell::new(None),
+        }
     }
 
     /// The raw document bytes (for baselines that only take slices).
@@ -58,9 +83,37 @@ impl<'a> Delivery<'a> {
         }
     }
 
-    /// One prefilter run through the selected backend.
+    /// The `SMPX_THREADS`-selected pool width (1 = sequential executor).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Override the executor width (tests and benches that must not
+    /// depend on the process environment). `0` resolves like everywhere
+    /// else: `Pool::new`'s available-parallelism rule.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = smpx_core::Pool::new(threads).threads();
+        self
+    }
+
+    /// One prefilter run through the selected backend and executor.
     pub fn filter(&self, pf: &mut Prefilter) -> (Vec<u8>, RunStats) {
-        let (out, mut stats) = match self.mode {
+        let (out, mut stats) = if self.threads > 1 {
+            self.filter_pooled(pf)
+        } else {
+            self.pooled_mem.set(None);
+            self.filter_sequential(pf)
+        };
+        // Streams do not know their length up front; fill it in so the
+        // percentage columns stay meaningful.
+        if stats.input_bytes == 0 {
+            stats.input_bytes = self.doc.len() as u64;
+        }
+        (out, stats)
+    }
+
+    fn filter_sequential(&self, pf: &mut Prefilter) -> (Vec<u8>, RunStats) {
+        match self.mode {
             SourceMode::Slice => pf.filter_to_vec(self.doc).expect("filter"),
             SourceMode::Mmap => {
                 let path = self.file.as_ref().expect("mmap delivery has a file").path();
@@ -77,13 +130,55 @@ impl<'a> Delivery<'a> {
                 let stats = pf.filter_source(src, &mut out).expect("filter");
                 (out, stats)
             }
-        };
-        // Streams do not know their length up front; fill it in so the
-        // percentage columns stay meaningful.
-        if stats.input_bytes == 0 {
-            stats.input_bytes = self.doc.len() as u64;
         }
-        (out, stats)
+    }
+
+    /// Peak worker memory of the last [`filter`](Self::filter) call when
+    /// it ran pooled (`None` after sequential runs). For a one-document
+    /// batch exactly one worker builds matchers, so this equals the
+    /// sequential `Prefilter::memory_bytes` for the same document.
+    pub fn pooled_memory_bytes(&self) -> Option<usize> {
+        self.pooled_mem.get()
+    }
+
+    /// The same delivery as a one-document batch on the work-stealing
+    /// pool. Per-document output and stats are byte-identical to the
+    /// sequential path (the parallel equivalence suite pins this); the
+    /// peak worker memory is recorded for the `Mem` column, since the
+    /// workers — not the caller's `Prefilter` — own the matcher caches.
+    fn filter_pooled(&self, pf: &Prefilter) -> (Vec<u8>, RunStats) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let frozen = pf.freeze();
+        let peak_mem = AtomicUsize::new(0);
+        let run = |src: Box<dyn smpx_core::DocSource + Send>| {
+            smpx_core::Pool::new(self.threads)
+                .run(
+                    vec![src],
+                    |_| frozen.worker(),
+                    |wpf, src| -> Result<_, smpx_core::CoreError> {
+                        let mut out = Vec::new();
+                        let stats = wpf.filter_source(src, &mut out)?;
+                        peak_mem.fetch_max(wpf.memory_bytes(), Ordering::Relaxed);
+                        Ok((out, stats))
+                    },
+                )
+                .map_err(|(_, e)| e)
+        };
+        let mut results = match self.mode {
+            SourceMode::Slice => run(Box::new(SliceSource::new(self.doc))),
+            SourceMode::Mmap => {
+                let path = self.file.as_ref().expect("mmap delivery has a file").path();
+                run(Box::new(MmapSource::open(path).expect("map bench doc")))
+            }
+            SourceMode::Reader => {
+                let path = self.file.as_ref().expect("reader delivery has a file").path();
+                let file = std::fs::File::open(path).expect("open bench doc");
+                run(Box::new(ReaderSource::new(std::io::BufReader::new(file), self.chunk)))
+            }
+        }
+        .expect("pooled filter");
+        self.pooled_mem.set(Some(peak_mem.load(Ordering::Relaxed)));
+        results.pop().expect("one document in, one result out")
     }
 }
 
@@ -100,6 +195,9 @@ pub struct SmpRow {
     pub stats: RunStats,
     /// Which `DocSource` backend produced the row (`Delivery::label`).
     pub source: String,
+    /// Which executor produced the row: the `SMPX_THREADS` pool width
+    /// (1 = the classic sequential path).
+    pub threads: usize,
 }
 
 /// Run SMP once over a delivered document for `paths`, collecting a
@@ -111,20 +209,25 @@ pub fn smp_row(id: &str, dtd: &Dtd, paths: &PathSet, doc: &Delivery<'_>) -> SmpR
         id: id.to_string(),
         proj_size: out.len() as u64,
         // Tables + matchers + the I/O window this delivery actually
-        // allocated (zero for zero-copy slice/mmap backends).
-        mem_bytes: pf.memory_bytes() + stats.io_window_bytes as usize,
+        // allocated (zero for zero-copy slice/mmap backends). A pooled
+        // run's matcher caches live in its workers, not in `pf` — the
+        // delivery reports their peak instead, so `Mem` stays honest
+        // under `SMPX_THREADS` too.
+        mem_bytes: doc.pooled_memory_bytes().unwrap_or_else(|| pf.memory_bytes())
+            + stats.io_window_bytes as usize,
         timed,
         states: pf.tables().state_count(),
         cw: pf.tables().cw_states(),
         bm: pf.tables().bm_states(),
         stats,
         source: doc.label(),
+        threads: doc.threads(),
     }
 }
 
 fn print_smp_header() {
     println!(
-        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7} {:>13}",
+        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7} {:>13} {:>4}",
         "query",
         "Proj.Size",
         "Mem",
@@ -139,6 +242,7 @@ fn print_smp_header() {
         "paper",
         "Scan%",
         "Source",
+        "Thr",
     );
 }
 
@@ -146,7 +250,7 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
     let (p_shift, p_jump, p_char) =
         paper.map_or((f64::NAN, f64::NAN, f64::NAN), |p| (p.1, p.2, p.3));
     println!(
-        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2} {:>13}",
+        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2} {:>13} {:>4}",
         r.id,
         fmt_mb(r.proj_size),
         fmt_mb(r.mem_bytes as u64),
@@ -163,6 +267,7 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
         p_char,
         r.stats.scanned_pct(),
         r.source,
+        r.threads,
     );
 }
 
@@ -549,5 +654,35 @@ mod tests {
         assert!(b.iter().all(|r| r.results_agree), "pipelined results must agree");
         let c = run_fig7c();
         assert_eq!(c.len(), 6);
+    }
+
+    /// The pooled executor path behind `SMPX_THREADS` must be observably
+    /// identical to the sequential one, per backend. (Set directly via
+    /// `with_threads`, not the env var, so this test cannot race the
+    /// smoke test's environment.)
+    #[test]
+    fn pooled_delivery_matches_sequential() {
+        use smpx_datagen::{xmark, GenOptions};
+        let doc = xmark::generate(GenOptions::sized(256 * 1024));
+        let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("DTD");
+        let q = XMARK_QUERIES.iter().find(|q| q.id == "XM13").expect("query");
+        let paths = xmark_paths(q);
+        let seq = Delivery::from_env(&doc, "pooled-eq-seq").with_threads(1);
+        let par = Delivery::from_env(&doc, "pooled-eq-par").with_threads(4);
+        assert_eq!(par.threads(), 4);
+        let mut pf_a = Prefilter::compile(&dtd, &paths).expect("compile");
+        let mut pf_b = Prefilter::compile(&dtd, &paths).expect("compile");
+        let (out_a, stats_a) = seq.filter(&mut pf_a);
+        let (out_b, stats_b) = par.filter(&mut pf_b);
+        assert_eq!(out_a, out_b, "pooled output must be byte-identical");
+        assert_eq!(stats_a, stats_b, "pooled stats must equal sequential");
+        // Mem honesty: the pooled worker built exactly the matchers the
+        // sequential run built, and the column must say so.
+        assert_eq!(seq.pooled_memory_bytes(), None);
+        assert_eq!(
+            par.pooled_memory_bytes().expect("pooled run records worker memory"),
+            pf_a.memory_bytes(),
+            "peak worker memory must equal the sequential prefilter's"
+        );
     }
 }

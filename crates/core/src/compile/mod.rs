@@ -28,6 +28,17 @@ use std::collections::{BTreeMap, BTreeSet};
 /// depth-counting scans, and subtrees that projection paths could reach
 /// into are conservatively preserved whole.
 pub fn compile(dtd: &Dtd, paths: &PathSet) -> Result<CompiledTables, CoreError> {
+    compile_counted(dtd, paths).map(|(tables, _)| tables)
+}
+
+/// [`compile`], also reporting how many determinization passes the
+/// DFA-level hazard fixpoint took. The per-label-group pre-analysis in
+/// state selection is designed to make this exactly 1 (the fixpoint then
+/// verifies and finds nothing) — the ambiguity tests pin that, so a
+/// regression in the pre-analysis shows up as a pass count, not as a
+/// silent compile-time cliff.
+#[doc(hidden)]
+pub fn compile_counted(dtd: &Dtd, paths: &PathSet) -> Result<(CompiledTables, usize), CoreError> {
     if paths.is_empty() {
         return Err(CoreError::NoPaths);
     }
@@ -35,15 +46,19 @@ pub fn compile(dtd: &Dtd, paths: &PathSet) -> Result<CompiledTables, CoreError> 
     let minlen = MinLen::compute_allow_recursion(dtd)?;
     let rel = Relevance::new(paths);
     let mut s = select::select_states(&auto, &rel);
-    // Step (c) above analyses orientation hazards per NFA state, which is
-    // exact when the content models are 1-unambiguous (the XML spec's
-    // requirement, and the paper's assumption). For ambiguous models the
-    // subset construction can merge states and *combine* their frontier
-    // vocabularies, creating hazards no single member has: a keyword of one
-    // member may occur inside a region another member skips. Re-check on
-    // the determinized automaton and iterate to a fixpoint (S only grows,
-    // so this terminates).
+    // State selection's step (c) runs per *label group* (all same-labeled
+    // selected states analysed with their reaches united), which
+    // over-approximates every merge the subset construction below can
+    // perform — determinization only ever merges states entered by the
+    // same token. The loop here re-checks orientation hazards on the
+    // actual determinized automaton as a safety net: with the grouped
+    // pre-analysis it finds nothing and the tables compile in one pass,
+    // where the per-NFA-state analysis of earlier revisions needed up to
+    // a handful of recompiles on ambiguous (non-1-unambiguous) content
+    // models. S only grows, so the fixpoint terminates either way.
+    let mut passes = 0usize;
     loop {
+        passes += 1;
         let sub = subgraph::build_subgraph(&auto, &minlen, &s);
         let (tables, subsets) = tables::determinize_with_subsets(&auto, &rel, &sub);
         let mut to_add: BTreeSet<smpx_dtd::StateId> = BTreeSet::new();
@@ -73,7 +88,7 @@ pub fn compile(dtd: &Dtd, paths: &PathSet) -> Result<CompiledTables, CoreError> 
             }
         }
         if to_add.is_empty() {
-            return Ok(tables);
+            return Ok((tables, passes));
         }
         s.extend(to_add);
     }
@@ -108,5 +123,66 @@ mod tests {
         let t = compile(&dtd, &paths).unwrap();
         assert_eq!(t.state_count(), 1);
         assert!(t.states[0].keywords.is_empty());
+    }
+
+    /// Ambiguous content models whose orientation hazards only exist on
+    /// the *merged* (determinized) states: the per-label-group
+    /// pre-analysis in state selection must catch them up front, so the
+    /// DFA-level safety-net fixpoint verifies in exactly one
+    /// determinization pass. Before the grouped analysis each of these
+    /// took two passes (table recompiles).
+    ///
+    /// The shape, in the first case: `(item*, (item, y, cd), y)` makes
+    /// `<item` from the root reach two item states, which determinization
+    /// merges; one merged member keeps `<item` in the frontier vocabulary
+    /// while the other member's scan skips across `cd` — whose interior
+    /// contains items. No single NFA state has both the stop label and
+    /// the hazardous region, so the paper's per-state step (c) is blind
+    /// to it.
+    #[test]
+    fn ambiguous_models_compile_tables_in_one_pass() {
+        let cases: &[(&[u8], &[&str])] = &[
+            (
+                b"<!ELEMENT a (item*, (item, y, cd), y)> <!ELEMENT item (#PCDATA)> \
+                  <!ELEMENT y (#PCDATA)> <!ELEMENT cd (item*)>",
+                &["/*", "/a/item#"],
+            ),
+            (
+                b"<!ELEMENT a (item*, (item, y, cd), y)> <!ELEMENT item (#PCDATA)> \
+                  <!ELEMENT y (item*)> <!ELEMENT cd (item*)>",
+                &["/*", "/a/item#"],
+            ),
+            (b"<!ELEMENT a (b?, b, c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b*)>", &["/*", "/a/b#"]),
+        ];
+        for (i, (dtd_text, path_texts)) in cases.iter().enumerate() {
+            let dtd = Dtd::parse(dtd_text).unwrap();
+            let paths = PathSet::parse(path_texts).unwrap();
+            let (tables, passes) = compile_counted(&dtd, &paths).unwrap();
+            assert_eq!(
+                passes, 1,
+                "case {i}: grouped pre-analysis must leave nothing for the DFA fixpoint"
+            );
+            // The hazard repair itself must still be present: the `cd`/`c`
+            // region gained its stopover pair, visible as extra states
+            // beyond the plain selected set.
+            assert!(tables.state_count() >= 7, "case {i}: stopovers missing");
+        }
+    }
+
+    /// Unambiguous models (the paper's assumption) stay single-pass too,
+    /// and the grouped analysis must not add anything beyond the paper's
+    /// per-state step (c) there — Fig. 3's exact 7-state automaton is
+    /// pinned in `tables::tests::figure3_tables`.
+    #[test]
+    fn unambiguous_models_are_single_pass() {
+        let dtd = Dtd::parse(
+            br#"<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>"#,
+        )
+        .unwrap();
+        for texts in [&["/*", "/a/b#"][..], &["/*", "//c#"], &["/*", "//b#"]] {
+            let paths = PathSet::parse(texts).unwrap();
+            let (_, passes) = compile_counted(&dtd, &paths).unwrap();
+            assert_eq!(passes, 1);
+        }
     }
 }

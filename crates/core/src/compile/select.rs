@@ -16,10 +16,23 @@
 //!   through skipped states only), it would be thrown off-track. The
 //!   parent states (dual pair) of `p′` are added to `S`, and the analysis
 //!   repeats until a fixpoint is reached (paper Ex. 11: `q3`, `q̂3`).
+//!
+//! Step (c) here runs per **label group** rather than per state: all
+//! selected states with the same token label are analysed together, with
+//! their skipped-closures and stop vocabularies united. The paper's
+//! per-state analysis is exact for 1-unambiguous content models (the XML
+//! spec's requirement), but an ambiguous model lets the later subset
+//! construction merge same-labeled states and *combine* their frontier
+//! vocabularies — creating hazards no single member has. Since
+//! determinization only ever merges states entered by the same token, the
+//! label group over-approximates every merge it can perform, so the
+//! grouped fixpoint subsumes both the per-state step (c) and the DFA-level
+//! re-check in `compile()` (which remains as a verifying safety net and is
+//! pinned to find nothing by the one-pass compile assertions).
 
 use smpx_dtd::{DtdAutomaton, StateId};
 use smpx_paths::Relevance;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The selected state set `S` (never contains `q0`).
 pub fn select_states(auto: &DtdAutomaton, rel: &Relevance) -> BTreeSet<StateId> {
@@ -93,16 +106,36 @@ fn has_ancestor_instance(auto: &DtdAutomaton, p: StateId, anc: StateId) -> bool 
     false
 }
 
-/// Step (c): add orientation stopovers until fixpoint.
+/// Step (c), grouped: add orientation stopovers until fixpoint, analysing
+/// all same-labeled selected states as one unit (module docs).
+///
+/// For every group — `q0` alone (determinization starts from `{q0}`),
+/// plus the selected states bucketed by `(name, close)` — the skipped
+/// closures of the members are united; the group's stop vocabulary is the
+/// labels of in-`S` states in that union, and any out-of-`S` state in the
+/// union carrying a stop label is a hazard whose enclosing instance gets
+/// a stopover. Singleton groups reproduce the paper's per-state step (c)
+/// exactly; multi-member groups additionally cover the vocabulary unions
+/// the subset construction can later create.
 fn step_c(auto: &DtdAutomaton, s: &mut BTreeSet<StateId>) {
     loop {
+        let mut groups: BTreeMap<Option<(String, bool)>, Vec<StateId>> = BTreeMap::new();
+        groups.insert(None, vec![StateId::Q0]);
+        for &q in s.iter() {
+            groups
+                .entry(Some((auto.elem_name(q).to_string(), auto.is_close(q))))
+                .or_default()
+                .push(q);
+        }
         let mut to_add: BTreeSet<StateId> = BTreeSet::new();
-        let mut sources: Vec<StateId> = vec![StateId::Q0];
-        sources.extend(s.iter().copied());
-        for &q in &sources {
-            // Closure from q through states not in S.
-            let reach = reach_via_skipped(auto, q, s);
-            // Labels the runtime will scan for from q: in-S states reached.
+        for members in groups.values() {
+            // United closure through states not in S, over the group.
+            let mut reach: BTreeSet<StateId> = BTreeSet::new();
+            for &m in members {
+                reach.extend(reach_via_skipped(auto, m, s));
+            }
+            // Labels the runtime could scan for from any member: in-S
+            // states reached.
             let stop_labels: BTreeSet<(String, bool)> = reach
                 .iter()
                 .filter(|&&r| s.contains(&r))

@@ -26,7 +26,8 @@ pub enum CoreError {
         /// What the runtime was doing.
         context: &'static str,
     },
-    /// Writing to the output sink failed.
+    /// An I/O operation failed: opening or reading a document source, or
+    /// writing to the output sink.
     Io(std::io::Error),
 }
 
@@ -45,7 +46,8 @@ impl fmt::Display for CoreError {
             CoreError::UnexpectedEof { context } => {
                 write!(f, "unexpected end of input while {context}")
             }
-            CoreError::Io(e) => write!(f, "output error: {e}"),
+            // Sources and sinks both route here — don't blame one side.
+            CoreError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
 }

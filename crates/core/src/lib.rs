@@ -48,6 +48,7 @@ mod stats;
 
 pub use compile::{Action, CompiledTables, RtState};
 pub use error::CoreError;
+pub use runtime::parallel::{BatchError, FrozenPrefilter, Pool};
 pub use runtime::source::{DocSource, MmapSource, ReaderSource, SliceSource, SourceKind};
 pub use runtime::Prefilter;
 pub use stats::RunStats;

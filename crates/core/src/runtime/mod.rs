@@ -18,6 +18,7 @@
 //! one byte further.
 
 mod matchers;
+pub mod parallel;
 pub mod source;
 
 use crate::compile::{compile, Action, CompiledTables};
@@ -29,6 +30,7 @@ use smpx_paths::PathSet;
 use smpx_stringmatch::{memscan, Counters, Metrics};
 use source::{DocSource, ReaderSource, SliceSource, SourceInput};
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Default streaming chunk: eight times a 4 KiB page, as in the paper's
 /// prototype ("a pre-allocated buffer … in fixed-size chunks, which we set
@@ -36,8 +38,13 @@ use std::io::{Read, Write};
 pub const DEFAULT_CHUNK: usize = 8 * 4096;
 
 /// A compiled, reusable XML prefilter.
+///
+/// The compiled tables are held behind an [`Arc`] and are immutable after
+/// construction; only the lazily built matcher caches are per-instance
+/// mutable state. [`freeze`](Self::freeze) hands the shared tables to the
+/// [`parallel`] executor, where every worker owns its own caches.
 pub struct Prefilter {
-    tables: CompiledTables,
+    tables: Arc<CompiledTables>,
     matchers: Vec<Option<StateMatcher>>,
     /// Lazily built `{<e, </e}` searchers for balanced (recursive-element)
     /// states, indexed like `matchers`.
@@ -53,6 +60,13 @@ impl Prefilter {
 
     /// Wrap precompiled tables.
     pub fn from_tables(tables: CompiledTables) -> Prefilter {
+        Prefilter::from_shared(Arc::new(tables))
+    }
+
+    /// Wrap tables already shared with other prefilter instances (the
+    /// [`parallel::FrozenPrefilter`] worker path): the automaton is common,
+    /// the matcher caches are this instance's own.
+    pub(crate) fn from_shared(tables: Arc<CompiledTables>) -> Prefilter {
         let n = tables.states.len();
         Prefilter {
             tables,
@@ -60,6 +74,36 @@ impl Prefilter {
             balanced_matchers: vec![None; n],
             matchers_built: 0,
         }
+    }
+
+    /// Share the compiled automaton immutably for parallel execution.
+    ///
+    /// The frozen handle can mint any number of worker prefilters, each
+    /// with its own (lazily warmed) matcher caches and scratch state, all
+    /// reading the same tables — see [`parallel`].
+    pub fn freeze(&self) -> parallel::FrozenPrefilter {
+        parallel::FrozenPrefilter::new(self.tables.clone())
+    }
+
+    /// Prefilter many documents concurrently through `threads` workers
+    /// sharing this compiled automaton, returning each document's
+    /// `(sink, stats)` pair **in input order** regardless of completion
+    /// order. `threads == 0` uses the machine's available parallelism.
+    /// Shorthand for [`freeze`](Self::freeze) +
+    /// [`FrozenPrefilter::run_batch_parallel`]
+    /// (`parallel::FrozenPrefilter::run_batch_parallel`), which documents
+    /// the execution and error semantics.
+    pub fn run_batch_parallel<S, W, I>(
+        &self,
+        batch: I,
+        threads: usize,
+    ) -> Result<Vec<(W, RunStats)>, parallel::BatchError>
+    where
+        S: DocSource + Send,
+        W: Write + Send,
+        I: IntoIterator<Item = (S, W)>,
+    {
+        self.freeze().run_batch_parallel(batch, threads)
     }
 
     /// The compiled tables.

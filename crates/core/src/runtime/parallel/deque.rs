@@ -1,0 +1,81 @@
+//! The pool's work queues: a per-worker deque with LIFO-local /
+//! FIFO-steal discipline, plus the same structure used FIFO-only as the
+//! shared injector.
+//!
+//! Hand-rolled on `Mutex<VecDeque>` rather than a lock-free Chase–Lev
+//! deque: the workspace builds offline (no `crossbeam`), `smpx_core` is
+//! `deny(unsafe_code)`, and the tasks the pool schedules are whole
+//! documents — microseconds to seconds each — so an uncontended lock
+//! (tens of nanoseconds) never shows up next to the work it guards. The
+//! *discipline* is the classic one regardless of the lock: the owner
+//! pushes and pops at the back (LIFO keeps its most recently acquired
+//! work hot), thieves take from the front (FIFO takes the oldest work,
+//! the least likely to be in any cache).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One work queue. Owned ends: back (owner), front (thieves/injector).
+pub(crate) struct WorkDeque<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> WorkDeque<T> {
+    pub fn new() -> WorkDeque<T> {
+        WorkDeque { q: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Owner side: queue a run of tasks at the back (in iteration order).
+    pub fn push_chunk(&self, items: impl IntoIterator<Item = T>) {
+        let mut q = self.q.lock().expect("pool queue lock");
+        q.extend(items);
+    }
+
+    /// Owner side: most recently pushed task (LIFO).
+    pub fn pop_local(&self) -> Option<T> {
+        self.q.lock().expect("pool queue lock").pop_back()
+    }
+
+    /// Injector side: up to `n` tasks from the front (FIFO), preserving
+    /// submission order.
+    pub fn take_front(&self, n: usize) -> Vec<T> {
+        let mut q = self.q.lock().expect("pool queue lock");
+        let k = n.min(q.len());
+        q.drain(..k).collect()
+    }
+
+    /// Thief side: about half of the queued tasks from the front (FIFO);
+    /// empty when there is nothing to steal.
+    pub fn steal_half(&self) -> Vec<T> {
+        let mut q = self.q.lock().expect("pool queue lock");
+        let k = q.len().div_ceil(2);
+        q.drain(..k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_local_fifo_steal() {
+        let d = WorkDeque::new();
+        d.push_chunk([1, 2, 3, 4]);
+        // Owner sees the newest first…
+        assert_eq!(d.pop_local(), Some(4));
+        // …thieves the oldest (half of the remaining 3 = 2 tasks).
+        assert_eq!(d.steal_half(), vec![1, 2]);
+        assert_eq!(d.pop_local(), Some(3));
+        assert_eq!(d.pop_local(), None);
+        assert!(d.steal_half().is_empty());
+    }
+
+    #[test]
+    fn take_front_preserves_submission_order() {
+        let d = WorkDeque::new();
+        d.push_chunk(0..10);
+        assert_eq!(d.take_front(3), vec![0, 1, 2]);
+        assert_eq!(d.take_front(100), (3..10).collect::<Vec<_>>());
+        assert!(d.take_front(1).is_empty());
+    }
+}

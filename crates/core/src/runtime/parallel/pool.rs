@@ -1,0 +1,387 @@
+//! The work-stealing batch executor.
+//!
+//! A [`Pool`] runs a closed set of independent tasks across `threads`
+//! workers. Tasks enter a shared FIFO *injector*; each worker owns a
+//! deque it refills from the injector in small chunks and drains LIFO;
+//! an empty-handed worker steals the FIFO half of a sibling's deque
+//! (see [`deque`](super::deque) for the discipline). The caller's thread
+//! is worker 0, so `threads == 1` degenerates to a plain sequential loop
+//! with no thread ever spawned.
+//!
+//! Two properties the prefilter batch driver builds on:
+//!
+//! * **Input-order results.** Every task carries its submission index and
+//!   writes its result into that slot; the returned vector is in input
+//!   order no matter which worker finished what when.
+//! * **First-error cancellation, clean drain.** The first task error
+//!   raises a cancellation flag; workers finish the task they are on
+//!   (nothing is interrupted mid-document), abandon everything still
+//!   queued, and the lowest-indexed *observed* error is returned. The
+//!   pool holds no lock while a task runs, so an error poisons nothing;
+//!   a *panicking* task trips an unwind guard that cancels the batch and
+//!   wakes parked siblings, so they drain and exit, the scope joins, and
+//!   the panic propagates to the caller instead of hanging the pool.
+//!
+//! Termination: the task set is closed at submission (tasks never spawn
+//! tasks), but "injector and every sibling deque look empty" does not
+//! mean the batch is done — tasks can be *in transit* (a sibling popped a
+//! refill/steal chunk and has not requeued it yet) or still running. A
+//! worker that comes up empty therefore parks on a `Condvar` while the
+//! outstanding-task count is non-zero, and is woken when tasks become
+//! visible again (a sibling requeued a chunk it can steal from), when the
+//! count hits zero, or on cancellation; a short timed wait bounds any
+//! missed wakeup. Exiting instead of parking would silently serialize the
+//! batch tail on fewer workers. The implicit join of `std::thread::scope`
+//! is the final blocking point, and what drains in-flight work on
+//! cancellation.
+
+use super::deque::WorkDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A work-stealing executor of a fixed width.
+///
+/// The pool itself is just the configuration; queues and workers live for
+/// one [`run`](Pool::run) call (scoped threads, so tasks may borrow from
+/// the caller's stack). Spawning a handful of OS threads per batch is
+/// noise next to prefiltering even one document.
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of `threads` workers; `0` means the machine's available
+    /// parallelism (and at least one worker always).
+    pub fn new(threads: usize) -> Pool {
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        Pool { threads }
+    }
+
+    /// The worker count this pool runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every task, returning the results in input order, or the
+    /// lowest-indexed observed error after a clean drain (module docs).
+    ///
+    /// `make_worker` builds each worker's owned state once (worker ids
+    /// are `0..n` where `n` is the pool width clamped to the task count —
+    /// a worker that could never receive a task is neither spawned nor
+    /// given state); `job` processes one task against that state. Tasks
+    /// are independent by construction — nothing is shared between them
+    /// except what `job` captures, which must therefore be `Sync`.
+    pub fn run<T, R, E, Wk, MW, F>(
+        &self,
+        tasks: Vec<T>,
+        make_worker: MW,
+        job: F,
+    ) -> Result<Vec<R>, (usize, E)>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        MW: Fn(usize) -> Wk + Sync,
+        F: Fn(&mut Wk, T) -> Result<R, E> + Sync,
+    {
+        let total = tasks.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let n = self.threads.min(total);
+        let shared: Shared<T, R, E> = Shared {
+            injector: WorkDeque::new(),
+            locals: (0..n).map(|_| WorkDeque::new()).collect(),
+            cancel: AtomicBool::new(false),
+            remaining: AtomicUsize::new(total),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            error: Mutex::new(None),
+            results: Mutex::new((0..total).map(|_| None).collect()),
+        };
+        shared.injector.push_chunk(tasks.into_iter().enumerate());
+        // Injector refill chunk: big enough to amortize the injector lock,
+        // small enough that the tail imbalance stays stealable.
+        let grab = (total / (2 * n)).clamp(1, 64);
+        std::thread::scope(|scope| {
+            for id in 1..n {
+                let shared = &shared;
+                let make_worker = &make_worker;
+                let job = &job;
+                scope.spawn(move || worker_loop(id, grab, shared, make_worker, job));
+            }
+            worker_loop(0, grab, &shared, &make_worker, &job);
+        });
+        if let Some(err) = shared.error.into_inner().expect("pool error lock") {
+            return Err(err);
+        }
+        let results = shared.results.into_inner().expect("pool results lock");
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("no error was recorded, so every task completed"))
+            .collect())
+    }
+}
+
+/// State shared by the workers of one `run` call.
+struct Shared<T, R, E> {
+    injector: WorkDeque<(usize, T)>,
+    locals: Vec<WorkDeque<(usize, T)>>,
+    cancel: AtomicBool,
+    /// Tasks not yet completed (running and in-transit tasks included) —
+    /// the termination condition, as queue emptiness alone is not one.
+    remaining: AtomicUsize,
+    /// Parking lot for empty-handed workers while `remaining > 0`.
+    idle: Mutex<()>,
+    wake: Condvar,
+    error: Mutex<Option<(usize, E)>>,
+    results: Mutex<Vec<Option<R>>>,
+}
+
+impl<T, R, E> Shared<T, R, E> {
+    fn record_error(&self, idx: usize, e: E) {
+        let mut slot = self.error.lock().expect("pool error lock");
+        match &*slot {
+            Some((i, _)) if *i <= idx => {}
+            _ => *slot = Some((idx, e)),
+        }
+        drop(slot);
+        self.cancel.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+
+    /// One task finished (successfully or not): count it down and, when
+    /// it was the last, wake parked workers so they can exit.
+    fn task_done(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.wake.notify_all();
+        }
+    }
+}
+
+fn worker_loop<T, R, E, Wk>(
+    id: usize,
+    grab: usize,
+    shared: &Shared<T, R, E>,
+    make_worker: &(impl Fn(usize) -> Wk + Sync),
+    job: &(impl Fn(&mut Wk, T) -> Result<R, E> + Sync),
+) {
+    /// Armed across a `job` call: a panicking job unwinds without ever
+    /// reaching `task_done`, so `remaining` would never hit zero and the
+    /// sibling workers would park forever while the scope waits to join
+    /// the dead thread. The guard turns that unwind into a cancellation
+    /// (plus a wakeup), so siblings drain and exit, the scope joins, and
+    /// the panic propagates to the caller.
+    struct PanicGuard<'a, T, R, E> {
+        shared: &'a Shared<T, R, E>,
+        armed: bool,
+    }
+    impl<T, R, E> Drop for PanicGuard<'_, T, R, E> {
+        fn drop(&mut self) {
+            if self.armed {
+                self.shared.cancel.store(true, Ordering::Release);
+                self.shared.wake.notify_all();
+            }
+        }
+    }
+
+    let mut wk = make_worker(id);
+    loop {
+        if shared.cancel.load(Ordering::Acquire) {
+            return;
+        }
+        match next_task(id, grab, shared) {
+            Some((idx, task)) => {
+                let mut guard = PanicGuard { shared, armed: true };
+                let res = job(&mut wk, task);
+                guard.armed = false;
+                match res {
+                    Ok(r) => shared.results.lock().expect("pool results lock")[idx] = Some(r),
+                    Err(e) => shared.record_error(idx, e),
+                }
+                shared.task_done();
+            }
+            None => {
+                if shared.remaining.load(Ordering::Acquire) == 0 {
+                    return; // batch complete
+                }
+                // Outstanding tasks exist but none are visible: they are
+                // running on siblings or in transit between queues. Park
+                // until something becomes stealable, the batch completes,
+                // or cancellation — the timed wait bounds a missed wakeup.
+                let guard = shared.idle.lock().expect("pool idle lock");
+                drop(
+                    shared
+                        .wake
+                        .wait_timeout(guard, Duration::from_millis(1))
+                        .expect("pool idle lock"),
+                );
+            }
+        }
+    }
+}
+
+/// Local pop, else an injector refill, else a steal sweep over siblings.
+/// Whenever a chunk is requeued locally (and thereby becomes stealable),
+/// parked siblings are woken.
+fn next_task<T, R, E>(id: usize, grab: usize, shared: &Shared<T, R, E>) -> Option<(usize, T)> {
+    if let Some(t) = shared.locals[id].pop_local() {
+        return Some(t);
+    }
+    let chunk = shared.injector.take_front(grab);
+    if !chunk.is_empty() {
+        let mut it = chunk.into_iter();
+        let first = it.next();
+        shared.locals[id].push_chunk(it);
+        shared.wake.notify_all();
+        return first;
+    }
+    let n = shared.locals.len();
+    for off in 1..n {
+        let mut got = shared.locals[(id + off) % n].steal_half();
+        if !got.is_empty() {
+            let first = got.remove(0);
+            shared.locals[id].push_chunk(got);
+            shared.wake.notify_all();
+            return Some(first);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            let tasks: Vec<u64> = (0..100).collect();
+            let out: Vec<u64> =
+                pool.run(tasks, |_| (), |(), t| Ok::<_, ()>(t * t)).expect("no task fails");
+            assert_eq!(out, (0..100).map(|t| t * t).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let pool = Pool::new(0);
+        assert!(pool.threads() >= 1);
+        let out = pool.run(vec![7usize], |_| (), |(), t| Ok::<_, ()>(t + 1)).unwrap();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn empty_batch_is_ok_and_spawns_nothing() {
+        let built = AtomicUsize::new(0);
+        let out: Vec<u8> = Pool::new(4)
+            .run(Vec::<u8>::new(), |_| built.fetch_add(1, Ordering::Relaxed), |_, t| Ok::<_, ()>(t))
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(built.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn worker_state_is_built_per_worker_and_reused() {
+        // Each worker counts the tasks it ran; the counts must sum to the
+        // task count (every task exactly once) across any distribution.
+        for threads in [1, 2, 8] {
+            let ran = AtomicUsize::new(0);
+            let pool = Pool::new(threads);
+            let out = pool
+                .run(
+                    (0..50u32).collect(),
+                    |id| (id, 0u32),
+                    |(_, mine), t| {
+                        *mine += 1;
+                        ran.fetch_add(1, Ordering::Relaxed);
+                        Ok::<_, ()>(t)
+                    },
+                )
+                .unwrap();
+            assert_eq!(out.len(), 50);
+            assert_eq!(ran.load(Ordering::Relaxed), 50, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn first_error_cancels_and_reports_lowest_observed_index() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let tasks: Vec<usize> = (0..64).collect();
+            let err = pool
+                .run(tasks, |_| (), |(), t| if t == 13 { Err(format!("boom {t}")) } else { Ok(t) })
+                .expect_err("task 13 fails");
+            // With one failing task the report is deterministic; queued
+            // tasks after the cancellation are abandoned, never reported.
+            assert_eq!(err, (13, "boom 13".to_string()), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_an_erroring_run() {
+        // "Poisons nothing": the same pool (and the caller) can run again
+        // right after a cancelled batch.
+        let pool = Pool::new(4);
+        let _ = pool
+            .run((0..8usize).collect(), |_| (), |(), t| if t % 2 == 0 { Err(t) } else { Ok(t) })
+            .expect_err("half the tasks fail");
+        let out = pool.run((0..8usize).collect(), |_| (), |(), t| Ok::<_, ()>(t)).unwrap();
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn parked_workers_exit_when_the_last_running_task_completes() {
+        // The fast workers drain everything visible while task 0 is still
+        // running on a sibling; they must park (not exit) and then leave
+        // cleanly once the straggler completes and the count hits zero.
+        let pool = Pool::new(4);
+        let out = pool
+            .run(
+                (0..4u64).collect(),
+                |_| (),
+                |(), t| {
+                    if t == 0 {
+                        std::thread::sleep(Duration::from_millis(30));
+                    }
+                    Ok::<_, ()>(t)
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn many_more_tasks_than_workers_all_complete() {
+        let pool = Pool::new(3);
+        let out = pool.run((0..1000u32).collect(), |_| (), |(), t| Ok::<_, ()>(t)).unwrap();
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_task_propagates_instead_of_hanging() {
+        // The unwind guard must cancel the batch so parked siblings exit,
+        // the scope joins, and the panic reaches the caller — this test
+        // *completing* (rather than parking forever) is the point.
+        let res = std::panic::catch_unwind(|| {
+            Pool::new(4).run(
+                (0..16usize).collect(),
+                |_| (),
+                |(), t| {
+                    if t == 7 {
+                        panic!("task panic");
+                    }
+                    Ok::<_, ()>(t)
+                },
+            )
+        });
+        assert!(res.is_err(), "the task panic must propagate out of run()");
+    }
+}

@@ -5,12 +5,14 @@
 //!
 //! The documents live on disk and are delivered zero-copy through the
 //! `DocSource` layer (`MmapSource`); a whole shard directory is
-//! prefiltered as one `run_batch` through a single compiled automaton.
+//! prefiltered as one batch through a single compiled automaton, sharded
+//! across the work-stealing pool (`run_batch_parallel` — `SMPX_THREADS`
+//! sets the worker count, default: the machine's available parallelism).
 //!
 //! Run with: `cargo run --release --example xmark_pipeline [size_mb]`
 
 use smpx::core::runtime::source::MmapSource;
-use smpx::core::Prefilter;
+use smpx::core::{Pool, Prefilter};
 use smpx::datagen::{xmark, GenOptions};
 use smpx::dtd::Dtd;
 use smpx::engine::{InMemEngine, StreamEngine};
@@ -62,16 +64,21 @@ fn main() {
     drop(shard0);
 
     // Attempt 2: batch-prefilter every shard through ONE compiled
-    // automaton, mapped zero-copy from disk, then evaluate each projected
-    // shard within the budget.
+    // automaton, mapped zero-copy from disk and sharded across the
+    // work-stealing pool, then evaluate each projected shard within the
+    // budget. Results come back in shard order whatever the completion
+    // order was.
+    let requested =
+        std::env::var("SMPX_THREADS").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(0);
+    let threads = Pool::new(requested).threads();
     let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("DTD");
-    let mut pf = Prefilter::compile(&dtd, &paths).expect("compile");
+    let pf = Prefilter::compile(&dtd, &paths).expect("compile");
     let t0 = Instant::now();
     let batch = shard_paths
         .iter()
         .map(|p| (MmapSource::open(p).expect("map shard"), Vec::new()))
         .collect::<Vec<_>>();
-    let results = pf.run_batch(batch).expect("batch filter");
+    let results = pf.run_batch_parallel(batch, threads).expect("batch filter");
     let pf_time = t0.elapsed();
 
     let projected_total: usize = results.iter().map(|(out, _)| out.len()).sum();
@@ -79,7 +86,8 @@ fn main() {
         results.iter().map(|(_, s)| s.char_comp_pct()).sum::<f64>() / SHARDS as f64;
     println!(
         "batch-prefiltered {corpus_bytes} -> {projected_total} bytes \
-         ({:.1}% kept) in {pf_time:?} via mmap, inspecting {inspected:.1}% of the input",
+         ({:.1}% kept) in {pf_time:?} via mmap over {threads} pool worker(s), \
+         inspecting {inspected:.1}% of the input",
         100.0 * projected_total as f64 / corpus_bytes as f64,
     );
 

@@ -3,28 +3,44 @@
 //! ```text
 //! USAGE:
 //!   smpx --dtd SCHEMA.dtd (--paths P1,P2,… | --query XPATH)
-//!        [INPUT.xml ...] [-o OUT.xml] [--mmap] [--chunk-kb N] [--stats]
+//!        [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--chunk-kb N]
+//!        [--threads N] [--stats]
 //!
 //! EXAMPLES:
 //!   smpx --dtd site.dtd --query '//australia//description' big.xml -o small.xml --stats
-//!   smpx --dtd site.dtd --paths '/*,//name#' --mmap shard0.xml shard1.xml > all.xml
+//!   smpx --dtd site.dtd --paths '/*,//name#' --mmap --threads 0 shard*.xml > all.xml
 //!   cat big.xml | smpx --dtd site.dtd --paths '/*,/site/people/person/name#' > small.xml
+//!   smpx --dtd site.dtd --paths '/*,//name#' head.xml - tail.xml > all.xml
 //! ```
 //!
 //! Document delivery is pluggable (`smpx_core::runtime::source`): files
 //! stream through the paper's chunked window by default (`--chunk-kb`
-//! sizes it), `--mmap` maps them zero-copy instead, and stdin always
-//! streams. Several input files are prefiltered as one batch through a
-//! single compiled automaton; their projected outputs are concatenated in
-//! argument order.
+//! sizes it), `--mmap` maps them zero-copy instead, and stdin — either
+//! implicitly (no inputs) or as the explicit non-seekable `-` operand
+//! anywhere in the input list — always streams through the reader
+//! backend, even under `--mmap`. Several inputs are prefiltered as one
+//! batch through a single compiled automaton; their projected outputs are
+//! concatenated in argument order.
+//!
+//! `--threads N` runs the batch through the work-stealing pool
+//! (`smpx_core::runtime::parallel`) with `N` workers sharing the one
+//! frozen automaton (`0` = the machine's available parallelism). Outputs
+//! remain byte-identical and in argument order; per-file `--stats` rows
+//! stay tagged with their backend, and the total row is accumulated on
+//! the main thread from the ordered results, so no counter is ever
+//! updated concurrently. In parallel mode each worker buffers its
+//! documents' projected bytes before the ordered write-out, and at most
+//! `N` inputs are open at once (sources open right before their run, as
+//! in sequential mode).
 
 use smpx::core::runtime::source::{DocSource, MmapSource, ReaderSource, SourceKind};
 use smpx::core::runtime::DEFAULT_CHUNK;
-use smpx::core::{Prefilter, RunStats};
-use smpx::dtd::Dtd;
-use smpx::paths::{extract, PathSet};
+use smpx::core::{CoreError, Pool, Prefilter, RunStats};
 use std::io::Write;
 use std::process::ExitCode;
+
+use smpx::dtd::Dtd;
+use smpx::paths::{extract, PathSet};
 
 struct Args {
     dtd: String,
@@ -35,12 +51,13 @@ struct Args {
     stats: bool,
     mmap: bool,
     chunk: usize,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: smpx --dtd SCHEMA.dtd (--paths 'P1,P2,…' | --query XPATH) \
-         [INPUT.xml ...] [-o OUT.xml] [--mmap] [--chunk-kb N] [--stats]"
+         [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--chunk-kb N] [--threads N] [--stats]"
     );
     std::process::exit(2);
 }
@@ -55,6 +72,7 @@ fn parse_args() -> Args {
         stats: false,
         mmap: false,
         chunk: DEFAULT_CHUNK,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,7 +91,12 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
                 args.chunk = kb * 1024;
             }
+            "--threads" => {
+                // 0 is meaningful: available parallelism.
+                args.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
             "-h" | "--help" => usage(),
+            "-" => args.inputs.push("-".to_string()),
             other if !other.starts_with('-') => args.inputs.push(other.to_string()),
             _ => usage(),
         }
@@ -81,11 +104,42 @@ fn parse_args() -> Args {
     if args.dtd.is_empty() || (args.paths.is_none() && args.query.is_none()) {
         usage();
     }
-    if args.mmap && args.inputs.is_empty() {
+    if args.mmap && args.inputs.iter().all(|p| p == "-") {
         eprintln!("smpx: --mmap requires file inputs (stdin cannot be mapped)");
         std::process::exit(2);
     }
+    if args.inputs.iter().filter(|p| *p == "-").count() > 1 {
+        eprintln!("smpx: the stdin operand '-' may appear at most once");
+        std::process::exit(2);
+    }
     args
+}
+
+/// Open one input through the backend the flags select. The non-seekable
+/// `-` operand always takes the reader backend over stdin — `--mmap` and
+/// slice paths cannot apply to a pipe, so it routes instead of erroring.
+/// At most one input is open per worker at any time (sources open right
+/// before their run).
+fn open_source(path: &str, args: &Args) -> Result<(Box<dyn DocSource + Send>, String), CoreError> {
+    let reader_tag = format!("{}/{}KiB", SourceKind::Reader, args.chunk / 1024);
+    if path == "-" {
+        // `Stdin` handles chunked reads itself; workers never share one.
+        return Ok((Box::new(ReaderSource::new(std::io::stdin(), args.chunk)), reader_tag));
+    }
+    if args.mmap {
+        let m = MmapSource::open(path)?;
+        // Honest tag: empty and non-regular files take the read-to-Vec
+        // fallback inside the mmap backend.
+        let tag = if m.is_mapped() {
+            SourceKind::Mmap.as_str().to_string()
+        } else {
+            format!("{}/read-fallback", SourceKind::Mmap)
+        };
+        Ok((Box::new(m), tag))
+    } else {
+        let f = std::fs::File::open(path)?;
+        Ok((Box::new(ReaderSource::new(std::io::BufReader::new(f), args.chunk)), reader_tag))
+    }
 }
 
 fn print_stats(label: &str, source: &str, stats: &RunStats) {
@@ -181,9 +235,14 @@ fn main() -> ExitCode {
     // Validate every input up front (early, well-labeled failure before
     // any output is written), remembering the known file lengths so
     // reader-delivered stats — whose sources cannot know their length up
-    // front — still report percentages.
+    // front — still report percentages. The `-` operand is stdin: no
+    // metadata, no length.
     let mut sizes: Vec<Option<u64>> = Vec::new();
     for p in &args.inputs {
+        if p == "-" {
+            sizes.push(None);
+            continue;
+        }
         match std::fs::metadata(p) {
             Ok(m) => sizes.push(m.is_file().then_some(m.len())),
             Err(e) => {
@@ -193,12 +252,10 @@ fn main() -> ExitCode {
         }
     }
 
-    // Drive the batch through the one compiled automaton, opening each
-    // document's source right before its run — at most one fd or mapping
-    // is ever open, so many-thousand-file batches stay under any ulimit.
     let reader_tag = format!("{}/{}KiB", SourceKind::Reader, args.chunk / 1024);
     let mut results: Vec<(String, String, RunStats)> = Vec::new();
     if args.inputs.is_empty() {
+        // Pure pipe mode: prefilter stdin through the streaming window.
         let stdin = std::io::stdin();
         let src = ReaderSource::new(stdin.lock(), args.chunk);
         match pf.filter_source(src, &mut out) {
@@ -208,37 +265,20 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-    } else {
+    } else if args.threads == 1 {
+        // Sequential batch through the one compiled automaton, opening
+        // each document's source right before its run — at most one fd or
+        // mapping is ever open, so many-thousand-file batches stay under
+        // any ulimit.
         for (p, size) in args.inputs.iter().zip(&sizes) {
-            let (src, tag): (Box<dyn DocSource>, String) = if args.mmap {
-                match MmapSource::open(p) {
-                    Ok(m) => {
-                        // Honest tag: empty and non-regular files take the
-                        // read-to-Vec fallback inside the mmap backend.
-                        let tag = if m.is_mapped() {
-                            SourceKind::Mmap.as_str().to_string()
-                        } else {
-                            format!("{}/read-fallback", SourceKind::Mmap)
-                        };
-                        (Box::new(m), tag)
-                    }
-                    Err(e) => {
-                        eprintln!("smpx: cannot map {p}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            } else {
-                match std::fs::File::open(p) {
-                    Ok(f) => {
-                        let src = ReaderSource::new(std::io::BufReader::new(f), args.chunk);
-                        (Box::new(src), reader_tag.clone())
-                    }
-                    Err(e) => {
-                        eprintln!("smpx: cannot open {p}: {e}");
-                        return ExitCode::FAILURE;
-                    }
+            let src = match open_source(p, &args) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("smpx: cannot open {p}: {e}");
+                    return ExitCode::FAILURE;
                 }
             };
+            let (src, tag) = src;
             match pf.filter_source(src, &mut out) {
                 Ok(mut stats) => {
                     if stats.input_bytes == 0 {
@@ -254,6 +294,56 @@ fn main() -> ExitCode {
                 }
             }
         }
+    } else {
+        // Parallel batch: the frozen automaton is shared read-only across
+        // the pool's workers; each task opens its source inside the
+        // worker (at most `threads` inputs open at once) and buffers its
+        // projected bytes, which the main thread then writes out in
+        // argument order. The first failing input cancels the batch —
+        // in-flight documents drain, queued ones are abandoned, and the
+        // failing input is named below. Nothing has been written to `out`
+        // at that point: all writing happens after a fully successful run.
+        let frozen = pf.freeze();
+        let pool = Pool::new(args.threads);
+        let tasks: Vec<(String, Option<u64>)> =
+            args.inputs.iter().cloned().zip(sizes.iter().copied()).collect();
+        let run = pool.run(
+            tasks,
+            |_| frozen.worker(),
+            |wpf, (path, size)| -> Result<_, CoreError> {
+                let (src, tag) = open_source(&path, &args)?;
+                let mut buf = Vec::new();
+                let mut stats = wpf.filter_source(src, &mut buf)?;
+                if stats.input_bytes == 0 {
+                    stats.input_bytes = size.unwrap_or(0);
+                }
+                Ok((path, tag, buf, stats))
+            },
+        );
+        match run {
+            Ok(ordered) => {
+                for (path, tag, buf, stats) in ordered {
+                    if let Err(e) = out.write_all(&buf) {
+                        eprintln!("smpx: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    results.push((path, tag, stats));
+                }
+            }
+            Err((index, e)) => {
+                eprintln!("smpx: {}: {e}", args.inputs[index]);
+                return ExitCode::FAILURE;
+            }
+        }
+        if args.stats {
+            // Pool::run clamps its width to the task count; report the
+            // workers that actually existed, not just the configuration.
+            eprintln!(
+                "smpx: batch of {} inputs over {} pool workers",
+                args.inputs.len(),
+                pool.threads().min(args.inputs.len())
+            );
+        }
     }
     if let Err(e) = out.flush() {
         eprintln!("smpx: {e}");
@@ -261,13 +351,24 @@ fn main() -> ExitCode {
     }
 
     if args.stats {
+        // Totals accumulate on this thread from the input-ordered rows —
+        // per-file attribution and the sums are identical whatever the
+        // completion order was.
         let mut total = RunStats::default();
         for (label, tag, stats) in &results {
             print_stats(label, tag, stats);
             total.accumulate(stats);
         }
         if results.len() > 1 {
-            let tag = if args.mmap { SourceKind::Mmap.as_str().to_string() } else { reader_tag };
+            // The total's tag comes from the rows themselves: a `-`
+            // operand inside an `--mmap` batch makes delivery mixed, and
+            // the total row must say so rather than claim one backend.
+            let first = results[0].1.as_str();
+            let tag = if results.iter().all(|(_, t, _)| t == first) {
+                first.to_string()
+            } else {
+                "mixed".to_string()
+            };
             print_stats("total", &tag, &total);
         }
     }
