@@ -135,6 +135,15 @@ pub fn env_threads() -> usize {
     }
 }
 
+/// Multi-query workload width from `SMPX_QUERIES`: unset or `1` means the
+/// classic single-query automaton, `N > 1` makes `runners::Delivery`-based
+/// table runs compile the row's path set into an N-query shared automaton
+/// (`Prefilter::compile_multi`) — one pass answering N standing queries —
+/// and the tables grow a `Qrys` column. `0` is clamped to 1.
+pub fn env_queries() -> usize {
+    std::env::var("SMPX_QUERIES").ok().and_then(|v| v.parse::<usize>().ok()).map_or(1, |n| n.max(1))
+}
+
 /// Streaming chunk for [`SourceMode::Reader`] deliveries: `SMPX_CHUNK_KB`
 /// (KiB) or the paper's default window.
 pub fn source_chunk() -> usize {

@@ -7,7 +7,7 @@
 //! target — see EXPERIMENTS.md.
 
 use crate::measure::{
-    env_mb, env_threads, fmt_mb, source_chunk, time, SourceMode, TempDocFile, Timed,
+    env_mb, env_queries, env_threads, fmt_mb, source_chunk, time, SourceMode, TempDocFile, Timed,
 };
 use crate::queries::{
     medline_paths, xmark_paths, MEDLINE_QUERIES, PAPER_TABLE1, PAPER_TABLE2, TABLE3_QUERIES,
@@ -15,7 +15,7 @@ use crate::queries::{
 };
 use smpx_baselines::{sax, TokenProjector};
 use smpx_core::runtime::source::{MmapSource, ReaderSource, SliceSource, SourceKind};
-use smpx_core::{Prefilter, RunStats};
+use smpx_core::{MultiPrefilter, MultiVerdict, Prefilter, RunStats};
 use smpx_datagen::{medline, xmark, GenOptions};
 use smpx_dtd::Dtd;
 use smpx_engine::{InMemEngine, StreamEngine};
@@ -41,6 +41,7 @@ pub struct Delivery<'a> {
     mode: SourceMode,
     chunk: usize,
     threads: usize,
+    queries: usize,
     file: Option<TempDocFile>,
     /// Peak worker `memory_bytes()` of the last pooled run (`None` after
     /// sequential runs): the pool's workers own the matcher caches, so
@@ -63,6 +64,7 @@ impl<'a> Delivery<'a> {
             mode,
             chunk: source_chunk(),
             threads: env_threads(),
+            queries: env_queries(),
             file,
             pooled_mem: std::cell::Cell::new(None),
         }
@@ -93,6 +95,20 @@ impl<'a> Delivery<'a> {
     /// else: `Pool::new`'s available-parallelism rule.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = smpx_core::Pool::new(threads).threads();
+        self
+    }
+
+    /// The `SMPX_QUERIES`-selected multi-query workload width
+    /// (1 = classic single-query automaton).
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// Override the workload width (env-free replay of multi-query
+    /// table runs, mirroring [`with_threads`](Self::with_threads)).
+    /// `0` is clamped to 1 like `SMPX_QUERIES=0`.
+    pub fn with_queries(mut self, queries: usize) -> Self {
+        self.queries = queries.max(1);
         self
     }
 
@@ -180,6 +196,39 @@ impl<'a> Delivery<'a> {
         self.pooled_mem.set(Some(peak_mem.load(Ordering::Relaxed)));
         results.pop().expect("one document in, one result out")
     }
+
+    /// One multi-query registry pass through the selected backend and
+    /// executor: union projection, per-query verdict, run statistics.
+    /// The benches' one-pass side of the one-pass-vs-N-passes comparison.
+    pub fn filter_multi(&self, mpf: &mut MultiPrefilter) -> (Vec<u8>, MultiVerdict, RunStats) {
+        self.pooled_mem.set(None);
+        let open = || -> Box<dyn smpx_core::DocSource + Send + '_> {
+            match self.mode {
+                SourceMode::Slice => Box::new(SliceSource::new(self.doc)),
+                SourceMode::Mmap => {
+                    let path = self.file.as_ref().expect("mmap delivery has a file").path();
+                    Box::new(MmapSource::open(path).expect("map bench doc"))
+                }
+                SourceMode::Reader => {
+                    let path = self.file.as_ref().expect("reader delivery has a file").path();
+                    let file = std::fs::File::open(path).expect("open bench doc");
+                    Box::new(ReaderSource::new(std::io::BufReader::new(file), self.chunk))
+                }
+            }
+        };
+        let (out, verdict, mut stats) = if self.threads > 1 {
+            mpf.run_batch_parallel(vec![(open(), Vec::new())], self.threads)
+                .expect("pooled multi filter")
+                .pop()
+                .expect("one document in, one result out")
+        } else {
+            mpf.run_multi(open(), Vec::new()).expect("multi filter")
+        };
+        if stats.input_bytes == 0 {
+            stats.input_bytes = self.doc.len() as u64;
+        }
+        (out, verdict, stats)
+    }
 }
 
 /// One Table I/II row.
@@ -198,12 +247,26 @@ pub struct SmpRow {
     /// Which executor produced the row: the `SMPX_THREADS` pool width
     /// (1 = the classic sequential path).
     pub threads: usize,
+    /// Multi-query workload width (`SMPX_QUERIES` / `with_queries`): how
+    /// many standing queries the row's one pass answered (1 = classic
+    /// single-query automaton).
+    pub queries: usize,
 }
 
 /// Run SMP once over a delivered document for `paths`, collecting a
-/// table row.
+/// table row. A `Delivery` with `queries() > 1` replays the row's path
+/// set as an N-query workload on one shared attributed automaton
+/// (`Prefilter::compile_multi`) — same pass, same projection, now also
+/// answering "which queries match" — so the whole experiment suite can
+/// exercise the registry runtime via `SMPX_QUERIES` without new binaries.
 pub fn smp_row(id: &str, dtd: &Dtd, paths: &PathSet, doc: &Delivery<'_>) -> SmpRow {
-    let mut pf = Prefilter::compile(dtd, paths).expect("compile");
+    let queries = doc.queries();
+    let mut pf = if queries > 1 {
+        let workload = vec![paths.clone(); queries];
+        Prefilter::compile_multi(dtd, &workload).expect("compile multi")
+    } else {
+        Prefilter::compile(dtd, paths).expect("compile")
+    };
     let ((out, stats), timed) = time(|| doc.filter(&mut pf));
     SmpRow {
         id: id.to_string(),
@@ -222,12 +285,13 @@ pub fn smp_row(id: &str, dtd: &Dtd, paths: &PathSet, doc: &Delivery<'_>) -> SmpR
         stats,
         source: doc.label(),
         threads: doc.threads(),
+        queries,
     }
 }
 
 fn print_smp_header() {
     println!(
-        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7} {:>13} {:>4}",
+        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7} {:>13} {:>4} {:>4}",
         "query",
         "Proj.Size",
         "Mem",
@@ -243,6 +307,7 @@ fn print_smp_header() {
         "Scan%",
         "Source",
         "Thr",
+        "Qrys",
     );
 }
 
@@ -250,7 +315,7 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
     let (p_shift, p_jump, p_char) =
         paper.map_or((f64::NAN, f64::NAN, f64::NAN), |p| (p.1, p.2, p.3));
     println!(
-        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2} {:>13} {:>4}",
+        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2} {:>13} {:>4} {:>4}",
         r.id,
         fmt_mb(r.proj_size),
         fmt_mb(r.mem_bytes as u64),
@@ -268,6 +333,7 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
         r.stats.scanned_pct(),
         r.source,
         r.threads,
+        r.queries,
     );
 }
 
@@ -684,5 +750,48 @@ mod tests {
             pf_a.memory_bytes(),
             "peak worker memory must equal the sequential prefilter's"
         );
+    }
+
+    /// `with_queries(N)` (the env-free `SMPX_QUERIES` override) swaps the
+    /// row's automaton for an N-query registry: the union projection must
+    /// stay byte-identical, the row must record the workload width, and
+    /// `filter_multi` must attribute every duplicate alike — sequential
+    /// and pooled.
+    #[test]
+    fn multi_query_delivery_matches_single() {
+        use smpx_datagen::{xmark, GenOptions};
+        let doc = xmark::generate(GenOptions::sized(256 * 1024));
+        let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("DTD");
+        let q = XMARK_QUERIES.iter().find(|q| q.id == "XM13").expect("query");
+        let paths = xmark_paths(q);
+
+        let single = Delivery::from_env(&doc, "mq-single").with_threads(1).with_queries(1);
+        let multi = Delivery::from_env(&doc, "mq-multi").with_threads(1).with_queries(8);
+        let row_s = smp_row("XM13", &dtd, &paths, &single);
+        let row_m = smp_row("XM13", &dtd, &paths, &multi);
+        assert_eq!((row_s.queries, row_m.queries), (1, 8));
+        assert_eq!(row_m.proj_size, row_s.proj_size, "union projection unchanged by registry");
+
+        let mut reg = smpx_core::QueryRegistry::new(dtd.clone());
+        for _ in 0..8 {
+            reg.add_paths(paths.clone());
+        }
+        let mut mpf = reg.compile().expect("registry compile");
+        let (out, verdict, stats) = multi.filter_multi(&mut mpf);
+        assert_eq!(out.len() as u64, row_s.proj_size);
+        assert_eq!(verdict.n_queries, 8);
+        let expect_all = row_s.stats.match_events > 0;
+        assert_eq!(
+            verdict.matched_ids().len(),
+            if expect_all { 8 } else { 0 },
+            "identical queries must share one verdict"
+        );
+        assert_eq!(stats.input_bytes, doc.len() as u64);
+
+        let pooled = Delivery::from_env(&doc, "mq-pooled").with_threads(4).with_queries(8);
+        let (out_p, verdict_p, stats_p) = pooled.filter_multi(&mut mpf);
+        assert_eq!(out_p, out, "pooled multi pass must be byte-identical");
+        assert_eq!(verdict_p, verdict);
+        assert_eq!(stats_p, stats);
     }
 }

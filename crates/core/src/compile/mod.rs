@@ -14,10 +14,11 @@ pub(crate) mod select;
 pub(crate) mod subgraph;
 pub(crate) mod tables;
 
-pub use tables::{Action, CompiledTables, Keyword, RtState};
+pub use tables::{Action, Attribution, CompiledTables, Keyword, RtState};
 
 use crate::error::CoreError;
-use smpx_dtd::{Dtd, DtdAutomaton, MinLen};
+use crate::idset::{QueryId, QueryIdSet};
+use smpx_dtd::{Dtd, DtdAutomaton, MinLen, StateId};
 use smpx_paths::{PathSet, Relevance};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -45,27 +46,42 @@ pub fn compile_counted(dtd: &Dtd, paths: &PathSet) -> Result<(CompiledTables, us
     let auto = DtdAutomaton::build_allow_recursion(dtd)?;
     let minlen = MinLen::compute_allow_recursion(dtd)?;
     let rel = Relevance::new(paths);
-    let mut s = select::select_states(&auto, &rel);
-    // State selection's step (c) runs per *label group* (all same-labeled
-    // selected states analysed with their reaches united), which
-    // over-approximates every merge the subset construction below can
-    // perform — determinization only ever merges states entered by the
-    // same token. The loop here re-checks orientation hazards on the
-    // actual determinized automaton as a safety net: with the grouped
-    // pre-analysis it finds nothing and the tables compile in one pass,
-    // where the per-NFA-state analysis of earlier revisions needed up to
-    // a handful of recompiles on ambiguous (non-1-unambiguous) content
-    // models. S only grows, so the fixpoint terminates either way.
+    let s = select::select_states(&auto, &rel);
+    let (tables, passes, _) = compile_from_selection(&auto, &minlen, &rel, s);
+    Ok((tables, passes))
+}
+
+/// Contract, determinize and hazard-check a chosen state set: steps 3–4
+/// of the Fig. 6 pipeline, shared by the single-query and the multi-query
+/// (registry) compiles. Returns the tables, the pass count, and each
+/// runtime-DFA state's member subset (the registry derives its hit
+/// attribution from the subsets).
+///
+/// State selection's step (c) runs per *label group* (all same-labeled
+/// selected states analysed with their reaches united), which
+/// over-approximates every merge the subset construction below can
+/// perform — determinization only ever merges states entered by the
+/// same token. The loop here re-checks orientation hazards on the
+/// actual determinized automaton as a safety net: with the grouped
+/// pre-analysis it finds nothing and the tables compile in one pass,
+/// where the per-NFA-state analysis of earlier revisions needed up to
+/// a handful of recompiles on ambiguous (non-1-unambiguous) content
+/// models. S only grows, so the fixpoint terminates either way.
+fn compile_from_selection(
+    auto: &DtdAutomaton,
+    minlen: &MinLen,
+    rel: &Relevance,
+    mut s: BTreeSet<StateId>,
+) -> (CompiledTables, usize, Vec<Vec<StateId>>) {
     let mut passes = 0usize;
     loop {
         passes += 1;
-        let sub = subgraph::build_subgraph(&auto, &minlen, &s);
-        let (tables, subsets) = tables::determinize_with_subsets(&auto, &rel, &sub);
-        let mut to_add: BTreeSet<smpx_dtd::StateId> = BTreeSet::new();
+        let sub = subgraph::build_subgraph(auto, minlen, &s);
+        let (tables, subsets) = tables::determinize_with_subsets(auto, rel, &sub);
+        let mut to_add: BTreeSet<StateId> = BTreeSet::new();
         // The skipped-closure depends only on (member, S) and members recur
         // across subsets; memoize it per fixpoint iteration.
-        let mut reach_memo: BTreeMap<smpx_dtd::StateId, BTreeSet<smpx_dtd::StateId>> =
-            BTreeMap::new();
+        let mut reach_memo: BTreeMap<StateId, BTreeSet<StateId>> = BTreeMap::new();
         for (i, st) in tables.states.iter().enumerate() {
             if st.keywords.is_empty() || st.balanced {
                 // Balanced states cross their subtree with a depth-counting
@@ -76,22 +92,88 @@ pub fn compile_counted(dtd: &Dtd, paths: &PathSet) -> Result<(CompiledTables, us
                 st.keywords.iter().map(|k| (k.name.as_str(), k.close)).collect();
             for &m in &subsets[i] {
                 let reach =
-                    reach_memo.entry(m).or_insert_with(|| select::reach_via_skipped(&auto, m, &s));
+                    reach_memo.entry(m).or_insert_with(|| select::reach_via_skipped(auto, m, &s));
                 for &r in reach.iter() {
                     if s.contains(&r) {
                         continue;
                     }
                     if vocab.contains(&(auto.elem_name(r), auto.is_close(r))) {
-                        select::add_stopover(&auto, r, &s, &mut to_add);
+                        select::add_stopover(auto, r, &s, &mut to_add);
                     }
                 }
             }
         }
         if to_add.is_empty() {
-            return Ok((tables, passes));
+            return (tables, passes, subsets);
         }
         s.extend(to_add);
     }
+}
+
+/// Compile a whole query workload into one shared automaton whose states
+/// carry query-id attribution (the multi-query registry).
+///
+/// The automaton is the single-query compile of the *union* of the
+/// queries' path sets, with two additions:
+///
+/// 1. **Selection**: every query's *hit states* — the DTD-automaton
+///    states whose action indicates a match under that query's own
+///    relevance, restricted to that query's own selected set — are forced
+///    into the union selection as dual pairs
+///    ([`select::select_states_with_extra`]). The union's copy-on pruning
+///    could otherwise hide one query's hit states inside another query's
+///    raw-copied instance, and a never-visited hit state can never
+///    attribute (a missed id would be a soundness bug). Restricting to
+///    the query's own selected set matters in the other direction: a
+///    query's own step-(b) pruning removes nested hit states whose
+///    instances are already covered by an enclosing raw copy, and
+///    re-adding those would over-attribute.
+/// 2. **Attribution**: after determinization, runtime state `i` is
+///    attributed to query `q` iff some member of subset `i` is one of
+///    `q`'s hit states. By relevance monotonicity (the union's relevance
+///    dominates each query's) such a state's joined action is itself in
+///    the hit class, so attributed entries coincide with the union run's
+///    match events.
+pub(crate) fn compile_multi(dtd: &Dtd, queries: &[PathSet]) -> Result<CompiledTables, CoreError> {
+    if queries.is_empty() || queries.iter().any(PathSet::is_empty) {
+        return Err(CoreError::NoPaths);
+    }
+    let auto = DtdAutomaton::build_allow_recursion(dtd)?;
+    let minlen = MinLen::compute_allow_recursion(dtd)?;
+
+    // Per-query hit states, and the forced extras (dual pairs).
+    let mut hit_states: Vec<BTreeSet<StateId>> = Vec::with_capacity(queries.len());
+    let mut extra: BTreeSet<StateId> = BTreeSet::new();
+    for paths in queries {
+        let rel_q = Relevance::new(paths);
+        let s_q = select::select_states(&auto, &rel_q);
+        let hits: BTreeSet<StateId> = s_q
+            .iter()
+            .copied()
+            .filter(|&m| tables::member_action(&auto, &rel_q, m).indicates_match())
+            .collect();
+        for &m in &hits {
+            extra.insert(m);
+            extra.insert(auto.dual(m));
+        }
+        hit_states.push(hits);
+    }
+
+    let union = queries.iter().fold(PathSet::new(vec![]), |u, q| u.union(q));
+    let rel = Relevance::new(&union);
+    let s = select::select_states_with_extra(&auto, &rel, &extra);
+    let (mut tables, _, subsets) = compile_from_selection(&auto, &minlen, &rel, s);
+
+    let mut state_hits = vec![QueryIdSet::new(); tables.states.len()];
+    for (i, members) in subsets.iter().enumerate() {
+        for (qi, hits) in hit_states.iter().enumerate() {
+            if members.iter().any(|m| hits.contains(m)) {
+                state_hits[i].insert(QueryId(qi as u32));
+            }
+        }
+    }
+    tables.attribution = Some(Attribution { n_queries: queries.len() as u32, state_hits });
+    Ok(tables)
 }
 
 #[cfg(test)]

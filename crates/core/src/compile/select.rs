@@ -36,6 +36,25 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// The selected state set `S` (never contains `q0`).
 pub fn select_states(auto: &DtdAutomaton, rel: &Relevance) -> BTreeSet<StateId> {
+    select_states_with_extra(auto, rel, &BTreeSet::new())
+}
+
+/// [`select_states`] with additional states forced into `S` after the
+/// copy-on pruning of step (b) and before the stopover fixpoint of step
+/// (c). The multi-query registry compile uses this to keep every
+/// member query's hit-indicating states selected even where the *union*
+/// path set's step (b) would prune them (a query's `#`-instance nested
+/// inside another query's): a pruned hit state could never fire its
+/// attribution. The forced states always lie strictly inside a union
+/// copy-on instance, so at runtime they are only entered while a raw copy
+/// range is active — the depth-counted multi-query copy semantics keep
+/// the union projection unchanged. Step (c) then re-establishes the
+/// orientation guarantee for the grown `S`.
+pub(crate) fn select_states_with_extra(
+    auto: &DtdAutomaton,
+    rel: &Relevance,
+    extra: &BTreeSet<StateId>,
+) -> BTreeSet<StateId> {
     let mut s = step_a(auto, rel);
     // Recursion extension: every opaque (recursive-element) state joins S
     // whenever anything is selected at all. An opaque subtree may contain
@@ -50,6 +69,7 @@ pub fn select_states(auto: &DtdAutomaton, rel: &Relevance) -> BTreeSet<StateId> 
         }
     }
     step_b(auto, rel, &mut s);
+    s.extend(extra.iter().copied());
     step_c(auto, &mut s);
     s
 }

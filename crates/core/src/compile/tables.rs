@@ -19,6 +19,7 @@
 //! token-level oracle check that this conservatism rarely triggers.
 
 use super::subgraph::Subgraph;
+use crate::idset::QueryIdSet;
 use smpx_dtd::{DtdAutomaton, StateId};
 use smpx_paths::Relevance;
 use std::collections::BTreeMap;
@@ -42,6 +43,18 @@ pub enum Action {
 }
 
 impl Action {
+    /// Does entering a state with this action signal a potential query
+    /// match? `copy on`/`copy off` fire exactly at `#`-matched instances
+    /// and `copy tag + atts` exactly at C1-exact tags — the tokens a
+    /// query selects. Bare `copy tag` is structural skeleton (every
+    /// document's root fires it) and `nop` is orientation only, so
+    /// neither counts. The join below preserves membership in this hit
+    /// class exactly: a merged state indicates a match iff some member
+    /// does.
+    pub(crate) fn indicates_match(self) -> bool {
+        matches!(self, Action::CopyOn | Action::CopyOff | Action::CopyTag { with_atts: true })
+    }
+
     /// Conservative join for merged member states (see module docs).
     fn join(self, other: Action) -> Action {
         use Action::*;
@@ -88,6 +101,26 @@ pub struct RtState {
     pub balanced: bool,
 }
 
+/// Query attribution for a multi-query (registry) automaton: which
+/// registered queries each runtime-DFA state's match events belong to.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Number of registered queries (ids are `0..n_queries`).
+    pub n_queries: u32,
+    /// Per runtime state, the ids of the queries for which entering this
+    /// state is a match event — empty for purely structural states.
+    /// Indexed like [`CompiledTables::states`].
+    pub state_hits: Vec<QueryIdSet>,
+}
+
+impl Attribution {
+    /// Approximate heap bytes of the attribution table.
+    pub fn table_bytes(&self) -> usize {
+        self.state_hits.capacity() * std::mem::size_of::<QueryIdSet>()
+            + self.state_hits.iter().map(QueryIdSet::memory_bytes).sum::<usize>()
+    }
+}
+
 /// The complete compiled lookup tables; state 0 is the start state.
 #[derive(Debug, Clone)]
 pub struct CompiledTables {
@@ -95,6 +128,9 @@ pub struct CompiledTables {
     pub states: Vec<RtState>,
     /// Length of the longest keyword (window sizing for streaming).
     pub max_kw_len: usize,
+    /// Multi-query attribution (`Some` exactly for registry-compiled
+    /// automata; `None` keeps the single-query runtime path unchanged).
+    pub attribution: Option<Attribution>,
 }
 
 impl CompiledTables {
@@ -126,13 +162,18 @@ impl CompiledTables {
                 total += n.len();
             }
         }
+        if let Some(att) = &self.attribution {
+            total += att.table_bytes();
+        }
         total
     }
 }
 
 /// Member-state action from relevance (paper Sec. IV, "Remaining lookup
-/// tables").
-fn member_action(auto: &DtdAutomaton, rel: &Relevance, q: StateId) -> Action {
+/// tables"). Also used by the multi-query compile to find each query's
+/// *hit states* — the member states whose action indicates a match under
+/// that query's own relevance.
+pub(crate) fn member_action(auto: &DtdAutomaton, rel: &Relevance, q: StateId) -> Action {
     let branch = auto.branch(q);
     let close = auto.is_close(q);
     if rel.c2_leaf(&branch) {
@@ -240,7 +281,7 @@ pub(crate) fn determinize_with_subsets(
 
     let max_kw_len =
         states.iter().flat_map(|s| s.keywords.iter().map(|k| k.bytes.len())).max().unwrap_or(1);
-    (CompiledTables { states, max_kw_len }, subsets)
+    (CompiledTables { states, max_kw_len, attribution: None }, subsets)
 }
 
 #[cfg(test)]

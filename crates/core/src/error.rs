@@ -29,6 +29,9 @@ pub enum CoreError {
     /// An I/O operation failed: opening or reading a document source, or
     /// writing to the output sink.
     Io(std::io::Error),
+    /// A query registered with the multi-query registry failed to parse
+    /// as an XPath expression.
+    Query(smpx_paths::xpath::XPathError),
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +51,7 @@ impl fmt::Display for CoreError {
             }
             // Sources and sinks both route here — don't blame one side.
             CoreError::Io(e) => write!(f, "I/O error: {e}"),
+            CoreError::Query(e) => write!(f, "query error: {e}"),
         }
     }
 }
@@ -57,6 +61,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Dtd(e) => Some(e),
             CoreError::Io(e) => Some(e),
+            CoreError::Query(e) => Some(e),
             _ => None,
         }
     }

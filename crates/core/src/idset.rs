@@ -1,0 +1,189 @@
+//! Query identifiers and the hand-rolled id-set bitset.
+//!
+//! The multi-query registry attributes automaton hits to *sets* of
+//! standing queries (the publish/subscribe scenario of the paper's
+//! introduction). Those sets are dense small-integer sets — query ids are
+//! handed out contiguously from zero — so a plain `u64`-block bitset is
+//! the right representation: `O(n/64)` union on the hot path, one bit per
+//! registered query, no dependencies. (The exemplar systems use roaring
+//! bitmaps for the same job; crates.io is unavailable offline and dense
+//! ids don't need the compressed representation anyway.)
+
+/// Identifier of a registered query: its 0-based registration index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u32);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A set of [`QueryId`]s as a `u64`-block bitset.
+///
+/// Canonical form: the block vector never ends in a zero block, so the
+/// derived `Eq`/`Hash` compare set contents, not allocation history.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct QueryIdSet {
+    blocks: Vec<u64>,
+}
+
+impl QueryIdSet {
+    /// The empty set.
+    pub fn new() -> QueryIdSet {
+        QueryIdSet::default()
+    }
+
+    #[inline]
+    fn split(id: QueryId) -> (usize, u64) {
+        ((id.0 / 64) as usize, 1u64 << (id.0 % 64))
+    }
+
+    /// Drop trailing zero blocks (the canonical-form invariant).
+    fn trim(&mut self) {
+        while self.blocks.last() == Some(&0) {
+            self.blocks.pop();
+        }
+    }
+
+    /// Insert `id`; returns whether it was newly added.
+    pub fn insert(&mut self, id: QueryId) -> bool {
+        let (block, bit) = Self::split(id);
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        let fresh = self.blocks[block] & bit == 0;
+        self.blocks[block] |= bit;
+        fresh
+    }
+
+    /// Remove `id`; returns whether it was present.
+    pub fn remove(&mut self, id: QueryId) -> bool {
+        let (block, bit) = Self::split(id);
+        if block >= self.blocks.len() || self.blocks[block] & bit == 0 {
+            return false;
+        }
+        self.blocks[block] &= !bit;
+        self.trim();
+        true
+    }
+
+    /// Is `id` in the set?
+    pub fn contains(&self, id: QueryId) -> bool {
+        let (block, bit) = Self::split(id);
+        self.blocks.get(block).is_some_and(|b| b & bit != 0)
+    }
+
+    /// Add every id of `other` to `self` (the hot-path operation: one OR
+    /// per 64 queries when a matcher hit is attributed).
+    pub fn union_with(&mut self, other: &QueryIdSet) {
+        if other.blocks.len() > self.blocks.len() {
+            self.blocks.resize(other.blocks.len(), 0);
+        }
+        for (dst, src) in self.blocks.iter_mut().zip(&other.blocks) {
+            *dst |= src;
+        }
+    }
+
+    /// Do the two sets share an element?
+    pub fn intersects(&self, other: &QueryIdSet) -> bool {
+        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Remove every id.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// The ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let base = i as u32 * 64;
+            let mut rest = block;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(QueryId(base + bit))
+            })
+        })
+    }
+
+    /// The ids as a sorted vector (the per-document verdict shape).
+    pub fn to_vec(&self) -> Vec<QueryId> {
+        self.iter().collect()
+    }
+
+    /// Approximate heap bytes (the `Mem` accounting of the tables).
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+impl FromIterator<QueryId> for QueryIdSet {
+    fn from_iter<I: IntoIterator<Item = QueryId>>(iter: I) -> QueryIdSet {
+        let mut s = QueryIdSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = QueryIdSet::new();
+        assert!(s.insert(QueryId(3)));
+        assert!(!s.insert(QueryId(3)), "double insert reports not-fresh");
+        assert!(s.insert(QueryId(64)));
+        assert!(s.contains(QueryId(3)) && s.contains(QueryId(64)));
+        assert!(!s.contains(QueryId(63)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(QueryId(64)));
+        assert!(!s.remove(QueryId(64)));
+        assert_eq!(s.to_vec(), vec![QueryId(3)]);
+    }
+
+    #[test]
+    fn canonical_form_makes_eq_content_based() {
+        let mut a = QueryIdSet::new();
+        a.insert(QueryId(200));
+        a.insert(QueryId(1));
+        a.remove(QueryId(200));
+        let mut b = QueryIdSet::new();
+        b.insert(QueryId(1));
+        assert_eq!(a, b, "trailing zero blocks must be trimmed");
+        a.clear();
+        assert_eq!(a, QueryIdSet::new());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let a: QueryIdSet = [0u32, 63, 64].into_iter().map(QueryId).collect();
+        let b: QueryIdSet = [64u32, 128].into_iter().map(QueryId).collect();
+        assert!(a.intersects(&b));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), [0u32, 63, 64, 128].map(QueryId).to_vec());
+        let c: QueryIdSet = [1u32, 65].into_iter().map(QueryId).collect();
+        assert!(!a.intersects(&c));
+        assert!(u.memory_bytes() >= 3 * 8);
+    }
+}

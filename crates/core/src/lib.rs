@@ -43,12 +43,16 @@
 
 pub mod compile;
 mod error;
+pub mod idset;
+pub mod registry;
 pub mod runtime;
 mod stats;
 
-pub use compile::{Action, CompiledTables, RtState};
+pub use compile::{Action, Attribution, CompiledTables, RtState};
 pub use error::CoreError;
+pub use idset::{QueryId, QueryIdSet};
+pub use registry::{MultiPrefilter, QueryRegistry};
 pub use runtime::parallel::{BatchError, FrozenPrefilter, Pool};
 pub use runtime::source::{DocSource, MmapSource, ReaderSource, SliceSource, SourceKind};
 pub use runtime::Prefilter;
-pub use stats::RunStats;
+pub use stats::{MultiVerdict, RunStats};

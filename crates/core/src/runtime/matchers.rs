@@ -6,8 +6,30 @@
 //! `(BM)`/`(CW)` branches); the `ablations` bench compares this laziness
 //! against eager construction.
 
-use crate::compile::RtState;
+use crate::compile::{CompiledTables, RtState};
+use crate::idset::QueryIdSet;
+use crate::stats::RunStats;
 use smpx_stringmatch::{BoyerMoore, CommentzWalter, Metrics};
+
+/// Attribute one runtime state entry, right where a verified keyword hit
+/// fires its transition: count the match event if the entered state's
+/// action indicates one, and for registry-compiled automatons OR the
+/// state's query-id set into the run's hit accumulator. Single-query
+/// tables carry no attribution, so their runs pay one branch here.
+#[inline]
+pub(crate) fn attribute_entry(
+    tables: &CompiledTables,
+    state: u32,
+    hits: &mut QueryIdSet,
+    stats: &mut RunStats,
+) {
+    if tables.states[state as usize].action.indicates_match() {
+        stats.match_events += 1;
+    }
+    if let Some(att) = &tables.attribution {
+        hits.union_with(&att.state_hits[state as usize]);
+    }
+}
 
 /// Anything the input layer can drive a windowed search with.
 pub(crate) trait Searcher {

@@ -21,9 +21,10 @@ mod matchers;
 pub mod parallel;
 pub mod source;
 
-use crate::compile::{compile, Action, CompiledTables};
+use crate::compile::{compile, compile_multi, Action, CompiledTables};
 use crate::error::CoreError;
-use crate::stats::RunStats;
+use crate::idset::QueryIdSet;
+use crate::stats::{MultiVerdict, RunStats};
 use matchers::StateMatcher;
 use smpx_dtd::Dtd;
 use smpx_paths::PathSet;
@@ -50,12 +51,32 @@ pub struct Prefilter {
     /// states, indexed like `matchers`.
     balanced_matchers: Vec<Option<smpx_stringmatch::CommentzWalter>>,
     matchers_built: usize,
+    /// Registry automaton (`tables.attribution` present)? Cached off the
+    /// hot path so the single-query runtime stays byte-identical.
+    multi: bool,
+    /// Per-run scratch: ids of the queries attributed so far (registry
+    /// runs only; reset per document).
+    hits: QueryIdSet,
+    /// Per-run scratch: nesting depth of active copy-on instances
+    /// (registry runs only — the forced hit states let copy-on regions
+    /// nest, which the single-query automaton never sees).
+    copy_depth: usize,
 }
 
 impl Prefilter {
     /// Run the static analysis and wrap the tables in a runtime.
     pub fn compile(dtd: &Dtd, paths: &PathSet) -> Result<Prefilter, CoreError> {
         Ok(Prefilter::from_tables(compile(dtd, paths)?))
+    }
+
+    /// Compile a whole query workload — one path set per query — into a
+    /// single shared automaton whose runs additionally answer *which*
+    /// queries might match each document ([`run_multi`](Self::run_multi)).
+    /// The projection it emits is the union projection of the workload;
+    /// the higher-level registry front door is
+    /// [`QueryRegistry`](crate::QueryRegistry).
+    pub fn compile_multi(dtd: &Dtd, queries: &[PathSet]) -> Result<Prefilter, CoreError> {
+        Ok(Prefilter::from_tables(compile_multi(dtd, queries)?))
     }
 
     /// Wrap precompiled tables.
@@ -68,11 +89,15 @@ impl Prefilter {
     /// the matcher caches are this instance's own.
     pub(crate) fn from_shared(tables: Arc<CompiledTables>) -> Prefilter {
         let n = tables.states.len();
+        let multi = tables.attribution.is_some();
         Prefilter {
             tables,
             matchers: vec![None; n],
             balanced_matchers: vec![None; n],
             matchers_built: 0,
+            multi,
+            hits: QueryIdSet::new(),
+            copy_depth: 0,
         }
     }
 
@@ -106,6 +131,25 @@ impl Prefilter {
         self.freeze().run_batch_parallel(batch, threads)
     }
 
+    /// Multi-query batch: like
+    /// [`run_batch_parallel`](Self::run_batch_parallel), with each
+    /// document's per-query [`MultiVerdict`] alongside its sink and
+    /// stats, in input order. Shorthand for [`freeze`](Self::freeze) +
+    /// [`FrozenPrefilter::run_multi_batch_parallel`]
+    /// (`parallel::FrozenPrefilter::run_multi_batch_parallel`).
+    pub fn run_multi_batch_parallel<S, W, I>(
+        &self,
+        batch: I,
+        threads: usize,
+    ) -> Result<Vec<(W, MultiVerdict, RunStats)>, parallel::BatchError>
+    where
+        S: DocSource + Send,
+        W: Write + Send,
+        I: IntoIterator<Item = (S, W)>,
+    {
+        self.freeze().run_multi_batch_parallel(batch, threads)
+    }
+
     /// The compiled tables.
     pub fn tables(&self) -> &CompiledTables {
         &self.tables
@@ -132,6 +176,38 @@ impl Prefilter {
     /// the run statistics.
     pub fn filter_to_vec(&mut self, doc: &[u8]) -> Result<(Vec<u8>, RunStats), CoreError> {
         self.filter_one(SliceSource::new(doc), Vec::new())
+    }
+
+    /// One multi-query pass: prefilter the document into `writer` (the
+    /// union projection) and report the per-document verdict — which of
+    /// the registered queries might match. On a single-query automaton
+    /// the verdict is over one query, served by the `match_events`
+    /// counter.
+    pub fn run_multi<S: DocSource, W: Write>(
+        &mut self,
+        src: S,
+        writer: W,
+    ) -> Result<(W, MultiVerdict, RunStats), CoreError> {
+        let (out, stats) = self.filter_one(src, writer)?;
+        Ok((out, self.take_verdict(&stats), stats))
+    }
+
+    /// The verdict of the run that produced `stats`, consuming the hit
+    /// accumulator. For single-query tables (no attribution) the one
+    /// query's id is 0 and its verdict is `match_events > 0`.
+    pub(crate) fn take_verdict(&mut self, stats: &RunStats) -> MultiVerdict {
+        match self.tables.attribution.as_ref() {
+            Some(att) => {
+                MultiVerdict { matched: std::mem::take(&mut self.hits), n_queries: att.n_queries }
+            }
+            None => {
+                let mut matched = QueryIdSet::new();
+                if stats.match_events > 0 {
+                    matched.insert(crate::idset::QueryId(0));
+                }
+                MultiVerdict { matched, n_queries: 1 }
+            }
+        }
     }
 
     /// Prefilter a stream in a single pass with a bounded window.
@@ -191,6 +267,8 @@ impl Prefilter {
         let mut counters = Counters::default();
         let mut stats =
             RunStats { input_bytes: src.len_hint().unwrap_or(0), ..RunStats::default() };
+        self.hits.clear();
+        self.copy_depth = 0;
         let mut input = SourceInput::new(src, writer);
         self.run(&mut input, &mut counters, &mut stats)?;
         stats.chars_compared += counters.comparisons;
@@ -263,13 +341,24 @@ impl Prefilter {
                             pos: start,
                         })?
                 };
-                self.apply_bachelor(input, open_target, close_target, start, end)?;
+                matchers::attribute_entry(&self.tables, open_target, &mut self.hits, stats);
+                matchers::attribute_entry(&self.tables, close_target, &mut self.hits, stats);
+                if self.multi {
+                    self.apply_bachelor_multi(input, open_target, close_target, start, end)?;
+                } else {
+                    self.apply_bachelor(input, open_target, close_target, start, end)?;
+                }
                 q = close_target;
                 cursor = end;
             } else if !close && self.tables.states[target as usize].balanced {
                 // Recursion extension: cross the opaque subtree with a
                 // balanced depth-counting scan for <e / </e.
-                self.apply_action(input, target, start, end, false)?;
+                matchers::attribute_entry(&self.tables, target, &mut self.hits, stats);
+                if self.multi {
+                    self.apply_action_multi(input, target, start, end, false)?;
+                } else {
+                    self.apply_action(input, target, start, end, false)?;
+                }
                 let (close_start, close_end) = self.balanced_scan(target, input, end, m, stats)?;
                 let close_target = {
                     let open_state = &self.tables.states[target as usize];
@@ -285,11 +374,21 @@ impl Prefilter {
                             pos: close_start,
                         })?
                 };
-                self.apply_action(input, close_target, close_start, close_end, true)?;
+                matchers::attribute_entry(&self.tables, close_target, &mut self.hits, stats);
+                if self.multi {
+                    self.apply_action_multi(input, close_target, close_start, close_end, true)?;
+                } else {
+                    self.apply_action(input, close_target, close_start, close_end, true)?;
+                }
                 q = close_target;
                 cursor = close_end;
             } else {
-                self.apply_action(input, target, start, end, close)?;
+                matchers::attribute_entry(&self.tables, target, &mut self.hits, stats);
+                if self.multi {
+                    self.apply_action_multi(input, target, start, end, close)?;
+                } else {
+                    self.apply_action(input, target, start, end, close)?;
+                }
                 q = target;
                 cursor = end;
             }
@@ -517,6 +616,71 @@ impl Prefilter {
             input.emit_bytes(&buf)?;
         }
         Ok(())
+    }
+
+    /// [`apply_action`](Self::apply_action) for registry automatons,
+    /// where copy-on instances can nest: the multi-query selection keeps
+    /// one query's hit states alive inside another query's raw-copied
+    /// instance, so an inner `copy on`/`copy off` pair can fire while a
+    /// copy range is already active. The nesting depth makes those inner
+    /// pairs output-neutral — only the 0→1 edge opens the range and only
+    /// the 1→0 edge flushes it, which is exactly what the single-query
+    /// union automaton (with the interior pruned) emits.
+    fn apply_action_multi<S: DocSource, W: Write>(
+        &mut self,
+        input: &mut SourceInput<S, W>,
+        target: u32,
+        start: usize,
+        end: usize,
+        close: bool,
+    ) -> Result<(), CoreError> {
+        let action = self.tables.states[target as usize].action;
+        if self.copy_depth > 0 {
+            match action {
+                Action::CopyOn => self.copy_depth += 1,
+                Action::CopyOff => {
+                    self.copy_depth -= 1;
+                    if self.copy_depth == 0 {
+                        input.copy_off(end)?;
+                    }
+                }
+                // Tags inside the active range are covered by the raw copy.
+                Action::Nop | Action::CopyTag { .. } => {}
+            }
+            return Ok(());
+        }
+        if action == Action::CopyOn {
+            self.copy_depth = 1;
+        }
+        self.apply_action(input, target, start, end, close)
+    }
+
+    /// [`apply_bachelor`](Self::apply_bachelor) for registry automatons.
+    /// A bachelor instance opens and closes within one token, so its net
+    /// depth change is zero; the one depth-relevant case is the merged
+    /// close-side `copy off` that belongs to an *enclosing* instance
+    /// (`close_act == CopyOff` without the paired `CopyOn`), which steps
+    /// the nesting down like the non-bachelor close does.
+    fn apply_bachelor_multi<S: DocSource, W: Write>(
+        &mut self,
+        input: &mut SourceInput<S, W>,
+        open_target: u32,
+        close_target: u32,
+        start: usize,
+        end: usize,
+    ) -> Result<(), CoreError> {
+        if self.copy_depth > 0 {
+            let open_act = self.tables.states[open_target as usize].action;
+            let close_act = self.tables.states[close_target as usize].action;
+            if close_act == Action::CopyOff && open_act != Action::CopyOn {
+                self.copy_depth -= 1;
+                if self.copy_depth == 0 {
+                    input.copy_off(end)?;
+                }
+            }
+            return Ok(());
+        }
+        self.apply_bachelor(input, open_target, close_target, start, end)
     }
 }
 

@@ -36,7 +36,7 @@ use super::source::DocSource;
 use super::Prefilter;
 use crate::compile::CompiledTables;
 use crate::error::CoreError;
-use crate::stats::RunStats;
+use crate::stats::{MultiVerdict, RunStats};
 use std::io::Write;
 use std::sync::Arc;
 
@@ -93,6 +93,37 @@ impl FrozenPrefilter {
         let tasks: Vec<(S, W)> = batch.into_iter().collect();
         Pool::new(threads)
             .run(tasks, |_| self.worker(), |pf, (src, sink)| pf.filter_one(src, sink))
+            .map_err(|(index, error)| BatchError { index, error })
+    }
+
+    /// [`run_batch_parallel`](Self::run_batch_parallel) for multi-query
+    /// (registry) automatons: each document's result additionally carries
+    /// its [`MultiVerdict`] — which registered queries might match it —
+    /// still **in input order**. The verdict is extracted from the worker
+    /// that ran the document before it draws the next one, so worker
+    /// reuse never mixes documents' hits. Execution and error semantics
+    /// are identical to the plain batch entry.
+    pub fn run_multi_batch_parallel<S, W, I>(
+        &self,
+        batch: I,
+        threads: usize,
+    ) -> Result<Vec<(W, MultiVerdict, RunStats)>, BatchError>
+    where
+        S: DocSource + Send,
+        W: Write + Send,
+        I: IntoIterator<Item = (S, W)>,
+    {
+        let tasks: Vec<(S, W)> = batch.into_iter().collect();
+        Pool::new(threads)
+            .run(
+                tasks,
+                |_| self.worker(),
+                |pf, (src, sink)| {
+                    let (out, stats) = pf.filter_one(src, sink)?;
+                    let verdict = pf.take_verdict(&stats);
+                    Ok((out, verdict, stats))
+                },
+            )
             .map_err(|(index, error)| BatchError { index, error })
     }
 }

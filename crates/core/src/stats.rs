@@ -1,4 +1,7 @@
-//! Per-run statistics matching the paper's Table I/II rows.
+//! Per-run statistics matching the paper's Table I/II rows, plus the
+//! per-document verdict of a multi-query run.
+
+use crate::idset::{QueryId, QueryIdSet};
 
 /// Statistics collected by an instrumented prefilter run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -35,6 +38,13 @@ pub struct RunStats {
     /// paper's `Mem` window share): the window capacity for the reader
     /// backend, zero for zero-copy slice/mmap delivery.
     pub io_window_bytes: u64,
+    /// Transitions into states whose action indicates a potential query
+    /// match (`copy on`/`copy off`/`copy tag + atts`). Zero means the
+    /// document provably selects nothing; non-zero is the single-query
+    /// side of the prefilter verdict, with the same false-positive
+    /// contract as the projection itself (conservative, never a false
+    /// negative).
+    pub match_events: u64,
 }
 
 impl RunStats {
@@ -78,6 +88,7 @@ impl RunStats {
             tokens_matched,
             false_matches,
             io_window_bytes,
+            match_events,
         } = *other;
         self.input_bytes += input_bytes;
         self.output_bytes += output_bytes;
@@ -89,6 +100,7 @@ impl RunStats {
         self.tokens_matched += tokens_matched;
         self.false_matches += false_matches;
         self.io_window_bytes = self.io_window_bytes.max(io_window_bytes);
+        self.match_events += match_events;
     }
 
     /// Output size relative to input.
@@ -98,6 +110,35 @@ impl RunStats {
         } else {
             self.output_bytes as f64 / self.input_bytes as f64
         }
+    }
+}
+
+/// The per-document answer of a multi-query run: *which* of the
+/// registered queries might match this document.
+///
+/// The verdict inherits the prefilter's one-sided error: a listed query
+/// may still evaluate to the empty answer on the document (false
+/// positive, e.g. a value predicate the prefilter cannot check), but a
+/// query missing from the verdict is *guaranteed* to have an empty
+/// answer — exactly the contract of each query's own single-query
+/// [`RunStats::match_events`] counter, query by query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiVerdict {
+    /// Ids of the queries with at least one match event this document.
+    pub matched: QueryIdSet,
+    /// How many queries the registry answered for (ids are `0..n_queries`).
+    pub n_queries: u32,
+}
+
+impl MultiVerdict {
+    /// Might query `q` match this document?
+    pub fn is_matched(&self, q: QueryId) -> bool {
+        self.matched.contains(q)
+    }
+
+    /// The matched query ids in ascending order.
+    pub fn matched_ids(&self) -> Vec<QueryId> {
+        self.matched.to_vec()
     }
 }
 
@@ -126,6 +167,7 @@ mod tests {
             tokens_matched: 3,
             false_matches: 0,
             io_window_bytes: 0,
+            match_events: 1,
         };
         assert!((s.char_comp_pct() - 20.0).abs() < 1e-9);
         assert!((s.scanned_pct() - 50.0).abs() < 1e-9);

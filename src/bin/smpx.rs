@@ -2,16 +2,26 @@
 //!
 //! ```text
 //! USAGE:
-//!   smpx --dtd SCHEMA.dtd (--paths P1,P2,… | --query XPATH)
+//!   smpx --dtd SCHEMA.dtd (--paths P1,P2,… | --query XPATH [--query XPATH ...])
 //!        [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--chunk-kb N]
 //!        [--threads N] [--stats]
 //!
 //! EXAMPLES:
 //!   smpx --dtd site.dtd --query '//australia//description' big.xml -o small.xml --stats
+//!   smpx --dtd site.dtd --query '//name' --query '//price' shard*.xml > union.xml
 //!   smpx --dtd site.dtd --paths '/*,//name#' --mmap --threads 0 shard*.xml > all.xml
 //!   cat big.xml | smpx --dtd site.dtd --paths '/*,/site/people/person/name#' > small.xml
 //!   smpx --dtd site.dtd --paths '/*,//name#' head.xml - tail.xml > all.xml
 //! ```
+//!
+//! `--query` is repeatable. With several queries the whole workload is
+//! compiled into one shared multi-query automaton
+//! (`smpx_core::QueryRegistry`): each document is scanned **once**, the
+//! union projection is written to the output, and a per-file verdict
+//! line on stderr names the queries the document matched (`q0`, `q1`, …
+//! in flag order). Verdicts carry the single-query false-positive
+//! contract: a flagged query may turn out to have no answers once
+//! predicates are evaluated, but a query with answers is always flagged.
 //!
 //! Document delivery is pluggable (`smpx_core::runtime::source`): files
 //! stream through the paper's chunked window by default (`--chunk-kb`
@@ -35,7 +45,7 @@
 
 use smpx::core::runtime::source::{DocSource, MmapSource, ReaderSource, SourceKind};
 use smpx::core::runtime::DEFAULT_CHUNK;
-use smpx::core::{CoreError, Pool, Prefilter, RunStats};
+use smpx::core::{CoreError, MultiVerdict, Pool, Prefilter, RunStats};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -45,7 +55,7 @@ use smpx::paths::{extract, PathSet};
 struct Args {
     dtd: String,
     paths: Option<String>,
-    query: Option<String>,
+    queries: Vec<String>,
     inputs: Vec<String>,
     output: Option<String>,
     stats: bool,
@@ -56,7 +66,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: smpx --dtd SCHEMA.dtd (--paths 'P1,P2,…' | --query XPATH) \
+        "usage: smpx --dtd SCHEMA.dtd (--paths 'P1,P2,…' | --query XPATH [--query XPATH ...]) \
          [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--chunk-kb N] [--threads N] [--stats]"
     );
     std::process::exit(2);
@@ -66,7 +76,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         dtd: String::new(),
         paths: None,
-        query: None,
+        queries: Vec::new(),
         inputs: Vec::new(),
         output: None,
         stats: false,
@@ -79,7 +89,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--dtd" => args.dtd = it.next().unwrap_or_else(|| usage()),
             "--paths" => args.paths = Some(it.next().unwrap_or_else(|| usage())),
-            "--query" => args.query = Some(it.next().unwrap_or_else(|| usage())),
+            "--query" => args.queries.push(it.next().unwrap_or_else(|| usage())),
             "-o" | "--output" => args.output = Some(it.next().unwrap_or_else(|| usage())),
             "--stats" => args.stats = true,
             "--mmap" => args.mmap = true,
@@ -101,7 +111,7 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    if args.dtd.is_empty() || (args.paths.is_none() && args.query.is_none()) {
+    if args.dtd.is_empty() || (args.paths.is_none() && args.queries.is_empty()) {
         usage();
     }
     if args.mmap && args.inputs.iter().all(|p| p == "-") {
@@ -184,14 +194,28 @@ fn main() -> ExitCode {
         }
     };
 
-    let paths: PathSet = if let Some(q) = &args.query {
+    // Per-query path sets (`--query`, repeatable). One query compiles the
+    // classic single-query automaton; several compile one shared
+    // multi-query automaton whose verdicts attribute each document to the
+    // queries it matches.
+    let mut query_sets: Vec<PathSet> = Vec::with_capacity(args.queries.len());
+    for q in &args.queries {
         match extract::extract_from_text(q) {
-            Ok(p) => p,
+            Ok(p) => query_sets.push(p),
             Err(e) => {
-                eprintln!("smpx: query error: {e}");
+                eprintln!("smpx: query {q}: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    let multi = query_sets.len() > 1;
+
+    let paths: PathSet = if multi {
+        // Union for display and state accounting; the compiled automaton
+        // additionally carries per-query attribution.
+        query_sets.iter().fold(PathSet::new(vec![]), |u, q| u.union(q))
+    } else if let Some(p) = query_sets.pop() {
+        p
     } else {
         let texts: Vec<&str> = args.paths.as_deref().unwrap_or("").split(',').collect();
         match PathSet::parse(&texts) {
@@ -203,7 +227,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut pf = match Prefilter::compile(&dtd, &paths) {
+    // A `--paths` or single-`--query` run is a one-query workload for the
+    // total-row accounting.
+    let query_count = if multi { query_sets.len() } else { 1 };
+
+    let compiled = if multi {
+        Prefilter::compile_multi(&dtd, &query_sets)
+    } else {
+        Prefilter::compile(&dtd, &paths)
+    };
+    let mut pf = match compiled {
         Ok(p) => p,
         Err(e) => {
             eprintln!("smpx: compile error: {e}");
@@ -218,6 +251,9 @@ fn main() -> ExitCode {
             t.cw_states(),
             t.bm_states()
         );
+        if multi {
+            eprintln!("smpx: {} registered queries on one shared automaton", query_sets.len());
+        }
     }
 
     // One output writer; inputs concatenate into it in order.
@@ -253,13 +289,20 @@ fn main() -> ExitCode {
     }
 
     let reader_tag = format!("{}/{}KiB", SourceKind::Reader, args.chunk / 1024);
-    let mut results: Vec<(String, String, RunStats)> = Vec::new();
+    let mut results: Vec<(String, String, RunStats, Option<MultiVerdict>)> = Vec::new();
     if args.inputs.is_empty() {
         // Pure pipe mode: prefilter stdin through the streaming window.
         let stdin = std::io::stdin();
         let src = ReaderSource::new(stdin.lock(), args.chunk);
-        match pf.filter_source(src, &mut out) {
-            Ok(stats) => results.push(("<stdin>".into(), reader_tag.clone(), stats)),
+        let run = if multi {
+            pf.run_multi(src, &mut out).map(|(_, v, s)| (s, Some(v)))
+        } else {
+            pf.filter_source(src, &mut out).map(|s| (s, None))
+        };
+        match run {
+            Ok((stats, verdict)) => {
+                results.push(("<stdin>".into(), reader_tag.clone(), stats, verdict))
+            }
             Err(e) => {
                 eprintln!("smpx: <stdin>: {e}");
                 return ExitCode::FAILURE;
@@ -279,12 +322,17 @@ fn main() -> ExitCode {
                 }
             };
             let (src, tag) = src;
-            match pf.filter_source(src, &mut out) {
-                Ok(mut stats) => {
+            let run = if multi {
+                pf.run_multi(src, &mut out).map(|(_, v, s)| (s, Some(v)))
+            } else {
+                pf.filter_source(src, &mut out).map(|s| (s, None))
+            };
+            match run {
+                Ok((mut stats, verdict)) => {
                     if stats.input_bytes == 0 {
                         stats.input_bytes = size.unwrap_or(0);
                     }
-                    results.push((p.clone(), tag, stats));
+                    results.push((p.clone(), tag, stats, verdict));
                 }
                 Err(e) => {
                     // Name the failing input: with a long batch the output
@@ -313,21 +361,26 @@ fn main() -> ExitCode {
             |wpf, (path, size)| -> Result<_, CoreError> {
                 let (src, tag) = open_source(&path, &args)?;
                 let mut buf = Vec::new();
-                let mut stats = wpf.filter_source(src, &mut buf)?;
+                let (mut stats, verdict) = if multi {
+                    let (_, v, s) = wpf.run_multi(src, &mut buf)?;
+                    (s, Some(v))
+                } else {
+                    (wpf.filter_source(src, &mut buf)?, None)
+                };
                 if stats.input_bytes == 0 {
                     stats.input_bytes = size.unwrap_or(0);
                 }
-                Ok((path, tag, buf, stats))
+                Ok((path, tag, buf, stats, verdict))
             },
         );
         match run {
             Ok(ordered) => {
-                for (path, tag, buf, stats) in ordered {
+                for (path, tag, buf, stats, verdict) in ordered {
                     if let Err(e) = out.write_all(&buf) {
                         eprintln!("smpx: {e}");
                         return ExitCode::FAILURE;
                     }
-                    results.push((path, tag, stats));
+                    results.push((path, tag, stats, verdict));
                 }
             }
             Err((index, e)) => {
@@ -350,12 +403,29 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Per-file verdict column (multi-query mode): which registered
+    // queries each document matched, in input order. Stderr like the
+    // stats rows, so piped projection output stays clean.
+    if multi {
+        for (label, _, _, verdict) in &results {
+            if let Some(v) = verdict {
+                let ids: Vec<String> = v.matched_ids().iter().map(|q| q.to_string()).collect();
+                eprintln!(
+                    "smpx: {label}: matched {}/{} queries [{}]",
+                    ids.len(),
+                    v.n_queries,
+                    ids.join(" ")
+                );
+            }
+        }
+    }
+
     if args.stats {
         // Totals accumulate on this thread from the input-ordered rows —
         // per-file attribution and the sums are identical whatever the
         // completion order was.
         let mut total = RunStats::default();
-        for (label, tag, stats) in &results {
+        for (label, tag, stats, _) in &results {
             print_stats(label, tag, stats);
             total.accumulate(stats);
         }
@@ -364,12 +434,19 @@ fn main() -> ExitCode {
             // operand inside an `--mmap` batch makes delivery mixed, and
             // the total row must say so rather than claim one backend.
             let first = results[0].1.as_str();
-            let tag = if results.iter().all(|(_, t, _)| t == first) {
+            let tag = if results.iter().all(|(_, t, _, _)| t == first) {
                 first.to_string()
             } else {
                 "mixed".to_string()
             };
             print_stats("total", &tag, &total);
+            // The workload size belongs on the total row: one shared pass
+            // answered this many queries per document.
+            eprintln!(
+                "smpx: total: {} quer{} per document in one pass",
+                query_count,
+                if query_count == 1 { "y" } else { "ies" }
+            );
         }
     }
     ExitCode::SUCCESS

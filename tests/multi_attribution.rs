@@ -1,0 +1,165 @@
+//! Negative-attribution regressions for the multi-query registry: with
+//! queries sharing vocabulary prefixes or nesting inside each other's
+//! copy regions, the registry must attribute a document to exactly the
+//! queries whose own single-query prefilter would report a match — never
+//! more (over-attribution beyond the documented false-positive contract)
+//! and never less (under-attribution, which would be a false negative
+//! and is forbidden outright).
+
+use smpx_core::{Prefilter, QueryId, QueryRegistry};
+use smpx_dtd::Dtd;
+use smpx_engine::InMemEngine;
+use smpx_paths::xpath::XPath;
+use smpx_paths::PathSet;
+
+/// Per-query verdicts from N independently compiled single-query runs —
+/// the ground truth every registry verdict is compared against.
+fn single_verdicts(dtd: &Dtd, queries: &[&PathSet], doc: &[u8]) -> Vec<bool> {
+    queries
+        .iter()
+        .map(|paths| {
+            let mut pf = Prefilter::compile(dtd, paths).expect("single compile");
+            let (_, stats) = pf.filter_to_vec(doc).expect("single run");
+            stats.match_events > 0
+        })
+        .collect()
+}
+
+fn check(reg: &QueryRegistry, dtd: &Dtd, queries: &[&PathSet], doc: &[u8], want: &[bool]) {
+    assert_eq!(
+        single_verdicts(dtd, queries, doc),
+        want,
+        "ground truth drifted: {doc:?}",
+        doc = String::from_utf8_lossy(doc)
+    );
+    let mut mpf = reg.compile().expect("registry compile");
+    let (_, verdict, _) = mpf.filter_to_vec(doc).expect("registry run");
+    for (qi, &w) in want.iter().enumerate() {
+        assert_eq!(
+            verdict.is_matched(QueryId(qi as u32)),
+            w,
+            "query {qi} on {}: registry verdict != single-query verdict",
+            String::from_utf8_lossy(doc)
+        );
+    }
+}
+
+/// `<ab` is a proper prefix of `<abc`: the shared automaton's merged
+/// frontier vocabulary contains both keywords, and a hit on the longer
+/// tag must not leak attribution to the query watching the shorter one
+/// (tag names end at `>`, `/`, or whitespace — not at a prefix).
+#[test]
+fn shared_tag_prefixes_attribute_exactly() {
+    let dtd = Dtd::parse(
+        br#"<!DOCTYPE r [ <!ELEMENT r (ab|abc)*> <!ELEMENT ab (#PCDATA)> <!ELEMENT abc (#PCDATA)> ]>"#,
+    )
+    .unwrap();
+    let q_ab = PathSet::parse(&["/*", "/r/ab#"]).unwrap();
+    let q_abc = PathSet::parse(&["/*", "/r/abc#"]).unwrap();
+    let mut reg = QueryRegistry::new(dtd.clone());
+    reg.add_paths(q_ab.clone());
+    reg.add_paths(q_abc.clone());
+    let queries = [&q_ab, &q_abc];
+
+    check(&reg, &dtd, &queries, b"<r><ab>t</ab></r>", &[true, false]);
+    check(&reg, &dtd, &queries, b"<r><abc>t</abc></r>", &[false, true]);
+    check(&reg, &dtd, &queries, b"<r><abc>t</abc><ab>u</ab></r>", &[true, true]);
+    check(&reg, &dtd, &queries, b"<r></r>", &[false, false]);
+}
+
+/// One query's hit states lie strictly inside another query's copy-on
+/// region. The raw-copy fast path skips the interior, so without the
+/// forced-state extension of the merged compile the nested query would
+/// never be attributed (under-attribution); conversely an empty copy
+/// region must not attribute the nested query (over-attribution).
+#[test]
+fn hits_nested_inside_another_querys_copy_region() {
+    let dtd = Dtd::parse(
+        br#"<!DOCTYPE r [ <!ELEMENT r (x*)> <!ELEMENT x (y*)> <!ELEMENT y (#PCDATA)> ]>"#,
+    )
+    .unwrap();
+    let q_x = PathSet::parse(&["/*", "/r/x#"]).unwrap(); // copy-on at <x>
+    let q_y = PathSet::parse(&["/*", "//y#"]).unwrap(); // hits inside that region
+    let mut reg = QueryRegistry::new(dtd.clone());
+    reg.add_paths(q_x.clone());
+    reg.add_paths(q_y.clone());
+    let queries = [&q_x, &q_y];
+
+    // y occurs only inside x's copy region: both must be attributed.
+    check(&reg, &dtd, &queries, b"<r><x><y>k</y></x></r>", &[true, true]);
+    // Empty region: only the copy-on query.
+    check(&reg, &dtd, &queries, b"<r><x></x></r>", &[true, false]);
+    // Deeper nesting, several instances.
+    check(&reg, &dtd, &queries, b"<r><x></x><x><y>a</y><y>b</y></x></r>", &[true, true]);
+    check(&reg, &dtd, &queries, b"<r></r>", &[false, false]);
+
+    // The union projection is not disturbed by the forced states: it
+    // still equals the plain union-compiled single prefilter's output.
+    let union = q_x.union(&q_y);
+    let mut plain = Prefilter::compile(&dtd, &union).unwrap();
+    let mut mpf = reg.compile().unwrap();
+    for doc in [&b"<r><x><y>k</y></x></r>"[..], b"<r><x></x></r>", b"<r><x></x><x><y>a</y></x></r>"]
+    {
+        let (want, _) = plain.filter_to_vec(doc).unwrap();
+        let (got, _, _) = mpf.filter_to_vec(doc).unwrap();
+        assert_eq!(got, want, "union projection changed by attribution machinery");
+    }
+}
+
+/// Both directions at once: a query that is itself a copy-on query nested
+/// under another copy-on query (//x and /r/x share the same element).
+#[test]
+fn overlapping_copy_queries_attribute_exactly() {
+    let dtd = Dtd::parse(
+        br#"<!DOCTYPE r [ <!ELEMENT r (x|z)*> <!ELEMENT x (z*)> <!ELEMENT z (#PCDATA)> ]>"#,
+    )
+    .unwrap();
+    let q_rx = PathSet::parse(&["/*", "/r/x#"]).unwrap();
+    let q_z = PathSet::parse(&["/*", "//z#"]).unwrap();
+    let q_rz = PathSet::parse(&["/*", "/r/z#"]).unwrap();
+    let mut reg = QueryRegistry::new(dtd.clone());
+    reg.add_paths(q_rx.clone());
+    reg.add_paths(q_z.clone());
+    reg.add_paths(q_rz.clone());
+    let queries = [&q_rx, &q_z, &q_rz];
+
+    // z only under x: /r/z must stay silent even though `<z` fires inside
+    // the copy region and //z matches there.
+    check(&reg, &dtd, &queries, b"<r><x><z>k</z></x></r>", &[true, true, false]);
+    // z only at top level: //z and /r/z, not /r/x.
+    check(&reg, &dtd, &queries, b"<r><z>k</z></r>", &[false, true, true]);
+    // Both placements.
+    check(&reg, &dtd, &queries, b"<r><z>a</z><x><z>b</z></x></r>", &[true, true, true]);
+}
+
+/// The documented false-positive contract: a verdict means "this query's
+/// own prefilter would flag the document", which is one-sided — the
+/// path-set abstraction drops predicates, so a structurally matching
+/// document with no actual answers still gets a positive verdict. The
+/// verdict may over-claim answers; it must never miss them.
+#[test]
+fn verdicts_are_one_sided_false_positives_allowed() {
+    let dtd = Dtd::parse(br#"<!DOCTYPE r [ <!ELEMENT r (x*)> <!ELEMENT x (#PCDATA)> ]>"#).unwrap();
+    let query = XPath::parse("/r/x[2]").unwrap();
+    let mut reg = QueryRegistry::new(dtd);
+    let q = reg.add_query("/r/x[2]").unwrap();
+    let mut mpf = reg.compile().unwrap();
+
+    // One <x>: no second x, the query has no answers...
+    let doc = b"<r><x>only</x></r>";
+    let engine = InMemEngine::unlimited();
+    assert!(engine.load(doc).unwrap().eval(&query).is_empty(), "no real answer");
+    // ...but the structural prefilter flags it: a false positive, allowed.
+    let (_, verdict, _) = mpf.filter_to_vec(doc).unwrap();
+    assert!(verdict.is_matched(q), "one-sided contract: structural match flags the doc");
+
+    // Two <x>: a real answer — the verdict must flag it (no false negative).
+    let doc2 = b"<r><x>a</x><x>b</x></r>";
+    assert!(!engine.load(doc2).unwrap().eval(&query).is_empty());
+    let (_, verdict2, _) = mpf.filter_to_vec(doc2).unwrap();
+    assert!(verdict2.is_matched(q), "false negatives are forbidden");
+
+    // And a document with no <x> at all is not flagged.
+    let (_, verdict3, _) = mpf.filter_to_vec(b"<r></r>").unwrap();
+    assert!(!verdict3.is_matched(q));
+}

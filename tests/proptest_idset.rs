@@ -1,0 +1,154 @@
+//! Property tests for the hand-rolled [`QueryIdSet`] bitset against a
+//! naive `BTreeSet<u32>` oracle: random insert/remove/union/iter op
+//! sequences must agree on every observable (membership, length,
+//! iteration order, intersection), with the id domain biased toward
+//! 64-bit block boundaries (63/64/65, 127/128) where off-by-one bugs in
+//! block indexing would hide.
+
+use proptest::collection;
+use proptest::prelude::*;
+use smpx_core::{QueryId, QueryIdSet};
+use std::collections::BTreeSet;
+
+/// Ids concentrated on small values and block edges.
+fn id_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        0u32..=10,
+        61u32..=67,   // around the 0/1 block boundary
+        125u32..=130, // around the 1/2 block boundary
+        0u32..=300,
+    ]
+}
+
+/// The observables of a set, gathered the same way from both sides.
+fn observe(s: &QueryIdSet) -> (usize, bool, Vec<u32>) {
+    let via_iter: Vec<u32> = s.iter().map(|q| q.0).collect();
+    let via_vec: Vec<u32> = s.to_vec().into_iter().map(|q| q.0).collect();
+    assert_eq!(via_iter, via_vec, "iter() and to_vec() disagree");
+    (s.len(), s.is_empty(), via_iter)
+}
+
+fn observe_oracle(s: &BTreeSet<u32>) -> (usize, bool, Vec<u32>) {
+    (s.len(), s.is_empty(), s.iter().copied().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Replay a random op sequence against the oracle; every op's return
+    /// value and every subsequent observable must agree.
+    #[test]
+    fn idset_matches_btreeset_oracle(
+        ops in collection::vec((0u8..3, id_strategy()), 1..120),
+    ) {
+        let mut set = QueryIdSet::new();
+        let mut oracle: BTreeSet<u32> = BTreeSet::new();
+        for (op, id) in ops {
+            match op {
+                0 => prop_assert_eq!(
+                    set.insert(QueryId(id)),
+                    oracle.insert(id),
+                    "insert({id}) freshness"
+                ),
+                1 => prop_assert_eq!(
+                    set.remove(QueryId(id)),
+                    oracle.remove(&id),
+                    "remove({id}) presence"
+                ),
+                _ => prop_assert_eq!(
+                    set.contains(QueryId(id)),
+                    oracle.contains(&id),
+                    "contains({id})"
+                ),
+            }
+            prop_assert_eq!(observe(&set), observe_oracle(&oracle));
+        }
+        set.clear();
+        prop_assert!(set.is_empty() && set.to_vec().is_empty());
+        prop_assert_eq!(set.len(), 0);
+    }
+
+    /// `union_with` is elementwise set union; `intersects` agrees with a
+    /// non-empty oracle intersection — in both argument orders.
+    #[test]
+    fn union_and_intersects_match_oracle(
+        a in collection::vec(id_strategy(), 0..80),
+        b in collection::vec(id_strategy(), 0..80),
+    ) {
+        let sa: QueryIdSet = a.iter().map(|&i| QueryId(i)).collect();
+        let sb: QueryIdSet = b.iter().map(|&i| QueryId(i)).collect();
+        let oa: BTreeSet<u32> = a.iter().copied().collect();
+        let ob: BTreeSet<u32> = b.iter().copied().collect();
+
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        let ou: BTreeSet<u32> = oa.union(&ob).copied().collect();
+        prop_assert_eq!(observe(&u), observe_oracle(&ou));
+
+        // Union in the other direction reaches the same set.
+        let mut u2 = sb.clone();
+        u2.union_with(&sa);
+        prop_assert_eq!(u, u2, "union is symmetric");
+
+        let want_intersects = oa.intersection(&ob).next().is_some();
+        prop_assert_eq!(sa.intersects(&sb), want_intersects);
+        prop_assert_eq!(sb.intersects(&sa), want_intersects);
+    }
+
+    /// Equality and hashing see set contents, not representation history:
+    /// building the same membership through different op orders (including
+    /// removals that shrink the top block away) compares equal.
+    #[test]
+    fn eq_is_content_based(
+        keep in collection::vec(id_strategy(), 1..40),
+        junk in collection::vec(200u32..520, 1..20),
+    ) {
+        let direct: QueryIdSet = keep.iter().map(|&i| QueryId(i)).collect();
+        // Same membership via a detour through high ids since removed.
+        let mut detour: QueryIdSet = keep.iter().map(|&i| QueryId(i)).collect();
+        for &j in &junk {
+            detour.insert(QueryId(j));
+        }
+        for &j in &junk {
+            let keep_has = keep.contains(&j);
+            if !keep_has {
+                detour.remove(QueryId(j));
+            }
+        }
+        for &j in &junk {
+            if !keep.contains(&j) {
+                prop_assert!(!detour.contains(QueryId(j)));
+            }
+        }
+        prop_assert_eq!(&direct, &detour, "Eq must ignore trailing empty blocks");
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |s: &QueryIdSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        prop_assert_eq!(hash(&direct), hash(&detour));
+    }
+}
+
+#[test]
+fn block_boundary_ids_roundtrip() {
+    // The exact edges of the 64-bit blocks, pinned deterministically on
+    // top of the randomized coverage above.
+    let edges = [0u32, 1, 62, 63, 64, 65, 126, 127, 128, 129, 191, 192];
+    let mut set = QueryIdSet::new();
+    for &e in &edges {
+        assert!(set.insert(QueryId(e)), "first insert of {e}");
+        assert!(!set.insert(QueryId(e)), "second insert of {e}");
+    }
+    assert_eq!(set.len(), edges.len());
+    let got: Vec<u32> = set.iter().map(|q| q.0).collect();
+    assert_eq!(got, edges.to_vec(), "iteration is ascending");
+    for &e in &edges {
+        assert!(set.remove(QueryId(e)), "remove {e}");
+        assert!(!set.contains(QueryId(e)));
+    }
+    assert!(set.is_empty());
+    assert_eq!(set, QueryIdSet::new(), "fully drained set equals fresh set");
+}
