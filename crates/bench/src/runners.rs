@@ -30,12 +30,16 @@ use smpx_paths::PathSet;
 /// `SMPX_THREADS` additionally selects the *executor*: at the default of
 /// 1 the run takes the classic sequential `filter_source` path; above 1
 /// it goes through the work-stealing pool (`smpx_core::runtime::parallel`)
-/// as a one-document batch against the frozen automaton. A single table
-/// document cannot occupy more than one worker, so the timing is the
-/// same — the point is that the `Thr` column records which executor
-/// produced the row and that every experiment (and every tier-1 test
-/// driving a runner) exercises the pool when the CI leg sets
-/// `SMPX_THREADS=4`. The observables are pinned equal either way.
+/// as a one-document batch against the frozen automaton. A single
+/// document at or above the auto-shard threshold
+/// (`smpx_core::DEFAULT_AUTO_SHARD_BYTES`, `SMPX_SHARD_AUTO_MB`
+/// overrides) is split *within* the document across the pool
+/// (`Prefilter::run_sharded`) — the one-doc batch no longer clamps the
+/// pool to width 1, and the `Thr` column plus `threads` JSON field are
+/// honest about the width the run could actually use. Below the
+/// threshold a one-document batch still occupies one worker, and the
+/// `shards` JSON field records `0` so rows stay distinguishable. The
+/// observables are pinned byte-identical across executors either way.
 pub struct Delivery<'a> {
     doc: &'a [u8],
     mode: SourceMode,
@@ -162,8 +166,35 @@ impl<'a> Delivery<'a> {
     /// sequential path (the parallel equivalence suite pins this); the
     /// peak worker memory is recorded for the `Mem` column, since the
     /// workers — not the caller's `Prefilter` — own the matcher caches.
-    fn filter_pooled(&self, pf: &Prefilter) -> (Vec<u8>, RunStats) {
+    ///
+    /// A document at or above the auto-shard threshold routes through the
+    /// intra-document shard path instead, mirroring
+    /// `run_batch_parallel`'s one-doc heuristic — that run's calibration
+    /// and repair segments execute on `pf` itself, so its matcher caches
+    /// warm like a sequential run and the `Mem` fallback stays
+    /// meaningful.
+    fn filter_pooled(&self, pf: &mut Prefilter) -> (Vec<u8>, RunStats) {
         use std::sync::atomic::{AtomicUsize, Ordering};
+        let auto_shard = smpx_core::runtime::parallel::auto_shard_threshold()
+            .is_some_and(|thr| self.doc.len() as u64 >= thr);
+        if auto_shard {
+            let src: Box<dyn smpx_core::DocSource + Send> = match self.mode {
+                SourceMode::Slice => Box::new(SliceSource::new(self.doc)),
+                SourceMode::Mmap => {
+                    let path = self.file.as_ref().expect("mmap delivery has a file").path();
+                    Box::new(MmapSource::open(path).expect("map bench doc"))
+                }
+                SourceMode::Reader => {
+                    let path = self.file.as_ref().expect("reader delivery has a file").path();
+                    let file = std::fs::File::open(path).expect("open bench doc");
+                    Box::new(ReaderSource::new(std::io::BufReader::new(file), self.chunk))
+                }
+            };
+            self.pooled_mem.set(None);
+            let (out, stats) =
+                pf.run_sharded(src, Vec::new(), self.threads, 0).expect("sharded filter");
+            return (out, stats);
+        }
         let frozen = pf.freeze();
         let peak_mem = AtomicUsize::new(0);
         let run = |src: Box<dyn smpx_core::DocSource + Send>| {

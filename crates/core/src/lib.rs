@@ -52,7 +52,7 @@ pub use compile::{Action, Attribution, CompiledTables, RtState};
 pub use error::CoreError;
 pub use idset::{QueryId, QueryIdSet};
 pub use registry::{MultiPrefilter, QueryRegistry};
-pub use runtime::parallel::{BatchError, FrozenPrefilter, Pool};
+pub use runtime::parallel::{BatchError, FrozenPrefilter, Pool, DEFAULT_AUTO_SHARD_BYTES};
 pub use runtime::source::{DocSource, MmapSource, ReaderSource, SliceSource, SourceKind};
 pub use runtime::Prefilter;
 pub use stats::{MultiVerdict, RunStats};

@@ -38,6 +38,21 @@ use std::sync::Arc;
 /// to eight times the system page size", Sec. V).
 pub const DEFAULT_CHUNK: usize = 8 * 4096;
 
+/// Where a Fig. 4 run begins: the paper's `q := q0; c := 0` by default,
+/// or a mid-document `(state, cursor)` configuration for shard and
+/// repair runs ([`parallel::shard`]). `suppress_jump` skips the first
+/// initial-jump application so the entry token itself is not hopped
+/// over.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RunEntry {
+    /// Start state (`0` = the automaton's start state).
+    pub state: u32,
+    /// Absolute byte position to start scanning from.
+    pub cursor: usize,
+    /// Do not apply `J[state]` before the first search.
+    pub suppress_jump: bool,
+}
+
 /// A compiled, reusable XML prefilter.
 ///
 /// The compiled tables are held behind an [`Arc`] and are immutable after
@@ -148,6 +163,52 @@ impl Prefilter {
         I: IntoIterator<Item = (S, W)>,
     {
         self.freeze().run_multi_batch_parallel(batch, threads)
+    }
+
+    /// Prefilter **one** document by splitting it at top-level record
+    /// boundaries and running the shards speculatively across `threads`
+    /// pool workers (`0` = available parallelism), stitching the
+    /// results in input order.
+    ///
+    /// The stitched projection is **byte-identical** to the sequential
+    /// run, and so are the match verdict and the token/match-event
+    /// counters: every speculative shard is confirmed against the
+    /// sequentially-reached frontier before its output is used, and
+    /// misses are repaired by sequential re-runs (see
+    /// [`parallel::shard`] for the protocol). Documents with no safe
+    /// split — no repeating record level — fall back to the sequential
+    /// path byte for byte. Search-effort counters are approximate at
+    /// segment boundaries; [`RunStats::shards`] records the number of
+    /// stitched segments (`0` = ran unsplit).
+    ///
+    /// `shard_bytes` is the target shard size in bytes; `0` spreads the
+    /// document evenly over the pool (the CLI's `--shard-mb 0` = auto).
+    /// Sources that are not fully resident (readers/pipes) are slurped
+    /// into their window first — the cost shows in `io_window_bytes`.
+    pub fn run_sharded<S: DocSource, W: Write>(
+        &mut self,
+        src: S,
+        writer: W,
+        threads: usize,
+        shard_bytes: usize,
+    ) -> Result<(W, RunStats), CoreError> {
+        let (w, _, stats) =
+            parallel::shard::run_sharded_impl(self, src, writer, threads, shard_bytes)?;
+        Ok((w, stats))
+    }
+
+    /// [`run_sharded`](Self::run_sharded) for multi-query (registry)
+    /// automatons: additionally returns the per-document
+    /// [`MultiVerdict`] — the OR of the stitched segments' hit sets,
+    /// which equals the sequential run's verdict.
+    pub fn run_sharded_multi<S: DocSource, W: Write>(
+        &mut self,
+        src: S,
+        writer: W,
+        threads: usize,
+        shard_bytes: usize,
+    ) -> Result<(W, MultiVerdict, RunStats), CoreError> {
+        parallel::shard::run_sharded_impl(self, src, writer, threads, shard_bytes)
     }
 
     /// The compiled tables.
@@ -264,13 +325,28 @@ impl Prefilter {
         src: S,
         writer: W,
     ) -> Result<(W, RunStats), CoreError> {
+        self.filter_one_traced(src, writer, RunEntry::default(), None)
+    }
+
+    /// [`filter_one`](Self::filter_one) from an explicit entry
+    /// configuration, optionally observed by a shard trace — the
+    /// intra-document sharding entry point ([`parallel::shard`]). With
+    /// the default entry and no trace this *is* `filter_one`, byte for
+    /// byte.
+    pub(crate) fn filter_one_traced<S: DocSource, W: Write>(
+        &mut self,
+        src: S,
+        writer: W,
+        entry: RunEntry,
+        trace: Option<&mut parallel::shard::ShardTrace>,
+    ) -> Result<(W, RunStats), CoreError> {
         let mut counters = Counters::default();
         let mut stats =
             RunStats { input_bytes: src.len_hint().unwrap_or(0), ..RunStats::default() };
         self.hits.clear();
         self.copy_depth = 0;
         let mut input = SourceInput::new(src, writer);
-        self.run(&mut input, &mut counters, &mut stats)?;
+        self.run(&mut input, &mut counters, &mut stats, entry, trace)?;
         stats.chars_compared += counters.comparisons;
         stats.bytes_scanned = counters.scanned;
         stats.shifts = counters.shifts;
@@ -290,16 +366,25 @@ impl Prefilter {
         slot.as_ref().expect("just built")
     }
 
-    /// The Fig. 4 loop.
+    /// The Fig. 4 loop, from an arbitrary entry configuration.
+    ///
+    /// The default [`RunEntry`] is the paper's `q := q0; c := 0`. A shard
+    /// entry additionally suppresses the first initial jump: the cursor
+    /// already points *at* the record token the shard is speculated to
+    /// start on — a jump could hop over it, where the sequential run
+    /// (whose search reached this token from an earlier cursor) does not.
     fn run<S: DocSource, W: Write, M: Metrics>(
         &mut self,
         input: &mut SourceInput<S, W>,
         m: &mut M,
         stats: &mut RunStats,
+        entry: RunEntry,
+        mut trace: Option<&mut parallel::shard::ShardTrace>,
     ) -> Result<(), CoreError> {
         let lookback = self.tables.max_kw_len + 8;
-        let mut q: u32 = 0;
-        let mut cursor: usize = 0;
+        let mut q: u32 = entry.state;
+        let mut cursor: usize = entry.cursor;
+        let mut suppress_jump = entry.suppress_jump;
         loop {
             let state = &self.tables.states[q as usize];
             if state.keywords.is_empty() {
@@ -307,14 +392,24 @@ impl Prefilter {
             }
             // Initial jump offset J[q].
             let jump = state.jump as usize;
-            if jump > 0 {
+            if jump > 0 && !suppress_jump {
                 cursor += jump;
                 stats.initial_jump_chars += jump as u64;
             }
+            suppress_jump = false;
             // Search for the closest verified token of V[q].
             let Some((kw_idx, start)) = self.find_token(q, input, cursor, m, stats)? else {
                 break; // input exhausted: remaining tokens are irrelevant
             };
+            // Shard-trace observation point: the token is identified but
+            // not yet consumed, so a run stopped here hands its successor
+            // the exact configuration a fresh shard enters with.
+            if let Some(t) = trace.as_deref_mut() {
+                let clean = !input.copy_active() && self.copy_depth == 0;
+                if t.on_token(q, kw_idx, start, clean).is_break() {
+                    return Ok(());
+                }
+            }
             let (name_len, close, target) = {
                 let kw = &self.tables.states[q as usize].keywords[kw_idx];
                 (kw.bytes.len(), kw.close, kw.target)
@@ -806,7 +901,7 @@ fn balanced_scan_windowed<S: DocSource, W: Write, M: Metrics>(
 
 /// May `c` follow a tag name inside a tag?
 #[inline]
-fn is_tag_name_end(c: u8) -> bool {
+pub(crate) fn is_tag_name_end(c: u8) -> bool {
     matches!(c, b'>' | b'/' | b' ' | b'\t' | b'\r' | b'\n')
 }
 

@@ -29,6 +29,8 @@
 
 mod deque;
 mod pool;
+pub(crate) mod shard;
+pub(crate) mod split;
 
 pub use pool::Pool;
 
@@ -80,6 +82,14 @@ impl FrozenPrefilter {
     /// [`BatchError`] names the failing input by its batch index with the
     /// underlying [`CoreError`]. Nothing is poisoned — the frozen handle
     /// can run further batches immediately.
+    /// A batch of exactly one large document would otherwise clamp the
+    /// pool to width 1 and spawn nothing; instead it routes through the
+    /// intra-document shard path ([`shard`]) whenever the document's
+    /// size hint reaches the auto-shard threshold —
+    /// [`DEFAULT_AUTO_SHARD_BYTES`], overridable via the
+    /// `SMPX_SHARD_AUTO_MB` environment variable (`0` disables the
+    /// heuristic). The returned stats record the effective split in
+    /// [`RunStats::shards`].
     pub fn run_batch_parallel<S, W, I>(
         &self,
         batch: I,
@@ -90,7 +100,15 @@ impl FrozenPrefilter {
         W: Write + Send,
         I: IntoIterator<Item = (S, W)>,
     {
-        let tasks: Vec<(S, W)> = batch.into_iter().collect();
+        let mut tasks: Vec<(S, W)> = batch.into_iter().collect();
+        if should_auto_shard(&tasks, threads) {
+            let (src, sink) = tasks.pop().expect("one task");
+            let (out, stats) = self
+                .worker()
+                .run_sharded(src, sink, threads, 0)
+                .map_err(|error| BatchError { index: 0, error })?;
+            return Ok(vec![(out, stats)]);
+        }
         Pool::new(threads)
             .run(tasks, |_| self.worker(), |pf, (src, sink)| pf.filter_one(src, sink))
             .map_err(|(index, error)| BatchError { index, error })
@@ -113,7 +131,15 @@ impl FrozenPrefilter {
         W: Write + Send,
         I: IntoIterator<Item = (S, W)>,
     {
-        let tasks: Vec<(S, W)> = batch.into_iter().collect();
+        let mut tasks: Vec<(S, W)> = batch.into_iter().collect();
+        if should_auto_shard(&tasks, threads) {
+            let (src, sink) = tasks.pop().expect("one task");
+            let (out, verdict, stats) = self
+                .worker()
+                .run_sharded_multi(src, sink, threads, 0)
+                .map_err(|error| BatchError { index: 0, error })?;
+            return Ok(vec![(out, verdict, stats)]);
+        }
         Pool::new(threads)
             .run(
                 tasks,
@@ -126,6 +152,75 @@ impl FrozenPrefilter {
             )
             .map_err(|(index, error)| BatchError { index, error })
     }
+
+    /// Shard one document across `threads` workers and stitch the result
+    /// — byte-identical to the sequential run; see [`shard`] for the
+    /// speculation/confirmation protocol. `shard_bytes == 0` sizes
+    /// shards automatically. Shorthand for minting a
+    /// [`worker`](Self::worker) and calling [`Prefilter::run_sharded`].
+    pub fn run_sharded<S, W>(
+        &self,
+        src: S,
+        writer: W,
+        threads: usize,
+        shard_bytes: usize,
+    ) -> Result<(W, RunStats), CoreError>
+    where
+        S: DocSource,
+        W: Write,
+    {
+        self.worker().run_sharded(src, writer, threads, shard_bytes)
+    }
+
+    /// [`run_sharded`](Self::run_sharded) for multi-query (registry)
+    /// automatons: additionally returns the document's [`MultiVerdict`],
+    /// the OR of the stitched segments' per-query hits.
+    pub fn run_sharded_multi<S, W>(
+        &self,
+        src: S,
+        writer: W,
+        threads: usize,
+        shard_bytes: usize,
+    ) -> Result<(W, MultiVerdict, RunStats), CoreError>
+    where
+        S: DocSource,
+        W: Write,
+    {
+        self.worker().run_sharded_multi(src, writer, threads, shard_bytes)
+    }
+}
+
+/// Default auto-shard threshold for one-document batches: documents at
+/// least this large route through the intra-document shard path when
+/// the pool has more than one worker (8 MiB; `SMPX_SHARD_AUTO_MB`
+/// overrides, `0` disables).
+pub const DEFAULT_AUTO_SHARD_BYTES: u64 = 8 << 20;
+
+/// The auto-shard threshold currently in effect — the
+/// `SMPX_SHARD_AUTO_MB` override when set (`0` disables and yields
+/// `None`), [`DEFAULT_AUTO_SHARD_BYTES`] otherwise. Exposed so callers
+/// that hand-roll their own one-document pool runs (the bench runners)
+/// can mirror [`run_batch_parallel`](FrozenPrefilter::run_batch_parallel)'s
+/// routing decision exactly.
+pub fn auto_shard_threshold() -> Option<u64> {
+    match std::env::var("SMPX_SHARD_AUTO_MB") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(mb) => Some(mb << 20),
+            Err(_) => Some(DEFAULT_AUTO_SHARD_BYTES),
+        },
+        Err(_) => Some(DEFAULT_AUTO_SHARD_BYTES),
+    }
+}
+
+/// One-document batch, a pool wider than one, and a size hint at or
+/// above the threshold? (Hint-less sources — pipes — never auto-shard:
+/// the batch path will not buffer an unbounded stream unasked.)
+fn should_auto_shard<S: DocSource, W>(tasks: &[(S, W)], threads: usize) -> bool {
+    tasks.len() == 1
+        && Pool::new(threads).threads() > 1
+        && auto_shard_threshold()
+            .is_some_and(|thr| tasks[0].0.len_hint().is_some_and(|len| len >= thr))
 }
 
 /// A batch failure: which input failed, and how.

@@ -1,0 +1,202 @@
+//! Split-point discovery for intra-document sharding.
+//!
+//! A *safe* split point for speculative execution is a byte position
+//! where the sequential run will (probably) pass through a known
+//! configuration: cursor at the start of a record tag, in the
+//! record-loop state, with no copy range open. This module provides the
+//! static half of that bet:
+//!
+//! * [`open_masks`] flags every *open* keyword of every state as a
+//!   potential record crossing, as per-state keyword bitmasks the
+//!   runtime loop tests with one AND. No static guess about which
+//!   nesting level is "the record level" is needed — the calibration
+//!   run discovers it dynamically by stopping at the first crossing
+//!   whose **state repeats** (XMark's `<item>` lists sit at depth 3,
+//!   MEDLINE's citations at depth 2; both just fall out). A flagged
+//!   token that is not really a loop crossing costs speculation wasted
+//!   work, never soundness: every shard is confirmed against the
+//!   sequential frontier before its output is used (see
+//!   [`super::shard`]).
+//! * [`next_candidate`] finds the next byte position that *looks like*
+//!   a record-open tag (pattern bytes + tag-name boundary), hopping
+//!   with the SIMD scanner ([`memscan::find_byte`]); positions inside
+//!   quoted attribute values or CDATA lookalikes are fine — they fail
+//!   confirmation, they do not break correctness.
+//! * [`plan_entries`] picks the shard entry positions: the next
+//!   candidate at or after each `shard_bytes` boundary.
+
+use crate::compile::CompiledTables;
+use crate::runtime::is_tag_name_end;
+use smpx_stringmatch::memscan;
+
+/// Upper bound on planned shards per document: a runaway-split backstop
+/// (the pool queues excess shards anyway; far more than any sane split).
+pub(crate) const MAX_SHARDS: usize = 256;
+
+/// Smallest auto-planned shard: below this, per-shard speculation and
+/// stitching overhead dwarfs the scan work.
+pub(crate) const MIN_AUTO_SHARD_BYTES: usize = 256 * 1024;
+
+/// Per-state bitmask of keyword indices that are crossing candidates
+/// (bit `i` set ⇔ `keywords[i]` opens an element). Which of these are
+/// *real* record-loop crossings is decided dynamically: calibration
+/// stops at the first crossing whose state repeats, whatever depth that
+/// loop sits at. Indices ≥ 64 are left unset — a conservative miss only
+/// loses a split candidate.
+pub(crate) fn open_masks(tables: &CompiledTables) -> Vec<u64> {
+    tables
+        .states
+        .iter()
+        .map(|s| {
+            let mut mask = 0u64;
+            for (i, kw) in s.keywords.iter().enumerate().take(64) {
+                if !kw.close {
+                    mask |= 1 << i;
+                }
+            }
+            mask
+        })
+        .collect()
+}
+
+/// Does any state carry a crossing candidate at all? (A keyword-free
+/// automaton has nothing to split at; sharding falls back.)
+pub(crate) fn any_candidates(masks: &[u64]) -> bool {
+    masks.iter().any(|&m| m != 0)
+}
+
+/// The byte patterns (`<name`, no trailing bracket) of the record-open
+/// keywords of state `q` — what [`next_candidate`] scans for once the
+/// record-loop state is known.
+pub(crate) fn entry_patterns(tables: &CompiledTables, masks: &[u64], q: u32) -> Vec<Vec<u8>> {
+    let state = &tables.states[q as usize];
+    state
+        .keywords
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i < 64 && masks[q as usize] & (1 << i) != 0)
+        .map(|(_, kw)| kw.bytes.clone())
+        .collect()
+}
+
+/// The next position `>= from` where some record-open pattern occurs with
+/// a valid tag-name boundary after it. Purely textual: the position may
+/// still sit inside a quoted attribute value, a comment, or a nested
+/// record — speculation sorts that out.
+pub(crate) fn next_candidate(doc: &[u8], from: usize, patterns: &[Vec<u8>]) -> Option<usize> {
+    let mut at = from;
+    while at < doc.len() {
+        let lt = memscan::find_byte(doc, at, b'<')?;
+        for pat in patterns {
+            let end = lt + pat.len();
+            if end < doc.len() && doc[lt..end] == pat[..] && is_tag_name_end(doc[end]) {
+                return Some(lt);
+            }
+        }
+        at = lt + 1;
+    }
+    None
+}
+
+/// Plan the shard entry positions over `doc[start..]`: `start` itself
+/// (the confirmed resynchronization point calibration stopped at), then
+/// the next candidate at or after each `shard_bytes` step. `shard_bytes
+/// == 0` sizes shards to spread the remainder over `width` workers,
+/// floored at [`MIN_AUTO_SHARD_BYTES`]. Entries are strictly increasing;
+/// a document whose tail has no further candidates simply plans fewer
+/// shards.
+pub(crate) fn plan_entries(
+    doc: &[u8],
+    start: usize,
+    shard_bytes: usize,
+    width: usize,
+    patterns: &[Vec<u8>],
+) -> Vec<usize> {
+    let remaining = doc.len().saturating_sub(start);
+    let size = if shard_bytes == 0 {
+        (remaining / width.max(1)).max(MIN_AUTO_SHARD_BYTES)
+    } else {
+        shard_bytes.max(1)
+    };
+    let mut entries = vec![start];
+    let mut target = start.saturating_add(size);
+    while target < doc.len() && entries.len() < MAX_SHARDS {
+        match next_candidate(doc, target, patterns) {
+            // `target > entries.last()` throughout, so candidates are
+            // strictly increasing by construction.
+            Some(c) => {
+                entries.push(c);
+                target = c.saturating_add(size);
+            }
+            None => break,
+        }
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prefilter;
+    use smpx_dtd::Dtd;
+    use smpx_paths::PathSet;
+
+    const EX2: &[u8] =
+        br#"<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>"#;
+
+    fn tables() -> std::sync::Arc<CompiledTables> {
+        let dtd = Dtd::parse(EX2).unwrap();
+        let paths = PathSet::parse(&["/*", "/a/b#"]).unwrap();
+        std::sync::Arc::new(Prefilter::compile(&dtd, &paths).unwrap().tables().clone())
+    }
+
+    #[test]
+    fn masks_flag_exactly_the_open_keywords() {
+        let t = tables();
+        let masks = open_masks(&t);
+        assert!(any_candidates(&masks), "EX2 has open keywords to split at");
+        for (s, &mask) in t.states.iter().zip(&masks) {
+            for (i, kw) in s.keywords.iter().enumerate().take(64) {
+                let flagged = mask & (1 << i) != 0;
+                assert_eq!(flagged, !kw.close, "state kw {:?}", kw.bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_require_tag_boundary() {
+        let pats: Vec<Vec<u8>> = vec![b"<b".to_vec()];
+        let doc = b"<a><brand>x</brand><b>y</b></a>";
+        // "<brand" shares the "<b" prefix but fails the boundary check.
+        assert_eq!(next_candidate(doc, 0, &pats), Some(19));
+        assert_eq!(next_candidate(doc, 20, &pats), None);
+    }
+
+    #[test]
+    fn plan_entries_steps_by_shard_size() {
+        let mut doc = b"<a>".to_vec();
+        for i in 0..40 {
+            doc.extend_from_slice(format!("<b>record {i:04}</b>").as_bytes());
+        }
+        doc.extend_from_slice(b"</a>");
+        let pats: Vec<Vec<u8>> = vec![b"<b".to_vec()];
+        let entries = plan_entries(&doc, 3, 100, 4, &pats);
+        assert!(entries.len() > 2, "entries: {entries:?}");
+        assert_eq!(entries[0], 3);
+        for w in entries.windows(2) {
+            assert!(w[1] > w[0], "strictly increasing: {entries:?}");
+            assert!(w[1] - w[0] >= 100, "at least shard_bytes apart: {entries:?}");
+        }
+        for &e in &entries[1..] {
+            assert_eq!(&doc[e..e + 2], b"<b", "entry at a record open: {entries:?}");
+        }
+    }
+
+    #[test]
+    fn zero_shard_bytes_spreads_over_width() {
+        let doc = vec![b'x'; 4 * MIN_AUTO_SHARD_BYTES];
+        // No candidates in a pattern-free doc: only the start entry.
+        let entries = plan_entries(&doc, 0, 0, 4, &[b"<b".to_vec()]);
+        assert_eq!(entries, vec![0]);
+    }
+}

@@ -45,6 +45,12 @@ pub struct RunStats {
     /// contract as the projection itself (conservative, never a false
     /// negative).
     pub match_events: u64,
+    /// Number of stitched segments of an intra-document sharded run
+    /// (`Prefilter::run_sharded`): the calibration prefix plus every
+    /// spliced shard and repair segment. `0` = the document ran unsplit
+    /// (sequential runs, and sharded runs that fell back). Accumulated
+    /// batch totals sum the segments across documents.
+    pub shards: u64,
 }
 
 impl RunStats {
@@ -89,6 +95,7 @@ impl RunStats {
             false_matches,
             io_window_bytes,
             match_events,
+            shards,
         } = *other;
         self.input_bytes += input_bytes;
         self.output_bytes += output_bytes;
@@ -101,6 +108,7 @@ impl RunStats {
         self.false_matches += false_matches;
         self.io_window_bytes = self.io_window_bytes.max(io_window_bytes);
         self.match_events += match_events;
+        self.shards += shards;
     }
 
     /// Output size relative to input.
@@ -168,6 +176,7 @@ mod tests {
             false_matches: 0,
             io_window_bytes: 0,
             match_events: 1,
+            shards: 0,
         };
         assert!((s.char_comp_pct() - 20.0).abs() < 1e-9);
         assert!((s.scanned_pct() - 50.0).abs() < 1e-9);

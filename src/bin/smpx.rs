@@ -4,7 +4,7 @@
 //! USAGE:
 //!   smpx --dtd SCHEMA.dtd (--paths P1,P2,… | --query XPATH [--query XPATH ...])
 //!        [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--chunk-kb N]
-//!        [--threads N] [--stats]
+//!        [--threads N] [--shard-mb N] [--stats]
 //!
 //! EXAMPLES:
 //!   smpx --dtd site.dtd --query '//australia//description' big.xml -o small.xml --stats
@@ -42,10 +42,18 @@
 //! documents' projected bytes before the ordered write-out, and at most
 //! `N` inputs are open at once (sources open right before their run, as
 //! in sequential mode).
+//!
+//! A *single* large input with `--threads != 1` is sharded **within** the
+//! document (`Prefilter::run_sharded`): the pool speculates from
+//! top-level record boundaries and the stitched projection is
+//! byte-identical to the sequential run. This engages automatically for
+//! one file of at least 8 MiB; `--shard-mb N` forces it with N-MiB shards
+//! (`--shard-mb 0` forces it with auto-sized shards). Stdin never shards
+//! (a pipe has no known length and must stream).
 
 use smpx::core::runtime::source::{DocSource, MmapSource, ReaderSource, SourceKind};
 use smpx::core::runtime::DEFAULT_CHUNK;
-use smpx::core::{CoreError, MultiVerdict, Pool, Prefilter, RunStats};
+use smpx::core::{CoreError, MultiVerdict, Pool, Prefilter, RunStats, DEFAULT_AUTO_SHARD_BYTES};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -62,12 +70,14 @@ struct Args {
     mmap: bool,
     chunk: usize,
     threads: usize,
+    shard_mb: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: smpx --dtd SCHEMA.dtd (--paths 'P1,P2,…' | --query XPATH [--query XPATH ...]) \
-         [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--chunk-kb N] [--threads N] [--stats]"
+         [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--chunk-kb N] [--threads N] \
+         [--shard-mb N] [--stats]"
     );
     std::process::exit(2);
 }
@@ -83,6 +93,7 @@ fn parse_args() -> Args {
         mmap: false,
         chunk: DEFAULT_CHUNK,
         threads: 1,
+        shard_mb: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -104,6 +115,11 @@ fn parse_args() -> Args {
             "--threads" => {
                 // 0 is meaningful: available parallelism.
                 args.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--shard-mb" => {
+                // 0 is meaningful: force sharding with auto-sized shards.
+                args.shard_mb =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
             }
             "-h" | "--help" => usage(),
             "-" => args.inputs.push("-".to_string()),
@@ -305,6 +321,60 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("smpx: <stdin>: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if args.inputs.len() == 1
+        && args.inputs[0] != "-"
+        && (args.shard_mb.is_some()
+            || (args.threads != 1 && sizes[0].is_some_and(|l| l >= DEFAULT_AUTO_SHARD_BYTES)))
+    {
+        // One file, many workers: shard *within* the document. Explicit
+        // `--shard-mb` always routes here (0 = auto-sized shards); without
+        // it the route engages only for a large file in pool mode. The
+        // stitched projection, verdict, and token counters are
+        // byte-identical to the sequential run; a document with no safe
+        // split point falls back to one sequential pass (shards stays 0).
+        let p = args.inputs[0].clone();
+        let (src, tag) = match open_source(&p, &args) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("smpx: cannot open {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let shard_bytes = args.shard_mb.unwrap_or(0).saturating_mul(1 << 20);
+        let run = if multi {
+            pf.run_sharded_multi(src, &mut out, args.threads, shard_bytes)
+                .map(|(_, v, s)| (s, Some(v)))
+        } else {
+            pf.run_sharded(src, &mut out, args.threads, shard_bytes).map(|(_, s)| (s, None))
+        };
+        match run {
+            Ok((mut stats, verdict)) => {
+                if stats.input_bytes == 0 {
+                    stats.input_bytes = sizes[0].unwrap_or(0);
+                }
+                if args.stats {
+                    // Honest effective width: the pool clamps to the
+                    // machine, and an unsplittable document reports 0
+                    // stitched segments rather than a fictional split.
+                    let width = Pool::new(args.threads).threads();
+                    if stats.shards > 0 {
+                        eprintln!(
+                            "smpx: {p}: stitched {} shard segments over {width} pool \
+                             worker{}",
+                            stats.shards,
+                            if width == 1 { "" } else { "s" }
+                        );
+                    } else {
+                        eprintln!("smpx: {p}: no safe split, ran as one sequential pass");
+                    }
+                }
+                results.push((p, tag, stats, verdict));
+            }
+            Err(e) => {
+                eprintln!("smpx: {p}: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -1,0 +1,177 @@
+//! Guard against silently-never-run property tests.
+//!
+//! The vendored proptest shim re-emits the attributes written at the
+//! call site but does **not** add `#[test]` itself, so a property
+//! declared inside `proptest! { ... }` without an explicit `#[test]`
+//! compiles cleanly and simply never runs. This walked the repo once
+//! already (a whole property file was dead for a PR), so this test
+//! scans every workspace `.rs` file for `proptest!` blocks and fails —
+//! naming file and function — when a property lacks the attribute.
+//!
+//! The scan is deliberately simple (line-oriented, brace counting with
+//! `//` comments stripped); it only needs to be right about the shapes
+//! `proptest!` accepts, and a false positive fails loudly with a
+//! location rather than hiding anything.
+
+use std::path::{Path, PathBuf};
+
+/// A property `fn` found inside a `proptest!` block.
+struct Property {
+    file: PathBuf,
+    line: usize,
+    name: String,
+    has_test_attr: bool,
+}
+
+fn workspace_rs_files() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    // `vendor/` is excluded on purpose: the shim's own docs and macro
+    // definition spell `fn name(x in strategy)` shapes that are not
+    // call sites.
+    for top in ["crates", "tests", "src", "examples"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && name != "vendor" && !name.starts_with('.') {
+                collect_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Brace delta of one line with `//` comments stripped. Braces inside
+/// string literals are assumed balanced (true of format strings, which
+/// is all the suite uses); an unbalanced literal brace would skew the
+/// count and fail this guard visibly, not silently.
+fn brace_delta(line: &str) -> i32 {
+    let code = match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    code.chars()
+        .map(|c| match c {
+            '{' => 1,
+            '}' => -1,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Extract every property declared by `proptest!` blocks in `text`.
+fn scan_file(path: &Path, text: &str, out: &mut Vec<Property>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].trim_start();
+        if !(trimmed.starts_with("proptest!") || trimmed.starts_with("proptest! {")) {
+            i += 1;
+            continue;
+        }
+        // Walk the block: depth is relative to the line that opened it;
+        // property `fn`s sit at depth 1 (directly inside the macro).
+        let mut depth = brace_delta(lines[i]);
+        let mut pending_test_attr = false;
+        i += 1;
+        while i < lines.len() && depth > 0 {
+            let t = lines[i].trim();
+            if depth == 1 {
+                if t.starts_with("#[test]") {
+                    pending_test_attr = true;
+                } else if let Some(rest) = t.strip_prefix("fn ") {
+                    let name =
+                        rest.split(|c: char| c == '(' || c.is_whitespace()).next().unwrap_or("?");
+                    out.push(Property {
+                        file: path.to_path_buf(),
+                        line: i + 1,
+                        name: name.to_string(),
+                        has_test_attr: pending_test_attr,
+                    });
+                    pending_test_attr = false;
+                } else if !t.is_empty()
+                    && !t.starts_with("#[")
+                    && !t.starts_with("#![")
+                    && !t.starts_with("//")
+                {
+                    // Anything else (e.g. a closing brace of a property
+                    // body at this depth) resets attribute tracking.
+                    pending_test_attr = false;
+                }
+            }
+            depth += brace_delta(lines[i]);
+            i += 1;
+        }
+    }
+}
+
+#[test]
+fn every_proptest_property_is_a_test() {
+    let mut props = Vec::new();
+    for file in workspace_rs_files() {
+        let text = std::fs::read_to_string(&file).expect("read workspace source file");
+        if text.contains("proptest!") {
+            scan_file(&file, &text, &mut props);
+        }
+    }
+    // Self-check: if the scanner regresses and stops seeing the suite's
+    // known property files, that is a failure too — an empty scan must
+    // never pass vacuously.
+    assert!(
+        props.len() >= 8,
+        "proptest guard found only {} properties — scanner or suite regressed",
+        props.len()
+    );
+    let missing: Vec<String> = props
+        .iter()
+        .filter(|p| !p.has_test_attr)
+        .map(|p| format!("{}:{} fn {}", p.file.display(), p.line, p.name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "properties without #[test] never run — the vendored proptest shim \
+         does not add the attribute for you:\n  {}",
+        missing.join("\n  ")
+    );
+}
+
+#[test]
+fn guard_detects_a_missing_test_attribute() {
+    // The guard guards itself: a synthetic block with one annotated and
+    // one bare property must flag exactly the bare one. The macro name
+    // is spelled in caps here so the workspace scan above does not trip
+    // over this fixture's own source text.
+    let sample = r#"
+PROPTEST! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Annotated: runs.
+    #[test]
+    fn covered(x in 0u8..4) {
+        assert!(x < 4);
+    }
+
+    /// Bare: would never run.
+    fn forgotten(y in 0u8..4, z in 0u8..4) {
+        assert!(y < 4 && z < 4);
+    }
+}
+"#
+    .replace("PROPTEST", "proptest");
+    let mut props = Vec::new();
+    scan_file(Path::new("sample.rs"), &sample, &mut props);
+    let flags: Vec<(&str, bool)> =
+        props.iter().map(|p| (p.name.as_str(), p.has_test_attr)).collect();
+    assert_eq!(flags, vec![("covered", true), ("forgotten", false)]);
+}
