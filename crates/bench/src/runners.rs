@@ -260,6 +260,45 @@ impl<'a> Delivery<'a> {
         }
         (out, verdict, stats)
     }
+
+    /// [`filter_multi`](Self::filter_multi) against a dynamic-lifecycle
+    /// handle: one pass on the handle's *current* generation through the
+    /// selected backend and executor, verdict in stable external ids.
+    /// Callers that just edited the handle should `settle()` first if
+    /// they mean to measure the post-edit generation.
+    pub fn filter_shared(
+        &self,
+        shared: &smpx_core::SharedPrefilter,
+    ) -> (Vec<u8>, MultiVerdict, RunStats) {
+        self.pooled_mem.set(None);
+        let open = || -> Box<dyn smpx_core::DocSource + Send + '_> {
+            match self.mode {
+                SourceMode::Slice => Box::new(SliceSource::new(self.doc)),
+                SourceMode::Mmap => {
+                    let path = self.file.as_ref().expect("mmap delivery has a file").path();
+                    Box::new(MmapSource::open(path).expect("map bench doc"))
+                }
+                SourceMode::Reader => {
+                    let path = self.file.as_ref().expect("reader delivery has a file").path();
+                    let file = std::fs::File::open(path).expect("open bench doc");
+                    Box::new(ReaderSource::new(std::io::BufReader::new(file), self.chunk))
+                }
+            }
+        };
+        let (out, verdict, mut stats) = if self.threads > 1 {
+            shared
+                .run_multi_batch_parallel(vec![(open(), Vec::new())], self.threads)
+                .expect("pooled shared filter")
+                .pop()
+                .expect("one document in, one result out")
+        } else {
+            shared.generation().run_multi(open(), Vec::new()).expect("shared filter")
+        };
+        if stats.input_bytes == 0 {
+            stats.input_bytes = self.doc.len() as u64;
+        }
+        (out, verdict, stats)
+    }
 }
 
 /// One Table I/II row.
@@ -824,5 +863,60 @@ mod tests {
         assert_eq!(out_p, out, "pooled multi pass must be byte-identical");
         assert_eq!(verdict_p, verdict);
         assert_eq!(stats_p, stats);
+    }
+
+    /// `filter_shared` (the dynamic-lifecycle delivery) must match
+    /// `filter_multi` against a fresh registry of the same live set —
+    /// both before and after add/remove edits, sequential and pooled.
+    #[test]
+    fn shared_delivery_matches_fresh_registry() {
+        use smpx_datagen::{xmark, GenOptions};
+        let doc = xmark::generate(GenOptions::sized(256 * 1024));
+        let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).expect("DTD");
+        let q13 = xmark_paths(XMARK_QUERIES.iter().find(|q| q.id == "XM13").expect("query"));
+        let q1 = xmark_paths(XMARK_QUERIES.iter().find(|q| q.id == "XM1").expect("query"));
+
+        let mut reg = smpx_core::QueryRegistry::new(dtd.clone());
+        reg.add_paths(q13.clone());
+        reg.add_paths(q1.clone());
+        let shared = reg.compile_shared().expect("lifecycle compile");
+        let mut mpf = reg.compile().expect("registry compile");
+
+        for threads in [1usize, 4] {
+            let d = Delivery::from_env(&doc, &format!("shared-eq-{threads}"))
+                .with_threads(threads)
+                .with_queries(2);
+            let (out_s, v_s, stats_s) = d.filter_shared(&shared);
+            let (out_m, v_m, stats_m) = d.filter_multi(&mut mpf);
+            assert_eq!(out_s, out_m, "threads={threads}: generation 0 output diverged");
+            assert_eq!((v_s, stats_s), (v_m, stats_m), "threads={threads}");
+        }
+
+        // Edit: drop XM1, add XM13 again. The settled generation must
+        // equal a fresh registry of the live set {XM13, XM13'}, with the
+        // fresh ids mapped positionally to the surviving external ids.
+        shared.remove_query(smpx_core::QueryId(1)).expect("remove q1");
+        let added = shared.add_paths(q13.clone()).expect("re-add XM13");
+        let generation = shared.settle().expect("settle");
+        assert_eq!(added, smpx_core::QueryId(2), "ids are never reused");
+        assert_eq!(generation.live_queries(), 2);
+
+        let mut fresh = smpx_core::QueryRegistry::new(dtd);
+        fresh.add_paths(q13.clone());
+        fresh.add_paths(q13);
+        let mut fresh_mpf = fresh.compile().expect("fresh compile");
+        let d = Delivery::from_env(&doc, "shared-eq-post").with_threads(1).with_queries(2);
+        let (out_s, v_s, stats_s) = d.filter_shared(&shared);
+        let (out_f, v_f, stats_f) = d.filter_multi(&mut fresh_mpf);
+        assert_eq!(out_s, out_f, "post-edit output must equal a fresh compile");
+        assert_eq!(stats_s, stats_f);
+        assert_eq!(v_s.n_queries, 3, "verdict spans all allocated ids");
+        assert!(!v_s.is_matched(smpx_core::QueryId(1)), "removed id reports unmatched");
+        assert_eq!(
+            v_s.is_matched(smpx_core::QueryId(0)),
+            v_f.is_matched(smpx_core::QueryId(0)),
+            "surviving id attribution matches the fresh registry"
+        );
+        assert_eq!(v_s.is_matched(added), v_f.is_matched(smpx_core::QueryId(1)));
     }
 }

@@ -32,6 +32,14 @@ pub enum CoreError {
     /// A query registered with the multi-query registry failed to parse
     /// as an XPath expression.
     Query(smpx_paths::xpath::XPathError),
+    /// A dynamic-lifecycle edit was rejected (unknown id, double remove,
+    /// or an edit that would leave the shared registry empty).
+    LifecycleEdit {
+        /// The external query id the edit named.
+        id: crate::idset::QueryId,
+        /// Why the edit was refused.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +60,9 @@ impl fmt::Display for CoreError {
             // Sources and sinks both route here — don't blame one side.
             CoreError::Io(e) => write!(f, "I/O error: {e}"),
             CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::LifecycleEdit { id, reason } => {
+                write!(f, "lifecycle edit rejected for {id}: {reason}")
+            }
         }
     }
 }

@@ -44,6 +44,7 @@
 pub mod compile;
 mod error;
 pub mod idset;
+pub mod lifecycle;
 pub mod registry;
 pub mod runtime;
 mod stats;
@@ -51,6 +52,7 @@ mod stats;
 pub use compile::{Action, Attribution, CompiledTables, RtState};
 pub use error::CoreError;
 pub use idset::{QueryId, QueryIdSet};
+pub use lifecycle::{Generation, SharedPrefilter};
 pub use registry::{MultiPrefilter, QueryRegistry};
 pub use runtime::parallel::{BatchError, FrozenPrefilter, Pool, DEFAULT_AUTO_SHARD_BYTES};
 pub use runtime::source::{DocSource, MmapSource, ReaderSource, SliceSource, SourceKind};

@@ -80,6 +80,16 @@ impl QueryRegistry {
         let shared = Prefilter::compile_multi(&self.dtd, &self.queries)?;
         Ok(MultiPrefilter { shared, dtd: self.dtd.clone(), queries: self.queries.clone() })
     }
+
+    /// Compile the workload into a [`SharedPrefilter`] — the dynamic
+    /// lifecycle handle whose query set stays mutable under traffic. The
+    /// registered queries become generation 0 with their registry ids as
+    /// the stable external ids; see [`crate::lifecycle`] for the
+    /// generation-swap contract. Errors as [`compile`](Self::compile)
+    /// would (the registry must be non-empty).
+    pub fn compile_shared(&self) -> Result<crate::lifecycle::SharedPrefilter, CoreError> {
+        crate::lifecycle::SharedPrefilter::new(self.dtd.clone(), self.queries.clone())
+    }
 }
 
 /// A compiled multi-query prefilter: one pass per document answers the

@@ -94,6 +94,19 @@ impl Prefilter {
         Ok(Prefilter::from_tables(compile_multi(dtd, queries)?))
     }
 
+    /// [`compile_multi`](Self::compile_multi), lifecycle-capable: the
+    /// workload becomes generation 0 of a
+    /// [`SharedPrefilter`](crate::lifecycle::SharedPrefilter) whose query
+    /// set stays mutable while documents are served — `add_query` /
+    /// `remove_query` recompile off the hot path and publish atomically.
+    /// See [`crate::lifecycle`] for the generation contract.
+    pub fn compile_multi_lifecycle(
+        dtd: &Dtd,
+        queries: &[PathSet],
+    ) -> Result<crate::lifecycle::SharedPrefilter, CoreError> {
+        crate::lifecycle::SharedPrefilter::new(dtd.clone(), queries.to_vec())
+    }
+
     /// Wrap precompiled tables.
     pub fn from_tables(tables: CompiledTables) -> Prefilter {
         Prefilter::from_shared(Arc::new(tables))

@@ -204,19 +204,43 @@ pub const DEFAULT_AUTO_SHARD_BYTES: u64 = 8 << 20;
 /// routing decision exactly.
 pub fn auto_shard_threshold() -> Option<u64> {
     match std::env::var("SMPX_SHARD_AUTO_MB") {
-        Ok(v) => match v.trim().parse::<u64>() {
-            Ok(0) => None,
-            Ok(mb) => Some(mb << 20),
-            Err(_) => Some(DEFAULT_AUTO_SHARD_BYTES),
-        },
+        Ok(v) => parse_auto_shard_mb(&v).unwrap_or_else(|()| {
+            // An operator typo ("8MB", "eight") must not silently become
+            // the default: warn once per process, then keep the default so
+            // a long-lived server still serves.
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "smpx: warning: SMPX_SHARD_AUTO_MB={v:?} is not a number of MiB; \
+                     using the default ({} MiB)",
+                    DEFAULT_AUTO_SHARD_BYTES >> 20
+                );
+            });
+            Some(DEFAULT_AUTO_SHARD_BYTES)
+        }),
         Err(_) => Some(DEFAULT_AUTO_SHARD_BYTES),
+    }
+}
+
+/// Parse an `SMPX_SHARD_AUTO_MB` value: `0` disables (`None`), any other
+/// number of MiB converts to bytes **saturating** at `u64::MAX` (a value
+/// like `2^50` used to wrap `mb << 20` into a tiny threshold that silently
+/// sharded everything), and non-numeric input is an error for the caller
+/// to surface rather than mask.
+pub(crate) fn parse_auto_shard_mb(raw: &str) -> Result<Option<u64>, ()> {
+    match raw.trim().parse::<u64>() {
+        Ok(0) => Ok(None),
+        Ok(mb) => Ok(Some(mb.saturating_mul(1 << 20))),
+        Err(_) => Err(()),
     }
 }
 
 /// One-document batch, a pool wider than one, and a size hint at or
 /// above the threshold? (Hint-less sources — pipes — never auto-shard:
 /// the batch path will not buffer an unbounded stream unasked.)
-fn should_auto_shard<S: DocSource, W>(tasks: &[(S, W)], threads: usize) -> bool {
+/// `pub(crate)` so the lifecycle batch entry mirrors this routing
+/// decision exactly.
+pub(crate) fn should_auto_shard<S: DocSource, W>(tasks: &[(S, W)], threads: usize) -> bool {
     tasks.len() == 1
         && Pool::new(threads).threads() > 1
         && auto_shard_threshold()
@@ -313,6 +337,27 @@ mod tests {
         let mut w = frozen.worker();
         let (out, _) = w.filter_to_vec(b"<a><b>k</b></a>").unwrap();
         assert_eq!(out, b"<a><b>k</b></a>".to_vec());
+    }
+
+    #[test]
+    fn parse_auto_shard_mb_handles_zero_huge_garbage_whitespace() {
+        // 0 disables the heuristic.
+        assert_eq!(parse_auto_shard_mb("0"), Ok(None));
+        assert_eq!(parse_auto_shard_mb(" 0\n"), Ok(None));
+        // Ordinary values convert MiB -> bytes.
+        assert_eq!(parse_auto_shard_mb("8"), Ok(Some(8 << 20)));
+        assert_eq!(parse_auto_shard_mb("  16\t"), Ok(Some(16 << 20)));
+        // Huge values saturate instead of wrapping to a tiny threshold.
+        assert_eq!(parse_auto_shard_mb(&(1u64 << 50).to_string()), Ok(Some(u64::MAX)));
+        assert_eq!(parse_auto_shard_mb(&u64::MAX.to_string()), Ok(Some(u64::MAX)));
+        // The old `mb << 20` wrapped this exact value to 0.
+        assert_eq!(parse_auto_shard_mb(&(1u64 << 44).to_string()), Ok(Some(u64::MAX)));
+        // Garbage and empty input are errors, not the silent default.
+        assert_eq!(parse_auto_shard_mb("8MB"), Err(()));
+        assert_eq!(parse_auto_shard_mb("eight"), Err(()));
+        assert_eq!(parse_auto_shard_mb(""), Err(()));
+        assert_eq!(parse_auto_shard_mb("   "), Err(()));
+        assert_eq!(parse_auto_shard_mb("-4"), Err(()));
     }
 
     #[test]

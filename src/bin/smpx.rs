@@ -4,7 +4,8 @@
 //! USAGE:
 //!   smpx --dtd SCHEMA.dtd (--paths P1,P2,… | --query XPATH [--query XPATH ...])
 //!        [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--chunk-kb N]
-//!        [--threads N] [--shard-mb N] [--stats]
+//!        [--threads N] [--shard-mb N] [--add-query XPATH] [--remove-query ID]
+//!        [--stats]
 //!
 //! EXAMPLES:
 //!   smpx --dtd site.dtd --query '//australia//description' big.xml -o small.xml --stats
@@ -43,6 +44,24 @@
 //! `N` inputs are open at once (sources open right before their run, as
 //! in sequential mode).
 //!
+//! `--add-query XPATH` / `--remove-query ID` put the run in **dynamic
+//! lifecycle mode** (`smpx_core::lifecycle`): the `--query` flags seed
+//! generation 0 of a [`SharedPrefilter`], and the edits apply *between*
+//! input files in argument order —
+//!
+//! ```text
+//! smpx --dtd site.dtd --query '//name' a.xml \
+//!      --add-query '//price' b.xml --remove-query 0 c.xml --stats
+//! ```
+//!
+//! filters `a.xml` with `q0` alone, `b.xml` with `q0`+`q1`, and `c.xml`
+//! with `q1` alone. Each edit's recompile runs on the lifecycle's
+//! background compiler thread; the CLI settles (waits for the publish)
+//! before the next batch so the demonstration is deterministic, and
+//! `--stats` prints the generation number each batch ran on. Query ids
+//! are stable across generations — a removed id keeps its slot and
+//! reports unmatched; ids are never reused.
+//!
 //! A *single* large input with `--threads != 1` is sharded **within** the
 //! document (`Prefilter::run_sharded`): the pool speculates from
 //! top-level record boundaries and the stitched projection is
@@ -53,7 +72,10 @@
 
 use smpx::core::runtime::source::{DocSource, MmapSource, ReaderSource, SourceKind};
 use smpx::core::runtime::DEFAULT_CHUNK;
-use smpx::core::{CoreError, MultiVerdict, Pool, Prefilter, RunStats, DEFAULT_AUTO_SHARD_BYTES};
+use smpx::core::{
+    CoreError, MultiVerdict, Pool, Prefilter, QueryId, QueryRegistry, RunStats, SharedPrefilter,
+    DEFAULT_AUTO_SHARD_BYTES,
+};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -71,13 +93,25 @@ struct Args {
     chunk: usize,
     threads: usize,
     shard_mb: Option<usize>,
+    /// Inputs and lifecycle edits in argument order. Only consulted when
+    /// an `--add-query`/`--remove-query` flag put the run in lifecycle
+    /// mode; plain runs keep using `inputs`.
+    ops: Vec<LifeOp>,
+}
+
+/// One argument-order step of a lifecycle run: prefilter an input, or
+/// edit the live query set between inputs.
+enum LifeOp {
+    Input(String),
+    Add(String),
+    Remove(u32),
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: smpx --dtd SCHEMA.dtd (--paths 'P1,P2,…' | --query XPATH [--query XPATH ...]) \
          [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--chunk-kb N] [--threads N] \
-         [--shard-mb N] [--stats]"
+         [--shard-mb N] [--add-query XPATH] [--remove-query ID] [--stats]"
     );
     std::process::exit(2);
 }
@@ -94,6 +128,7 @@ fn parse_args() -> Args {
         chunk: DEFAULT_CHUNK,
         threads: 1,
         shard_mb: None,
+        ops: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -110,7 +145,9 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .filter(|&kb| kb > 0)
                     .unwrap_or_else(|| usage());
-                args.chunk = kb * 1024;
+                // KiB -> bytes can overflow usize; an absurd chunk size is
+                // an operator error, not something to wrap silently.
+                args.chunk = kb.checked_mul(1024).unwrap_or_else(|| usage());
             }
             "--threads" => {
                 // 0 is meaningful: available parallelism.
@@ -121,9 +158,27 @@ fn parse_args() -> Args {
                 args.shard_mb =
                     Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
             }
+            "--add-query" => {
+                args.ops.push(LifeOp::Add(it.next().unwrap_or_else(|| usage())));
+            }
+            "--remove-query" => {
+                // Accept the verdict-line spelling ("q3") as well as the
+                // bare number.
+                let id: u32 = it
+                    .next()
+                    .and_then(|v| v.trim().trim_start_matches('q').parse().ok())
+                    .unwrap_or_else(|| usage());
+                args.ops.push(LifeOp::Remove(id));
+            }
             "-h" | "--help" => usage(),
-            "-" => args.inputs.push("-".to_string()),
-            other if !other.starts_with('-') => args.inputs.push(other.to_string()),
+            "-" => {
+                args.inputs.push("-".to_string());
+                args.ops.push(LifeOp::Input("-".to_string()));
+            }
+            other if !other.starts_with('-') => {
+                args.inputs.push(other.to_string());
+                args.ops.push(LifeOp::Input(other.to_string()));
+            }
             _ => usage(),
         }
     }
@@ -192,6 +247,190 @@ fn print_stats(label: &str, source: &str, stats: &RunStats) {
     );
 }
 
+/// Prefilter the inputs queued in `pending` as one pooled batch on the
+/// *settled* generation (every preceding edit compiled and published —
+/// the CLI demonstrates the edit-visible points; servers would keep
+/// running on the current generation instead). Writes projections to
+/// `out` in argument order, prints a per-file verdict line in stable
+/// external ids, and accumulates stats rows. `Err(())` means the failure
+/// was already reported.
+fn lifecycle_flush(
+    shared: &SharedPrefilter,
+    pending: &mut Vec<String>,
+    args: &Args,
+    out: &mut dyn Write,
+    total: &mut RunStats,
+    rows: &mut usize,
+) -> Result<(), ()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let generation = shared.settle().map_err(|e| eprintln!("smpx: lifecycle: {e}"))?;
+    if args.stats {
+        eprintln!(
+            "smpx: generation {} ({} live / {} allocated queries)",
+            generation.gen_no(),
+            generation.live_queries(),
+            generation.id_width()
+        );
+    }
+    let mut batch: Vec<(Box<dyn DocSource + Send>, Vec<u8>)> = Vec::new();
+    let mut tags: Vec<String> = Vec::new();
+    let mut sizes: Vec<Option<u64>> = Vec::new();
+    for p in pending.iter() {
+        sizes.push(if p == "-" {
+            None
+        } else {
+            match std::fs::metadata(p) {
+                Ok(m) => m.is_file().then_some(m.len()),
+                Err(e) => {
+                    eprintln!("smpx: cannot read {p}: {e}");
+                    return Err(());
+                }
+            }
+        });
+        let (src, tag) = open_source(p, args).map_err(|e| {
+            eprintln!("smpx: cannot open {p}: {e}");
+        })?;
+        batch.push((src, Vec::new()));
+        tags.push(tag);
+    }
+    match shared.run_multi_batch_parallel(batch, args.threads) {
+        Ok(done) => {
+            for (i, (buf, verdict, mut stats)) in done.into_iter().enumerate() {
+                if stats.input_bytes == 0 {
+                    stats.input_bytes = sizes[i].unwrap_or(0);
+                }
+                out.write_all(&buf).map_err(|e| eprintln!("smpx: {e}"))?;
+                let ids: Vec<String> =
+                    verdict.matched_ids().iter().map(|q| q.to_string()).collect();
+                eprintln!(
+                    "smpx: {}: matched {}/{} queries [{}] (generation {})",
+                    pending[i],
+                    ids.len(),
+                    verdict.n_queries,
+                    ids.join(" "),
+                    generation.gen_no()
+                );
+                if args.stats {
+                    print_stats(&pending[i], &tags[i], &stats);
+                }
+                total.accumulate(&stats);
+                *rows += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("smpx: {}: {}", pending[e.index], e.error);
+            return Err(());
+        }
+    }
+    pending.clear();
+    Ok(())
+}
+
+/// The dynamic-lifecycle run: seed the registry from `--query` flags,
+/// then walk inputs and `--add-query`/`--remove-query` edits in argument
+/// order — contiguous inputs form one pooled batch, each edit is applied
+/// (and, before the next batch, compiled and published) between batches.
+fn run_lifecycle(args: &Args, dtd: Dtd, query_sets: Vec<PathSet>) -> ExitCode {
+    let mut reg = QueryRegistry::new(dtd);
+    for q in query_sets {
+        reg.add_paths(q);
+    }
+    let shared = match reg.compile_shared() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smpx: compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.stats {
+        let g = shared.generation();
+        let t = g.frozen().tables();
+        eprintln!(
+            "smpx: lifecycle mode: {} seed queries, {} states ({} CW + {} BM)",
+            g.live_queries(),
+            t.state_count(),
+            t.cw_states(),
+            t.bm_states()
+        );
+    }
+    let mut out: Box<dyn Write> = match &args.output {
+        Some(p) => match std::fs::File::create(p) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("smpx: cannot create {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+    let mut total = RunStats::default();
+    let mut rows = 0usize;
+    let mut pending: Vec<String> = Vec::new();
+    for op in &args.ops {
+        match op {
+            LifeOp::Input(p) => pending.push(p.clone()),
+            LifeOp::Add(text) => {
+                if lifecycle_flush(&shared, &mut pending, args, &mut out, &mut total, &mut rows)
+                    .is_err()
+                {
+                    return ExitCode::FAILURE;
+                }
+                match shared.add_query(text) {
+                    Ok(id) => eprintln!("smpx: added query {id}: {text}"),
+                    Err(e) => {
+                        eprintln!("smpx: --add-query {text}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            LifeOp::Remove(n) => {
+                if lifecycle_flush(&shared, &mut pending, args, &mut out, &mut total, &mut rows)
+                    .is_err()
+                {
+                    return ExitCode::FAILURE;
+                }
+                match shared.remove_query(QueryId(*n)) {
+                    Ok(()) => eprintln!("smpx: removed query q{n}"),
+                    Err(e) => {
+                        eprintln!("smpx: --remove-query {n}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
+    if lifecycle_flush(&shared, &mut pending, args, &mut out, &mut total, &mut rows).is_err() {
+        return ExitCode::FAILURE;
+    }
+    // Trailing edits with no input after them still compile — surface
+    // their errors rather than dropping them at exit.
+    let last = match shared.settle() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("smpx: lifecycle: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = out.flush() {
+        eprintln!("smpx: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.stats {
+        if rows > 1 {
+            print_stats("total", "lifecycle", &total);
+        }
+        eprintln!(
+            "smpx: final generation {} ({} live / {} allocated queries)",
+            last.gen_no(),
+            last.live_queries(),
+            last.id_width()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
 
@@ -224,6 +463,20 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Any --add-query/--remove-query flag makes the run *dynamic*: the
+    // --query workload seeds generation 0 of a lifecycle handle, and the
+    // edits apply between input files in argument order.
+    if args.ops.iter().any(|op| !matches!(op, LifeOp::Input(_))) {
+        if args.paths.is_some() || query_sets.is_empty() {
+            eprintln!(
+                "smpx: --add-query/--remove-query need a --query seed workload \
+                 (--paths has no query ids to edit)"
+            );
+            std::process::exit(2);
+        }
+        return run_lifecycle(&args, dtd, query_sets);
+    }
+
     let multi = query_sets.len() > 1;
 
     let paths: PathSet = if multi {
