@@ -1,0 +1,147 @@
+//! Overlapped-delivery benchmarks: the same compiled prefilter over the
+//! same XMark document, delivered synchronously (`ReaderSource`) vs
+//! prefetched (`PrefetchSource`, the `smpx-io` thread filling the next
+//! window while the automaton scans), with `mmap` as the zero-copy
+//! reference.
+//!
+//! Two delivery shapes:
+//!
+//! * **file** — a regular on-disk document, chunk-size sweep; the
+//!   prefetch path additionally exercises the vectored `readv` refill.
+//! * **pipe** — a `UnixStream` fed by a writer thread, the delivery mmap
+//!   cannot cover and the one where overlapping read latency with scan
+//!   time is the whole point.
+//!
+//! A `host/threads_avail` row records the machine's available
+//! parallelism: on a 1-hardware-thread container the producer and the
+//! scanner timeshare one core, so the overlap cannot show a wall-clock
+//! win there (same honesty rule as `BENCH_parallel.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smpx_bench::measure::TempDocFile;
+use smpx_bench::queries::{xmark_paths, XMARK_QUERIES};
+use smpx_core::runtime::source::{MmapSource, PrefetchSource, ReaderSource};
+use smpx_core::Prefilter;
+use smpx_datagen::{xmark, GenOptions};
+use smpx_dtd::Dtd;
+use std::io::BufReader;
+
+fn doc_bytes() -> usize {
+    smpx_bench::measure::bench_doc_bytes(64 << 20)
+}
+
+/// The chunk-size sweep: small enough that syscall count matters, up to
+/// the paper's default window.
+const CHUNKS: &[(usize, &str)] = &[(8 << 10, "8k"), (32 << 10, "32k"), (256 << 10, "256k")];
+
+fn bench_prefetch(c: &mut Criterion) {
+    let doc = xmark::generate(GenOptions::sized(doc_bytes()));
+    let file = TempDocFile::new("prefetch", &doc);
+    let path = file.path();
+    let dtd = Dtd::parse(xmark::XMARK_DTD.as_bytes()).unwrap();
+    // XM13: the typical projection query of the Fig. 7(a) pipeline.
+    let q = XMARK_QUERIES.iter().find(|q| q.id == "XM13").unwrap();
+    let paths = xmark_paths(q);
+
+    // File delivery: sync reader vs prefetch across the chunk sweep,
+    // mmap as the reference ceiling.
+    let mut g = c.benchmark_group("prefetch/file");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    for &(chunk, tag) in CHUNKS {
+        g.bench_function(BenchmarkId::new(&format!("reader_{tag}"), q.id), |b| {
+            let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                let f = std::fs::File::open(path).unwrap();
+                let src = ReaderSource::new(BufReader::new(f), chunk);
+                pf.filter_source(src, &mut out).unwrap();
+                out.len()
+            })
+        });
+        g.bench_function(BenchmarkId::new(&format!("prefetch_{tag}"), q.id), |b| {
+            let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                let src = PrefetchSource::open(path, chunk).unwrap();
+                pf.filter_source(src, &mut out).unwrap();
+                out.len()
+            })
+        });
+    }
+    g.bench_function(BenchmarkId::new("mmap", q.id), |b| {
+        let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            let src = MmapSource::open(path).unwrap();
+            pf.filter_source(src, &mut out).unwrap();
+            out.len()
+        })
+    });
+    g.finish();
+
+    // Pipe delivery: the backend mmap cannot cover. A writer thread
+    // pushes the document through a UnixStream per iteration, so the
+    // measured time includes genuine pipe latency for the reader to hide.
+    #[cfg(unix)]
+    {
+        let doc = std::sync::Arc::new(doc.clone());
+        let mut g = c.benchmark_group("prefetch/pipe");
+        g.throughput(Throughput::Bytes(doc.len() as u64));
+        for &(chunk, tag) in CHUNKS {
+            let feed = |doc: &std::sync::Arc<Vec<u8>>| {
+                let (tx, rx) = std::os::unix::net::UnixStream::pair().unwrap();
+                let doc = std::sync::Arc::clone(doc);
+                let writer = std::thread::spawn(move || {
+                    use std::io::Write as _;
+                    let mut tx = tx;
+                    let _ = tx.write_all(&doc);
+                    // Dropping tx closes the stream: EOF for the scanner.
+                });
+                (rx, writer)
+            };
+            g.bench_function(BenchmarkId::new(&format!("reader_{tag}"), q.id), |b| {
+                let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+                let mut out = Vec::new();
+                b.iter(|| {
+                    out.clear();
+                    let (rx, writer) = feed(&doc);
+                    let src = ReaderSource::new(rx, chunk);
+                    pf.filter_source(src, &mut out).unwrap();
+                    writer.join().unwrap();
+                    out.len()
+                })
+            });
+            g.bench_function(BenchmarkId::new(&format!("prefetch_{tag}"), q.id), |b| {
+                let mut pf = Prefilter::compile(&dtd, &paths).unwrap();
+                let mut out = Vec::new();
+                b.iter(|| {
+                    out.clear();
+                    let (rx, writer) = feed(&doc);
+                    let src = PrefetchSource::new(rx, chunk);
+                    pf.filter_source(src, &mut out).unwrap();
+                    writer.join().unwrap();
+                    out.len()
+                })
+            });
+        }
+        g.finish();
+    }
+
+    // Record the hardware parallelism next to the curves: overlap needs a
+    // second core for the `smpx-io` thread to actually run beside the
+    // scanner (same honesty row as the parallel bench).
+    let mut host = c.benchmark_group("prefetch/host");
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    host.bench_function(BenchmarkId::new("threads_avail", avail), |b| b.iter(|| avail));
+    host.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_prefetch
+}
+criterion_main!(benches);

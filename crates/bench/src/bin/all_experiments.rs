@@ -32,6 +32,7 @@ fn main() {
                 ("table", Value::S(table.into())),
                 ("id", Value::S(r.id.clone())),
                 ("source", Value::S(r.source.clone())),
+                ("prefetch", Value::B(r.prefetch)),
                 ("threads", Value::U(r.threads as u64)),
                 ("shards", Value::U(r.stats.shards)),
                 ("queries", Value::U(r.queries as u64)),

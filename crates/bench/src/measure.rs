@@ -97,8 +97,9 @@ pub fn env_mb(var: &str, default_mb: usize) -> usize {
 
 /// Which `DocSource` backend the table runners deliver documents through,
 /// selected by the `SMPX_SOURCE` environment variable (`slice` default,
-/// `mmap`, `reader`) so the same experiment binaries can measure every
-/// backend — the nightly paper-scale CI job runs them over `mmap`.
+/// `mmap`, `reader`, `prefetch`) so the same experiment binaries can
+/// measure every backend — the nightly paper-scale CI job runs them over
+/// `mmap`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SourceMode {
     /// In-memory slice (the generated document, no file round-trip).
@@ -107,6 +108,8 @@ pub enum SourceMode {
     Mmap,
     /// Chunked streaming read of a temp file.
     Reader,
+    /// Chunked streaming read prefetched by the `smpx-io` thread.
+    Prefetch,
 }
 
 impl SourceMode {
@@ -115,6 +118,7 @@ impl SourceMode {
         match std::env::var("SMPX_SOURCE").as_deref() {
             Ok("mmap") => SourceMode::Mmap,
             Ok("reader") => SourceMode::Reader,
+            Ok("prefetch") => SourceMode::Prefetch,
             _ => SourceMode::Slice,
         }
     }

@@ -14,7 +14,9 @@ use crate::queries::{
     XMARK_QUERIES,
 };
 use smpx_baselines::{sax, TokenProjector};
-use smpx_core::runtime::source::{MmapSource, ReaderSource, SliceSource, SourceKind};
+use smpx_core::runtime::source::{
+    MmapSource, PrefetchSource, ReaderSource, SliceSource, SourceKind,
+};
 use smpx_core::{MultiPrefilter, MultiVerdict, Prefilter, RunStats};
 use smpx_datagen::{medline, xmark, GenOptions};
 use smpx_dtd::Dtd;
@@ -61,7 +63,9 @@ impl<'a> Delivery<'a> {
         let mode = SourceMode::from_env();
         let file = match mode {
             SourceMode::Slice => None,
-            SourceMode::Mmap | SourceMode::Reader => Some(TempDocFile::new(tag, doc)),
+            SourceMode::Mmap | SourceMode::Reader | SourceMode::Prefetch => {
+                Some(TempDocFile::new(tag, doc))
+            }
         };
         Delivery {
             doc,
@@ -86,7 +90,17 @@ impl<'a> Delivery<'a> {
             SourceMode::Slice => SourceKind::Slice.as_str().to_string(),
             SourceMode::Mmap => SourceKind::Mmap.as_str().to_string(),
             SourceMode::Reader => format!("{}/{}KiB", SourceKind::Reader, self.chunk / 1024),
+            SourceMode::Prefetch => {
+                format!("{}/{}KiB", SourceKind::Prefetch, self.chunk / 1024)
+            }
         }
+    }
+
+    /// Is this the double-buffered prefetching delivery? Rows carry it as
+    /// the `Pf` column / `prefetch` JSON field so sync-vs-overlapped runs
+    /// stay distinguishable even when labels get truncated.
+    pub fn prefetch(&self) -> bool {
+        self.mode == SourceMode::Prefetch
     }
 
     /// The `SMPX_THREADS`-selected pool width (1 = sequential executor).
@@ -150,6 +164,13 @@ impl<'a> Delivery<'a> {
                 let stats = pf.filter_source(src, &mut out).expect("filter");
                 (out, stats)
             }
+            SourceMode::Prefetch => {
+                let path = self.file.as_ref().expect("prefetch delivery has a file").path();
+                let src = PrefetchSource::open(path, self.chunk).expect("open bench doc");
+                let mut out = Vec::new();
+                let stats = pf.filter_source(src, &mut out).expect("filter");
+                (out, stats)
+            }
         }
     }
 
@@ -189,6 +210,10 @@ impl<'a> Delivery<'a> {
                     let file = std::fs::File::open(path).expect("open bench doc");
                     Box::new(ReaderSource::new(std::io::BufReader::new(file), self.chunk))
                 }
+                SourceMode::Prefetch => {
+                    let path = self.file.as_ref().expect("prefetch delivery has a file").path();
+                    Box::new(PrefetchSource::open(path, self.chunk).expect("open bench doc"))
+                }
             };
             self.pooled_mem.set(None);
             let (out, stats) =
@@ -222,6 +247,10 @@ impl<'a> Delivery<'a> {
                 let file = std::fs::File::open(path).expect("open bench doc");
                 run(Box::new(ReaderSource::new(std::io::BufReader::new(file), self.chunk)))
             }
+            SourceMode::Prefetch => {
+                let path = self.file.as_ref().expect("prefetch delivery has a file").path();
+                run(Box::new(PrefetchSource::open(path, self.chunk).expect("open bench doc")))
+            }
         }
         .expect("pooled filter");
         self.pooled_mem.set(Some(peak_mem.load(Ordering::Relaxed)));
@@ -244,6 +273,10 @@ impl<'a> Delivery<'a> {
                     let path = self.file.as_ref().expect("reader delivery has a file").path();
                     let file = std::fs::File::open(path).expect("open bench doc");
                     Box::new(ReaderSource::new(std::io::BufReader::new(file), self.chunk))
+                }
+                SourceMode::Prefetch => {
+                    let path = self.file.as_ref().expect("prefetch delivery has a file").path();
+                    Box::new(PrefetchSource::open(path, self.chunk).expect("open bench doc"))
                 }
             }
         };
@@ -283,6 +316,10 @@ impl<'a> Delivery<'a> {
                     let file = std::fs::File::open(path).expect("open bench doc");
                     Box::new(ReaderSource::new(std::io::BufReader::new(file), self.chunk))
                 }
+                SourceMode::Prefetch => {
+                    let path = self.file.as_ref().expect("prefetch delivery has a file").path();
+                    Box::new(PrefetchSource::open(path, self.chunk).expect("open bench doc"))
+                }
             }
         };
         let (out, verdict, mut stats) = if self.threads > 1 {
@@ -321,6 +358,9 @@ pub struct SmpRow {
     /// many standing queries the row's one pass answered (1 = classic
     /// single-query automaton).
     pub queries: usize,
+    /// Whether the delivery was the double-buffered prefetching reader
+    /// (`Delivery::prefetch`).
+    pub prefetch: bool,
 }
 
 /// Run SMP once over a delivered document for `paths`, collecting a
@@ -356,12 +396,13 @@ pub fn smp_row(id: &str, dtd: &Dtd, paths: &PathSet, doc: &Delivery<'_>) -> SmpR
         source: doc.label(),
         threads: doc.threads(),
         queries,
+        prefetch: doc.prefetch(),
     }
 }
 
 fn print_smp_header() {
     println!(
-        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7} {:>13} {:>4} {:>4}",
+        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7} {:>13} {:>4} {:>4} {:>3}",
         "query",
         "Proj.Size",
         "Mem",
@@ -378,6 +419,7 @@ fn print_smp_header() {
         "Source",
         "Thr",
         "Qrys",
+        "Pf",
     );
 }
 
@@ -385,7 +427,7 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
     let (p_shift, p_jump, p_char) =
         paper.map_or((f64::NAN, f64::NAN, f64::NAN), |p| (p.1, p.2, p.3));
     println!(
-        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2} {:>13} {:>4} {:>4}",
+        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2} {:>13} {:>4} {:>4} {:>3}",
         r.id,
         fmt_mb(r.proj_size),
         fmt_mb(r.mem_bytes as u64),
@@ -404,6 +446,7 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
         r.source,
         r.threads,
         r.queries,
+        if r.prefetch { "yes" } else { "no" },
     );
 }
 

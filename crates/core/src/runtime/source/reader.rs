@@ -53,6 +53,7 @@ impl<R: Read> ReaderSource<R> {
 
     /// Read one more chunk, compacting the window below the guard first.
     fn refill(&mut self) -> Result<(), CoreError> {
+        debug_assert!(self.chunk >= 1, "constructor clamps chunk to >= 1");
         let keep_from = self.guard.min(self.window_end()).max(self.base);
         let drop = keep_from - self.base;
         if drop > 0 {
@@ -71,7 +72,16 @@ impl<R: Read> ReaderSource<R> {
     }
 }
 
-fn read_full<R: Read>(r: &mut R, mut buf: &mut [u8]) -> Result<usize, CoreError> {
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, CoreError> {
+    read_full_io(r, buf).map_err(CoreError::Io)
+}
+
+/// Fill `buf` from `r`, looping over short reads; short only at EOF.
+/// `ErrorKind::Interrupted` (EINTR — a signal landed mid-read) is retried,
+/// never surfaced: both the sync refill here and the `smpx-io` prefetch
+/// thread route every read through this one function so neither path can
+/// regress to treating EINTR as a hard error.
+pub(super) fn read_full_io<R: Read>(r: &mut R, mut buf: &mut [u8]) -> std::io::Result<usize> {
     let mut total = 0;
     while !buf.is_empty() {
         match r.read(buf) {
@@ -81,7 +91,7 @@ fn read_full<R: Read>(r: &mut R, mut buf: &mut [u8]) -> Result<usize, CoreError>
                 buf = &mut std::mem::take(&mut buf)[n..];
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(CoreError::Io(e)),
+            Err(e) => return Err(e),
         }
     }
     Ok(total)
@@ -161,5 +171,64 @@ mod tests {
         assert!(!s.grow().unwrap());
         assert_eq!(s.len_hint(), None);
         assert_eq!(s.kind(), SourceKind::Reader);
+    }
+
+    /// A reader that injects `ErrorKind::Interrupted` before every
+    /// successful read, the way a signal-heavy process sees EINTR.
+    struct Interrupting<R> {
+        inner: R,
+        interrupt_next: bool,
+    }
+
+    impl<R: Read> Read for Interrupting<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+            }
+            self.interrupt_next = true;
+            self.inner.read(buf)
+        }
+    }
+
+    #[test]
+    fn eintr_is_retried_not_fatal() {
+        let doc = b"<a><b>interrupted but intact</b></a>";
+        let interrupting = Interrupting { inner: &doc[..], interrupt_next: true };
+        let mut s = ReaderSource::new(interrupting, 4);
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while s.ensure(pos).unwrap() {
+            got.push(s.resident()[pos - s.base()]);
+            pos += 1;
+        }
+        assert_eq!(got, doc);
+    }
+
+    #[test]
+    fn eintr_is_retried_by_read_full_io() {
+        // The shared fill loop (also used by the prefetch I/O thread)
+        // must absorb any number of interleaved EINTRs.
+        let doc = b"0123456789";
+        let mut r = Interrupting { inner: &doc[..], interrupt_next: true };
+        let mut buf = [0u8; 10];
+        assert_eq!(read_full_io(&mut r, &mut buf).unwrap(), 10);
+        assert_eq!(&buf, doc);
+    }
+
+    #[test]
+    fn chunk_zero_is_clamped_to_one() {
+        // Regression: chunk == 0 must behave exactly like chunk == 1
+        // (refill in 1-byte steps), not underflow or spin on empty reads.
+        let doc = b"chunk zero";
+        let mut s = ReaderSource::new(&doc[..], 0);
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while s.ensure(pos).unwrap() {
+            got.push(s.resident()[pos - s.base()]);
+            pos += 1;
+        }
+        assert_eq!(got, doc);
+        assert!(!s.grow().unwrap());
     }
 }

@@ -214,6 +214,9 @@ fn source_of(id: &str) -> &'static str {
         if seg.starts_with("mmap") {
             return "mmap";
         }
+        if seg.starts_with("prefetch") {
+            return "prefetch";
+        }
         if seg.starts_with("reader") || seg.starts_with("stream") {
             return "reader";
         }
