@@ -10,6 +10,10 @@ use smpx_bench::json::{JsonSink, Value};
 use smpx_bench::runners;
 
 fn main() {
+    // SMPX_METRICS=<path|-> turns on the process-wide registry; the
+    // Delivery tables then populate their Stall/Steal columns and the
+    // snapshot is dumped on exit.
+    let metrics = smpx_core::obs::init_from_env();
     let mut sink = JsonSink::from_args();
 
     let t1 = runners::run_table1();
@@ -45,6 +49,8 @@ fn main() {
                 ("jump_pct", Value::F(r.stats.initial_jumps_pct())),
                 ("char_pct", Value::F(r.stats.char_comp_pct())),
                 ("scan_pct", Value::F(r.stats.scanned_pct())),
+                ("stall_secs", r.stall_s.map_or(Value::Null, Value::F)),
+                ("steals", r.steals.map_or(Value::Null, Value::U)),
             ]);
         }
     }
@@ -97,5 +103,9 @@ fn main() {
             eprintln!("all_experiments: cannot write JSON: {e}");
             std::process::exit(1);
         }
+    }
+    if let Err(e) = smpx_core::obs::emit(&metrics) {
+        eprintln!("all_experiments: cannot write metrics snapshot: {e}");
+        std::process::exit(1);
     }
 }

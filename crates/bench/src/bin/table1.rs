@@ -1,5 +1,10 @@
 //! Regenerate the paper's Table I (SMP characteristics on XMark).
 //! Size override: SMPX_XMARK_MB (default 32).
 fn main() {
+    let metrics = smpx_core::obs::init_from_env();
     smpx_bench::runners::run_table1();
+    if let Err(e) = smpx_core::obs::emit(&metrics) {
+        eprintln!("table1: cannot write metrics snapshot: {e}");
+        std::process::exit(1);
+    }
 }

@@ -1,5 +1,10 @@
 //! Regenerate the paper's Table II (SMP characteristics on MEDLINE).
 //! Size override: SMPX_MEDLINE_MB (default 32).
 fn main() {
+    let metrics = smpx_core::obs::init_from_env();
     smpx_bench::runners::run_table2();
+    if let Err(e) = smpx_core::obs::emit(&metrics) {
+        eprintln!("table2: cannot write metrics snapshot: {e}");
+        std::process::exit(1);
+    }
 }

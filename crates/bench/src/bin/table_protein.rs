@@ -1,5 +1,10 @@
 //! Regenerate the Protein-Sequence characteristics (the paper's companion
 //! technical report \[27\]). Size override: SMPX_PROTEIN_MB (default 32).
 fn main() {
+    let metrics = smpx_core::obs::init_from_env();
     smpx_bench::runners::run_table_protein();
+    if let Err(e) = smpx_core::obs::emit(&metrics) {
+        eprintln!("table_protein: cannot write metrics snapshot: {e}");
+        std::process::exit(1);
+    }
 }

@@ -64,6 +64,13 @@ impl JsonSink {
         JsonSink { path, lines: Vec::new() }
     }
 
+    /// A sink writing to an explicit target: a file path, or `-` for
+    /// stderr (stdout stays reserved for document payloads — the CLI's
+    /// `--stats-json` twin of the human `--stats` table routes here).
+    pub fn to_path(path: impl Into<String>) -> JsonSink {
+        JsonSink { path: Some(path.into()), lines: Vec::new() }
+    }
+
     /// Is a sink path configured?
     pub fn enabled(&self) -> bool {
         self.path.is_some()
@@ -79,10 +86,18 @@ impl JsonSink {
         self.lines.push(format!("{{{}}}", body.join(",")));
     }
 
-    /// Append everything recorded so far to the target file.
+    /// Append everything recorded so far to the target (file append, or
+    /// stderr for the `-` target).
     pub fn flush(&mut self) -> std::io::Result<()> {
         let Some(path) = &self.path else { return Ok(()) };
         if self.lines.is_empty() {
+            return Ok(());
+        }
+        if path == "-" {
+            let mut e = std::io::stderr().lock();
+            for line in self.lines.drain(..) {
+                writeln!(e, "{line}")?;
+            }
             return Ok(());
         }
         let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;

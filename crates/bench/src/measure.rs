@@ -113,13 +113,35 @@ pub enum SourceMode {
 }
 
 impl SourceMode {
-    /// Read `SMPX_SOURCE`; unknown values fall back to `Slice`.
+    /// Parse one `SMPX_SOURCE` value; `Err(())` = unrecognized (the
+    /// caller decides how loudly to fall back).
+    pub(crate) fn parse(raw: &str) -> Result<SourceMode, ()> {
+        match raw.trim() {
+            "" | "slice" => Ok(SourceMode::Slice),
+            "mmap" => Ok(SourceMode::Mmap),
+            "reader" => Ok(SourceMode::Reader),
+            "prefetch" => Ok(SourceMode::Prefetch),
+            _ => Err(()),
+        }
+    }
+
+    /// Read `SMPX_SOURCE`. An unrecognized value falls back to `Slice`
+    /// **after one stderr warning** — a typo like `SMPX_SOURCE=mmpa`
+    /// must not silently benchmark the wrong backend (same policy as
+    /// `SMPX_SHARD_AUTO_MB` and `SMPX_METRICS`).
     pub fn from_env() -> SourceMode {
-        match std::env::var("SMPX_SOURCE").as_deref() {
-            Ok("mmap") => SourceMode::Mmap,
-            Ok("reader") => SourceMode::Reader,
-            Ok("prefetch") => SourceMode::Prefetch,
-            _ => SourceMode::Slice,
+        match std::env::var("SMPX_SOURCE") {
+            Ok(v) => SourceMode::parse(&v).unwrap_or_else(|()| {
+                static WARN: std::sync::Once = std::sync::Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "smpx: warning: SMPX_SOURCE={v:?} is not one of \
+                         slice|mmap|reader|prefetch; using slice"
+                    );
+                });
+                SourceMode::Slice
+            }),
+            Err(_) => SourceMode::Slice,
         }
     }
 }
@@ -198,5 +220,21 @@ mod tests {
         assert_eq!(fmt_mb(1024 * 1024), "1.00MB");
         std::env::remove_var("SMPX_TEST_MB_XYZ");
         assert_eq!(env_mb("SMPX_TEST_MB_XYZ", 3), 3 * 1024 * 1024);
+    }
+
+    #[test]
+    fn source_mode_parses_every_backend() {
+        assert_eq!(SourceMode::parse("slice"), Ok(SourceMode::Slice));
+        assert_eq!(SourceMode::parse(""), Ok(SourceMode::Slice));
+        assert_eq!(SourceMode::parse("mmap"), Ok(SourceMode::Mmap));
+        assert_eq!(SourceMode::parse("reader"), Ok(SourceMode::Reader));
+        assert_eq!(SourceMode::parse(" prefetch "), Ok(SourceMode::Prefetch));
+    }
+
+    #[test]
+    fn source_mode_rejects_typos_for_the_caller_to_warn() {
+        assert_eq!(SourceMode::parse("mmpa"), Err(()));
+        assert_eq!(SourceMode::parse("MMAP"), Err(()), "modes are case-sensitive");
+        assert_eq!(SourceMode::parse("file"), Err(()));
     }
 }

@@ -361,6 +361,28 @@ pub struct SmpRow {
     /// Whether the delivery was the double-buffered prefetching reader
     /// (`Delivery::prefetch`).
     pub prefetch: bool,
+    /// Prefetch stall seconds (producer stall + consumer wait) this row's
+    /// run added to the process counters; `None` when observability is
+    /// off (`SMPX_METRICS` unset) — the table prints `-`.
+    pub stall_s: Option<f64>,
+    /// Pool steals this row's run added to the process counters; `None`
+    /// when observability is off.
+    pub steals: Option<u64>,
+}
+
+/// Counter deltas around one timed run, read from the process-wide
+/// registry — only when observability is on, so the default bench path
+/// stays untouched.
+fn obs_marks() -> Option<(u64, u64)> {
+    use smpx_core::obs::{self, CounterId};
+    obs::enabled().then(|| {
+        let g = obs::global();
+        (
+            g.counter(CounterId::PoolSteals),
+            g.counter(CounterId::PrefetchProducerStallNanos)
+                + g.counter(CounterId::PrefetchConsumerWaitNanos),
+        )
+    })
 }
 
 /// Run SMP once over a delivered document for `paths`, collecting a
@@ -377,7 +399,14 @@ pub fn smp_row(id: &str, dtd: &Dtd, paths: &PathSet, doc: &Delivery<'_>) -> SmpR
     } else {
         Prefilter::compile(dtd, paths).expect("compile")
     };
+    let marks = obs_marks();
     let ((out, stats), timed) = time(|| doc.filter(&mut pf));
+    let (stall_s, steals) = match (marks, obs_marks()) {
+        (Some((s0, n0)), Some((s1, n1))) => {
+            (Some(n1.saturating_sub(n0) as f64 / 1e9), Some(s1.saturating_sub(s0)))
+        }
+        _ => (None, None),
+    };
     SmpRow {
         id: id.to_string(),
         proj_size: out.len() as u64,
@@ -397,12 +426,14 @@ pub fn smp_row(id: &str, dtd: &Dtd, paths: &PathSet, doc: &Delivery<'_>) -> SmpR
         threads: doc.threads(),
         queries,
         prefetch: doc.prefetch(),
+        stall_s,
+        steals,
     }
 }
 
 fn print_smp_header() {
     println!(
-        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7} {:>13} {:>4} {:>4} {:>3}",
+        "{:<6} {:>10} {:>9} {:>9} {:>9} {:>14} {:>8}({:>6}) {:>8}({:>6}) {:>8}({:>6}) {:>7} {:>13} {:>4} {:>4} {:>3} {:>8} {:>5}",
         "query",
         "Proj.Size",
         "Mem",
@@ -420,6 +451,8 @@ fn print_smp_header() {
         "Thr",
         "Qrys",
         "Pf",
+        "Stall[s]",
+        "Steal",
     );
 }
 
@@ -427,7 +460,7 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
     let (p_shift, p_jump, p_char) =
         paper.map_or((f64::NAN, f64::NAN, f64::NAN), |p| (p.1, p.2, p.3));
     println!(
-        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2} {:>13} {:>4} {:>4} {:>3}",
+        "{:<6} {:>10} {:>9} {:>9.3} {:>9.3} {:>7} ({:>2}+{:>3}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>8.2}({:>6.2}) {:>7.2} {:>13} {:>4} {:>4} {:>3} {:>8} {:>5}",
         r.id,
         fmt_mb(r.proj_size),
         fmt_mb(r.mem_bytes as u64),
@@ -447,6 +480,8 @@ fn print_smp_row(r: &SmpRow, paper: Option<&(&str, f64, f64, f64)>) {
         r.threads,
         r.queries,
         if r.prefetch { "yes" } else { "no" },
+        r.stall_s.map_or_else(|| "-".to_string(), |s| format!("{s:.3}")),
+        r.steals.map_or_else(|| "-".to_string(), |n| n.to_string()),
     );
 }
 

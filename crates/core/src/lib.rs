@@ -46,6 +46,7 @@ pub mod compile;
 mod error;
 pub mod idset;
 pub mod lifecycle;
+pub mod obs;
 pub mod registry;
 pub mod runtime;
 mod stats;

@@ -128,6 +128,9 @@ struct LifecycleState {
     slots: Vec<Option<PathSet>>,
     /// Edits published into `slots` but not yet compiled.
     dirty: bool,
+    /// Edits accumulated since the compiler last snapshotted — the
+    /// coalesced-burst size the observability layer reports.
+    pending_edits: usize,
     /// A recompile is running off-lock right now.
     compiling: bool,
     /// Tells the compiler thread to exit (set on handle drop).
@@ -193,6 +196,7 @@ impl SharedPrefilter {
             state: Mutex::new(LifecycleState {
                 slots: initial.into_iter().map(Some).collect(),
                 dirty: false,
+                pending_edits: 0,
                 compiling: false,
                 shutdown: false,
                 next_gen: 1,
@@ -236,6 +240,7 @@ impl SharedPrefilter {
         let id = QueryId(st.slots.len() as u32);
         st.slots.push(Some(paths));
         st.dirty = true;
+        st.pending_edits += 1;
         drop(st);
         self.inner.signal.notify_all();
         Ok(id)
@@ -258,6 +263,7 @@ impl SharedPrefilter {
                 } else {
                     *slot = None;
                     st.dirty = true;
+                    st.pending_edits += 1;
                     drop(st);
                     self.inner.signal.notify_all();
                     return Ok(());
@@ -384,6 +390,7 @@ fn compiler_loop(inner: &Inner) {
         }
         st.dirty = false;
         st.compiling = true;
+        let burst = std::mem::take(&mut st.pending_edits) as u64;
         let id_width = st.slots.len() as u32;
         let mut extern_of = Vec::new();
         let mut sets = Vec::new();
@@ -394,21 +401,39 @@ fn compiler_loop(inner: &Inner) {
             }
         }
         drop(st);
+        crate::obs::add(crate::obs::CounterId::LifecycleBurstEdits, burst);
+        crate::obs::observe(crate::obs::HistId::LifecycleBurstSize, burst);
         // The expensive part — no lock held, the hot path is untouched.
+        let t0 = crate::obs::enabled().then(std::time::Instant::now);
         let compiled = Prefilter::compile_multi(&inner.dtd, &sets).map(|pf| pf.freeze());
+        if let Some(t0) = t0 {
+            let nanos = t0.elapsed().as_nanos();
+            crate::obs::add_nanos(crate::obs::CounterId::LifecycleCompileNanos, nanos);
+            crate::obs::observe(
+                crate::obs::HistId::LifecycleCompileLatency,
+                nanos.min(u64::MAX as u128) as u64,
+            );
+        }
+        crate::obs::add(crate::obs::CounterId::LifecycleCompiles, 1);
         st = inner.state.lock().expect("lifecycle state");
         match compiled {
             Ok(frozen) => {
                 let gen_no = st.next_gen;
                 st.next_gen += 1;
                 let generation = Arc::new(Generation { gen_no, frozen, extern_of, id_width });
+                let swap_span = crate::obs::stage(crate::obs::StageId::Swap);
                 *inner.current.write().expect("lifecycle generation") = generation;
+                drop(swap_span);
+                crate::obs::gauge_set(crate::obs::GaugeId::LifecycleGeneration, gen_no);
                 st.last_error = None;
             }
             // Defense in depth: adds are validated up front, so a failing
             // workload recompile is unexpected — keep serving the old
             // generation and surface the error on the next settle().
-            Err(e) => st.last_error = Some(e),
+            Err(e) => {
+                crate::obs::add(crate::obs::CounterId::LifecycleFailedPublishes, 1);
+                st.last_error = Some(e);
+            }
         }
         st.compiling = false;
         inner.signal.notify_all();

@@ -1,0 +1,91 @@
+//! Fixed-bucket histograms with lock-free observation.
+//!
+//! Buckets store **non-cumulative** per-bucket counts; the total
+//! observation count is *derived* as the sum of the buckets at snapshot
+//! time, so a snapshot can never show `count != Σ buckets` no matter how
+//! it races with writers — coherence by construction rather than by
+//! locking. Only the value `sum` is a separate atomic and may lag the
+//! buckets by in-flight observations; exports treat it as approximate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hard cap on buckets per histogram (bounds + the implicit `+Inf`),
+/// sized so a histogram stays two cache lines of statics.
+pub const MAX_BUCKETS: usize = 16;
+
+/// One fixed-bucket histogram. Bounds are *not* stored here — they are
+/// static per series ([`super::registry::HistId::bounds`]) so the slot
+/// itself is a flat block of atomics.
+pub struct Histogram {
+    /// Non-cumulative count per bucket; `buckets[bounds.len()]` is the
+    /// implicit `+Inf` bucket, slots past that stay zero.
+    buckets: [AtomicU64; MAX_BUCKETS],
+    /// Sum of observed raw values (approximate under concurrency).
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram (const so registries can live in statics).
+    pub const fn new() -> Histogram {
+        // Const-init template for the array below, never read as a
+        // shared constant — the interior-mutability lint does not apply.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram { buckets: [ZERO; MAX_BUCKETS], sum: AtomicU64::new(0) }
+    }
+
+    /// Record one observation `v` against `bounds` (ascending upper
+    /// bounds; `v` lands in the first bucket whose bound it does not
+    /// exceed, else in the implicit overflow bucket).
+    #[inline]
+    pub fn observe(&self, bounds: &[u64], v: u64) {
+        debug_assert!(bounds.len() < MAX_BUCKETS);
+        let idx = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Read the non-cumulative bucket counts for `bounds` (length
+    /// `bounds.len() + 1`, the last entry being the overflow bucket).
+    pub fn bucket_counts(&self, bounds: &[u64]) -> Vec<u64> {
+        self.buckets[..=bounds.len()].iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The approximate sum of observed raw values.
+    pub fn value_sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: &[u64] = &[10, 100, 1000];
+
+    #[test]
+    fn observations_land_in_the_first_fitting_bucket() {
+        let h = Histogram::new();
+        for v in [0, 10, 11, 100, 500, 5000] {
+            h.observe(BOUNDS, v);
+        }
+        assert_eq!(h.bucket_counts(BOUNDS), vec![2, 2, 1, 1]);
+        assert_eq!(h.value_sum(), 5621);
+    }
+
+    #[test]
+    fn count_is_sum_of_buckets() {
+        let h = Histogram::new();
+        for v in 0..200 {
+            h.observe(BOUNDS, v * 7);
+        }
+        let total: u64 = h.bucket_counts(BOUNDS).iter().sum();
+        assert_eq!(total, 200);
+    }
+}

@@ -81,6 +81,7 @@ pub struct Prefilter {
 impl Prefilter {
     /// Run the static analysis and wrap the tables in a runtime.
     pub fn compile(dtd: &Dtd, paths: &PathSet) -> Result<Prefilter, CoreError> {
+        let _span = crate::obs::stage(crate::obs::StageId::Compile);
         Ok(Prefilter::from_tables(compile(dtd, paths)?))
     }
 
@@ -91,6 +92,7 @@ impl Prefilter {
     /// the higher-level registry front door is
     /// [`QueryRegistry`](crate::QueryRegistry).
     pub fn compile_multi(dtd: &Dtd, queries: &[PathSet]) -> Result<Prefilter, CoreError> {
+        let _span = crate::obs::stage(crate::obs::StageId::Compile);
         Ok(Prefilter::from_tables(compile_multi(dtd, queries)?))
     }
 
@@ -338,7 +340,13 @@ impl Prefilter {
         src: S,
         writer: W,
     ) -> Result<(W, RunStats), CoreError> {
-        self.filter_one_traced(src, writer, RunEntry::default(), None)
+        let span = crate::obs::stage(crate::obs::StageId::Scan);
+        let res = self.filter_one_traced(src, writer, RunEntry::default(), None);
+        drop(span);
+        if let Ok((_, stats)) = &res {
+            crate::obs::record_run(stats);
+        }
+        res
     }
 
     /// [`filter_one`](Self::filter_one) from an explicit entry

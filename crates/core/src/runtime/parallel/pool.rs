@@ -93,6 +93,8 @@ impl Pool {
             return Ok(Vec::new());
         }
         let n = self.threads.min(total);
+        crate::obs::gauge_set(crate::obs::GaugeId::PoolWorkers, n as u64);
+        crate::obs::gauge_max(crate::obs::GaugeId::PoolQueueDepthPeak, total as u64);
         let shared: Shared<T, R, E> = Shared {
             injector: WorkDeque::new(),
             locals: (0..n).map(|_| WorkDeque::new()).collect(),
@@ -197,8 +199,18 @@ fn worker_loop<T, R, E, Wk>(
         match next_task(id, grab, shared) {
             Some((idx, task)) => {
                 let mut guard = PanicGuard { shared, armed: true };
+                // Clock reads only when observability is on; the counter
+                // bumps below self-gate.
+                let busy = crate::obs::enabled().then(std::time::Instant::now);
                 let res = job(&mut wk, task);
                 guard.armed = false;
+                if let Some(t0) = busy {
+                    crate::obs::add_nanos(
+                        crate::obs::CounterId::PoolBusyNanos,
+                        t0.elapsed().as_nanos(),
+                    );
+                }
+                crate::obs::add(crate::obs::CounterId::PoolTasks, 1);
                 match res {
                     Ok(r) => shared.results.lock().expect("pool results lock")[idx] = Some(r),
                     Err(e) => shared.record_error(idx, e),
@@ -213,6 +225,7 @@ fn worker_loop<T, R, E, Wk>(
                 // running on siblings or in transit between queues. Park
                 // until something becomes stealable, the batch completes,
                 // or cancellation — the timed wait bounds a missed wakeup.
+                crate::obs::add(crate::obs::CounterId::PoolParks, 1);
                 let guard = shared.idle.lock().expect("pool idle lock");
                 drop(
                     shared
@@ -237,6 +250,7 @@ fn next_task<T, R, E>(id: usize, grab: usize, shared: &Shared<T, R, E>) -> Optio
         let mut it = chunk.into_iter();
         let first = it.next();
         shared.locals[id].push_chunk(it);
+        crate::obs::add(crate::obs::CounterId::PoolWakes, 1);
         shared.wake.notify_all();
         return first;
     }
@@ -246,6 +260,8 @@ fn next_task<T, R, E>(id: usize, grab: usize, shared: &Shared<T, R, E>) -> Optio
         if !got.is_empty() {
             let first = got.remove(0);
             shared.locals[id].push_chunk(got);
+            crate::obs::add(crate::obs::CounterId::PoolSteals, 1);
+            crate::obs::add(crate::obs::CounterId::PoolWakes, 1);
             shared.wake.notify_all();
             return Some(first);
         }

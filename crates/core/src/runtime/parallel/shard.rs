@@ -183,7 +183,9 @@ pub(crate) fn run_sharded_impl<S: DocSource, W: Write>(
     let masks = split::open_masks(&pf.tables);
     if pool.threads() <= 1 || !split::any_candidates(&masks) {
         // No parallelism to win, or nothing to split at: the plain
-        // sequential path, streaming semantics and all.
+        // sequential path, streaming semantics and all. (`filter_one`
+        // folds the run into the process counters itself.)
+        crate::obs::add(crate::obs::CounterId::ShardFallbacks, 1);
         let (w, stats) = pf.filter_one(src, writer)?;
         let verdict = pf.take_verdict(&stats);
         return Ok((w, verdict, stats));
@@ -207,10 +209,13 @@ pub(crate) fn run_sharded_impl<S: DocSource, W: Write>(
     let cal_hits = std::mem::take(&mut pf.hits);
     let Some((p0, q_rec)) = trace.stopped else {
         // No safe split found: the calibration run already was the full
-        // sequential run.
+        // sequential run. It went through `filter_one_traced`, so fold it
+        // into the process counters here.
         writer.write_all(&cal_out)?;
         let mut stats = cal_stats;
         stats.io_window_bytes = stats.io_window_bytes.max(src.peak_io_bytes() as u64);
+        crate::obs::add(crate::obs::CounterId::ShardFallbacks, 1);
+        crate::obs::record_run(&stats);
         pf.hits = cal_hits;
         let verdict = pf.take_verdict(&stats);
         return Ok((writer, verdict, stats));
@@ -259,6 +264,7 @@ pub(crate) fn run_sharded_impl<S: DocSource, W: Write>(
     };
 
     // Phase 3: stitch — splice confirmed shards, repair around misses.
+    let stitch_span = crate::obs::stage(crate::obs::StageId::Stitch);
     let mut segs: Vec<(Vec<u8>, RunStats, QueryIdSet)> = vec![(cal_out, cal_stats, cal_hits)];
     let mut p = p0;
     let mut idx = 0;
@@ -271,6 +277,7 @@ pub(crate) fn run_sharded_impl<S: DocSource, W: Write>(
             let sh = &mut results[idx];
             idx += 1;
             if !sh.entry_failed && sh.err.is_none() {
+                crate::obs::add(crate::obs::CounterId::ShardSpeculationHits, 1);
                 segs.push((std::mem::take(&mut sh.out), sh.stats, std::mem::take(&mut sh.hits)));
                 match sh.stopped {
                     Some(s) => p = s,
@@ -285,8 +292,11 @@ pub(crate) fn run_sharded_impl<S: DocSource, W: Write>(
         let target = results[idx..].iter().map(|r| r.entry).find(|&e| e > p).unwrap_or(usize::MAX);
         let mut tr = ShardTrace::speculate(masks.clone(), q_rec, p, target, false);
         let entry = RunEntry { state: q_rec, cursor: p, suppress_jump: true };
+        crate::obs::add(crate::obs::CounterId::ShardRepairs, 1);
+        let repair_span = crate::obs::stage(crate::obs::StageId::Repair);
         let (out, stats) =
             pf.filter_one_traced(SliceSource::new(doc), Vec::new(), entry, Some(&mut tr))?;
+        drop(repair_span);
         let hits = std::mem::take(&mut pf.hits);
         segs.push((out, stats, hits));
         match tr.stopped {
@@ -310,6 +320,10 @@ pub(crate) fn run_sharded_impl<S: DocSource, W: Write>(
     total.input_bytes = doc.len() as u64;
     total.io_window_bytes = src.peak_io_bytes() as u64;
     total.shards = n_segs;
+    drop(stitch_span);
+    crate::obs::add(crate::obs::CounterId::ShardRuns, 1);
+    crate::obs::observe(crate::obs::HistId::ShardSegments, n_segs);
+    crate::obs::record_run(&total);
     pf.hits = union;
     let verdict = pf.take_verdict(&total);
     Ok((writer, verdict, total))

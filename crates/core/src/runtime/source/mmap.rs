@@ -42,6 +42,12 @@ impl MmapSource {
     /// mapped (`mmap(len = 0)` is invalid) and are read into memory
     /// instead: same semantics, one copy.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<MmapSource, CoreError> {
+        let src = Self::open_inner(path)?;
+        crate::obs::add(crate::obs::CounterId::SourceMmapBytes, src.bytes().len() as u64);
+        Ok(src)
+    }
+
+    fn open_inner<P: AsRef<Path>>(path: P) -> Result<MmapSource, CoreError> {
         #[cfg(all(unix, target_pointer_width = "64"))]
         {
             use std::io::Read as _;

@@ -231,6 +231,8 @@ impl<R> PrefetchSource<R> {
         let mut st = self.shared.chan.lock().expect("smpx-io thread panicked");
         loop {
             if let Some(block) = st.filled.pop_front() {
+                crate::obs::add(crate::obs::CounterId::PrefetchChunks, 1);
+                crate::obs::add(crate::obs::CounterId::PrefetchBytes, block.len() as u64);
                 self.buf.extend_from_slice(&block);
                 if st.free.len() < SLOTS {
                     st.free.push(block);
@@ -248,7 +250,16 @@ impl<R> PrefetchSource<R> {
                 self.eof = true;
                 break;
             }
+            // The producer has not caught up: this wait is exactly the
+            // I/O latency the double buffer failed to hide.
+            let wait = crate::obs::enabled().then(std::time::Instant::now);
             st = self.shared.avail.wait(st).expect("smpx-io thread panicked");
+            if let Some(t0) = wait {
+                crate::obs::add_nanos(
+                    crate::obs::CounterId::PrefetchConsumerWaitNanos,
+                    t0.elapsed().as_nanos(),
+                );
+            }
         }
         std::mem::drop(st);
         self.peak = self.peak.max(self.buf.capacity());
@@ -270,7 +281,16 @@ fn io_loop<R: Read>(mut feed: Feed<R>, shared: &Shared, chunk: usize) {
                 if !st.free.is_empty() {
                     break;
                 }
+                // Both buffers are full and unclaimed: the consumer is
+                // the bottleneck and the I/O thread idles here.
+                let stall = crate::obs::enabled().then(std::time::Instant::now);
                 st = shared.space.wait(st).expect("consumer panicked");
+                if let Some(t0) = stall {
+                    crate::obs::add_nanos(
+                        crate::obs::CounterId::PrefetchProducerStallNanos,
+                        t0.elapsed().as_nanos(),
+                    );
+                }
             }
             let take = if pair { st.free.len() } else { 1 };
             st.free.drain(..take).collect()

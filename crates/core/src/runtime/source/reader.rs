@@ -62,7 +62,10 @@ impl<R: Read> ReaderSource<R> {
         }
         let old_len = self.buf.len();
         self.buf.resize(old_len + self.chunk, 0);
+        let io_span = crate::obs::stage(crate::obs::StageId::IoWait);
         let n = read_full(&mut self.reader, &mut self.buf[old_len..])?;
+        std::mem::drop(io_span);
+        crate::obs::add(crate::obs::CounterId::SourceReadBytes, n as u64);
         self.buf.truncate(old_len + n);
         if n == 0 {
             self.eof = true;

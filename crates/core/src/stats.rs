@@ -210,6 +210,71 @@ mod tests {
         assert_eq!(total.io_window_bytes, 64, "windows are sequential, not additive");
     }
 
+    /// Pins the fold rule of **every** field: all counters sum, the
+    /// `io_window_bytes` peak max-folds. The exhaustive destructuring
+    /// makes this test fail to compile when a field is added without
+    /// stating its fold rule here (and mirroring it in `obs::record_run`).
+    #[test]
+    fn accumulate_fold_rule_per_field() {
+        let a = RunStats {
+            input_bytes: 1,
+            output_bytes: 2,
+            chars_compared: 3,
+            bytes_scanned: 4,
+            shifts: 5,
+            shift_total: 6,
+            initial_jump_chars: 7,
+            tokens_matched: 8,
+            false_matches: 9,
+            io_window_bytes: 100,
+            match_events: 11,
+            shards: 12,
+        };
+        let b = RunStats {
+            input_bytes: 10,
+            output_bytes: 20,
+            chars_compared: 30,
+            bytes_scanned: 40,
+            shifts: 50,
+            shift_total: 60,
+            initial_jump_chars: 70,
+            tokens_matched: 80,
+            false_matches: 90,
+            io_window_bytes: 99,
+            match_events: 110,
+            shards: 120,
+        };
+        let mut total = RunStats::default();
+        total.accumulate(&a);
+        total.accumulate(&b);
+        let RunStats {
+            input_bytes,
+            output_bytes,
+            chars_compared,
+            bytes_scanned,
+            shifts,
+            shift_total,
+            initial_jump_chars,
+            tokens_matched,
+            false_matches,
+            io_window_bytes,
+            match_events,
+            shards,
+        } = total;
+        assert_eq!(input_bytes, 11, "sum");
+        assert_eq!(output_bytes, 22, "sum");
+        assert_eq!(chars_compared, 33, "sum");
+        assert_eq!(bytes_scanned, 44, "sum");
+        assert_eq!(shifts, 55, "sum");
+        assert_eq!(shift_total, 66, "sum");
+        assert_eq!(initial_jump_chars, 77, "sum");
+        assert_eq!(tokens_matched, 88, "sum");
+        assert_eq!(false_matches, 99, "sum");
+        assert_eq!(io_window_bytes, 100, "max: windows are sequential, not additive");
+        assert_eq!(match_events, 121, "sum");
+        assert_eq!(shards, 132, "sum");
+    }
+
     #[test]
     fn zero_safe() {
         let s = RunStats::default();

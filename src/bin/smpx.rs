@@ -5,7 +5,7 @@
 //!   smpx --dtd SCHEMA.dtd (--paths P1,P2,… | --query XPATH [--query XPATH ...])
 //!        [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--prefetch] [--chunk-kb N]
 //!        [--threads N] [--shard-mb N] [--add-query XPATH] [--remove-query ID]
-//!        [--stats]
+//!        [--stats] [--stats-json PATH|-] [--metrics PATH|-]
 //!
 //! EXAMPLES:
 //!   smpx --dtd site.dtd --query '//australia//description' big.xml -o small.xml --stats
@@ -74,6 +74,13 @@
 //! are stable across generations — a removed id keeps its slot and
 //! reports unmatched; ids are never reused.
 //!
+//! `--stats-json PATH|-` writes the `--stats` rows (per file + total)
+//! as JSON-lines; `--metrics PATH|-` (or `SMPX_METRICS`, flag wins)
+//! enables the process-wide observability registry (`smpx_core::obs`)
+//! and dumps one snapshot at exit — Prometheus text, or JSON-lines for
+//! a `.json`/`.jsonl` path. `-` targets stderr in both cases, because
+//! stdout carries the projected XML.
+//!
 //! A *single* large input with `--threads != 1` is sharded **within** the
 //! document (`Prefilter::run_sharded`): the pool speculates from
 //! top-level record boundaries and the stitched projection is
@@ -82,6 +89,8 @@
 //! (`--shard-mb 0` forces it with auto-sized shards). Stdin never shards
 //! (a pipe has no known length and must stream).
 
+use smpx::bench::json::{JsonSink, Value};
+use smpx::core::obs::{self, MetricsTarget};
 use smpx::core::runtime::source::{
     DocSource, MmapSource, PrefetchSource, ReaderSource, SourceKind,
 };
@@ -111,6 +120,16 @@ struct Args {
     chunk: usize,
     threads: usize,
     shard_mb: Option<usize>,
+    /// `--metrics <path|->`: enable the process-wide observability
+    /// registry and dump a snapshot at exit — `-` writes Prometheus text
+    /// to stderr, a `.json`/`.jsonl` path the JSON-lines snapshot, any
+    /// other path the Prometheus exposition. `SMPX_METRICS` is the
+    /// env-var twin; the flag wins when both are present.
+    metrics: Option<String>,
+    /// `--stats-json <path|->`: machine-readable twin of `--stats` —
+    /// the per-file and total rows as JSON-lines (appended to the path,
+    /// or stderr for `-`).
+    stats_json: Option<String>,
     /// Inputs and lifecycle edits in argument order. Only consulted when
     /// an `--add-query`/`--remove-query` flag put the run in lifecycle
     /// mode; plain runs keep using `inputs`.
@@ -129,7 +148,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: smpx --dtd SCHEMA.dtd (--paths 'P1,P2,…' | --query XPATH [--query XPATH ...]) \
          [INPUT.xml | - ...] [-o OUT.xml] [--mmap] [--prefetch] [--chunk-kb N] [--threads N] \
-         [--shard-mb N] [--add-query XPATH] [--remove-query ID] [--stats]"
+         [--shard-mb N] [--add-query XPATH] [--remove-query ID] [--stats] \
+         [--stats-json PATH|-] [--metrics PATH|-]"
     );
     std::process::exit(2);
 }
@@ -147,6 +167,8 @@ fn parse_args() -> Args {
         chunk: DEFAULT_CHUNK,
         threads: 1,
         shard_mb: None,
+        metrics: None,
+        stats_json: None,
         ops: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -157,6 +179,8 @@ fn parse_args() -> Args {
             "--query" => args.queries.push(it.next().unwrap_or_else(|| usage())),
             "-o" | "--output" => args.output = Some(it.next().unwrap_or_else(|| usage())),
             "--stats" => args.stats = true,
+            "--stats-json" => args.stats_json = Some(it.next().unwrap_or_else(|| usage())),
+            "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
             "--mmap" => args.mmap = true,
             "--prefetch" => args.prefetch = true,
             "--chunk-kb" => {
@@ -277,6 +301,26 @@ fn open_source(path: &str, args: &Args) -> Result<(Box<dyn DocSource + Send>, St
     }
 }
 
+/// One `--stats-json` record: the machine-readable twin of a
+/// `print_stats` line (same per-file and total rows, JSON-lines shape).
+fn stats_json_row(sink: &mut JsonSink, label: &str, source: &str, stats: &RunStats) {
+    sink.push(&[
+        ("file", Value::S(label.into())),
+        ("source", Value::S(source.into())),
+        ("input_bytes", Value::U(stats.input_bytes)),
+        ("output_bytes", Value::U(stats.output_bytes)),
+        ("chars_compared", Value::U(stats.chars_compared)),
+        ("bytes_scanned", Value::U(stats.bytes_scanned)),
+        ("avg_shift", Value::F(stats.avg_shift())),
+        ("jump_pct", Value::F(stats.initial_jumps_pct())),
+        ("char_pct", Value::F(stats.char_comp_pct())),
+        ("scan_pct", Value::F(stats.scanned_pct())),
+        ("tokens_matched", Value::U(stats.tokens_matched)),
+        ("false_matches", Value::U(stats.false_matches)),
+        ("shards", Value::U(stats.shards)),
+    ]);
+}
+
 fn print_stats(label: &str, source: &str, stats: &RunStats) {
     let pct = if stats.input_bytes > 0 {
         format!(
@@ -315,6 +359,7 @@ fn lifecycle_flush(
     out: &mut dyn Write,
     total: &mut RunStats,
     rows: &mut usize,
+    sink: &mut Option<JsonSink>,
 ) -> Result<(), ()> {
     if pending.is_empty() {
         return Ok(());
@@ -369,6 +414,9 @@ fn lifecycle_flush(
                 if args.stats {
                     print_stats(&pending[i], &tags[i], &stats);
                 }
+                if let Some(sink) = sink {
+                    stats_json_row(sink, &pending[i], &tags[i], &stats);
+                }
                 total.accumulate(&stats);
                 *rows += 1;
             }
@@ -421,13 +469,22 @@ fn run_lifecycle(args: &Args, dtd: Dtd, query_sets: Vec<PathSet>) -> ExitCode {
     };
     let mut total = RunStats::default();
     let mut rows = 0usize;
+    let mut sink = args.stats_json.as_ref().map(|p| JsonSink::to_path(p.clone()));
     let mut pending: Vec<String> = Vec::new();
     for op in &args.ops {
         match op {
             LifeOp::Input(p) => pending.push(p.clone()),
             LifeOp::Add(text) => {
-                if lifecycle_flush(&shared, &mut pending, args, &mut out, &mut total, &mut rows)
-                    .is_err()
+                if lifecycle_flush(
+                    &shared,
+                    &mut pending,
+                    args,
+                    &mut out,
+                    &mut total,
+                    &mut rows,
+                    &mut sink,
+                )
+                .is_err()
                 {
                     return ExitCode::FAILURE;
                 }
@@ -440,8 +497,16 @@ fn run_lifecycle(args: &Args, dtd: Dtd, query_sets: Vec<PathSet>) -> ExitCode {
                 }
             }
             LifeOp::Remove(n) => {
-                if lifecycle_flush(&shared, &mut pending, args, &mut out, &mut total, &mut rows)
-                    .is_err()
+                if lifecycle_flush(
+                    &shared,
+                    &mut pending,
+                    args,
+                    &mut out,
+                    &mut total,
+                    &mut rows,
+                    &mut sink,
+                )
+                .is_err()
                 {
                     return ExitCode::FAILURE;
                 }
@@ -455,7 +520,9 @@ fn run_lifecycle(args: &Args, dtd: Dtd, query_sets: Vec<PathSet>) -> ExitCode {
             }
         }
     }
-    if lifecycle_flush(&shared, &mut pending, args, &mut out, &mut total, &mut rows).is_err() {
+    if lifecycle_flush(&shared, &mut pending, args, &mut out, &mut total, &mut rows, &mut sink)
+        .is_err()
+    {
         return ExitCode::FAILURE;
     }
     // Trailing edits with no input after them still compile — surface
@@ -482,12 +549,54 @@ fn run_lifecycle(args: &Args, dtd: Dtd, query_sets: Vec<PathSet>) -> ExitCode {
             last.id_width()
         );
     }
+    if let Some(sink) = &mut sink {
+        if rows > 1 {
+            stats_json_row(sink, "total", "lifecycle", &total);
+        }
+        if let Err(e) = sink.flush() {
+            eprintln!("smpx: --stats-json: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// `--metrics` beats `SMPX_METRICS`; a flag value that names no
+/// destination is a usage error (the env path merely warns, because env
+/// vars travel further from the invocation than flags do).
+fn resolve_metrics(args: &Args) -> MetricsTarget {
+    match &args.metrics {
+        Some(v) => match obs::parse_metrics_value(v) {
+            Ok(t) => t,
+            Err(()) => {
+                eprintln!(
+                    "smpx: --metrics {v:?} names no destination; \
+                     use a file path or `-` for stderr"
+                );
+                std::process::exit(2);
+            }
+        },
+        None => obs::metrics_target_from_env(),
+    }
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    let metrics = resolve_metrics(&args);
+    if !matches!(metrics, MetricsTarget::Disabled) {
+        obs::enable();
+    }
+    let code = run(args);
+    // The snapshot covers the whole run, success or failure — a failed
+    // run's counters are exactly what a postmortem wants.
+    if let Err(e) = obs::emit(&metrics) {
+        eprintln!("smpx: cannot write metrics snapshot: {e}");
+        return ExitCode::FAILURE;
+    }
+    code
+}
 
+fn run(args: Args) -> ExitCode {
     let dtd_text = match std::fs::read(&args.dtd) {
         Ok(t) => t,
         Err(e) => {
@@ -828,6 +937,30 @@ fn main() -> ExitCode {
                 query_count,
                 if query_count == 1 { "y" } else { "ies" }
             );
+        }
+    }
+
+    // Machine-readable twin of the `--stats` rows: one JSON object per
+    // input plus a total row, same fields, same tag semantics.
+    if let Some(path) = &args.stats_json {
+        let mut sink = JsonSink::to_path(path.clone());
+        let mut total = RunStats::default();
+        for (label, tag, stats, _) in &results {
+            stats_json_row(&mut sink, label, tag, stats);
+            total.accumulate(stats);
+        }
+        if results.len() > 1 {
+            let first = results[0].1.as_str();
+            let tag = if results.iter().all(|(_, t, _, _)| t == first) {
+                first.to_string()
+            } else {
+                "mixed".to_string()
+            };
+            stats_json_row(&mut sink, "total", &tag, &total);
+        }
+        if let Err(e) = sink.flush() {
+            eprintln!("smpx: --stats-json: {e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

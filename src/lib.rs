@@ -18,6 +18,7 @@
 //! | [`datagen`] | XMark-like / MEDLINE-like / Protein-like generators |
 //! | [`baselines`] | tokenizing projector (oracle + TBP stand-in), SAX, AC scanner |
 //! | [`engine`] | in-memory (QizX-like) and streaming (SPEX-like) XPath engines |
+//! | [`bench`] | experiment runners, measurement, JSON-lines emission |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 //! ```
 
 pub use smpx_baselines as baselines;
+pub use smpx_bench as bench;
 pub use smpx_core as core;
 pub use smpx_datagen as datagen;
 pub use smpx_dtd as dtd;
